@@ -1,0 +1,300 @@
+// Command kdap is an interactive KDAP session over one of the built-in
+// warehouses: type a keyword query, pick an interpretation, explore the
+// dynamic facets, and drill down — the paper's Figure 1 loop as a REPL.
+//
+// Usage:
+//
+//	kdap [-db ebiz|online|reseller] [-snapshot file] [-csv dir] [-mode surprise|bellwether]
+//
+// Commands inside the session:
+//
+//	<keywords>   run a keyword query and list ranked interpretations
+//	pick N       select interpretation N and show its facets
+//	drill N M    drill into instance M of facet attribute N
+//	back         undo the last drill
+//	sql          print the SQL the current interpretation stands for
+//	explain N    break down interpretation N's ranking score
+//	csv          print the current facets as CSV
+//	pivot N M    cross-tabulate facet attributes N and M
+//	mode X       switch interestingness (surprise / bellwether)
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kdap"
+)
+
+// repl wraps a kdap.Session with terminal rendering.
+type repl struct {
+	s *kdap.Session
+}
+
+func main() {
+	db := flag.String("db", "ebiz", "warehouse: ebiz, online, reseller")
+	snapshot := flag.String("snapshot", "", "load a warehouse snapshot written by kdapgen instead of -db")
+	csvDir := flag.String("csv", "", "load a CSV directory with manifest.json instead of -db")
+	mode := flag.String("mode", "surprise", "interestingness: surprise, bellwether")
+	flag.Parse()
+
+	var wh *kdap.Warehouse
+	switch {
+	case *snapshot != "":
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wh, err = kdap.LoadWarehouse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case *csvDir != "":
+		var err error
+		wh, err = kdap.LoadCSVWarehouse(*csvDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case *db == "ebiz":
+		wh = kdap.EBiz()
+	case *db == "online":
+		wh = kdap.AWOnline()
+	case *db == "reseller":
+		wh = kdap.AWReseller()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown db %q\n", *db)
+		os.Exit(2)
+	}
+
+	opts := kdap.DefaultExploreOptions()
+	r := &repl{s: kdap.NewSession(kdap.NewEngine(wh), opts)}
+	if err := r.setMode(*mode); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("KDAP session on %s (%d fact rows). Type keywords, or 'help'.\n",
+		wh.DB.Name(), wh.DB.Table(wh.Graph.FactTable()).Len())
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("kdap> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if line != "" {
+			r.handle(line)
+		}
+		fmt.Print("kdap> ")
+	}
+}
+
+func (r *repl) setMode(m string) error {
+	switch m {
+	case "surprise":
+		return r.s.SetMode(kdap.Surprise)
+	case "bellwether":
+		return r.s.SetMode(kdap.Bellwether)
+	default:
+		return fmt.Errorf("unknown mode %q (want surprise or bellwether)", m)
+	}
+}
+
+func (r *repl) handle(line string) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "help":
+		fmt.Println("  <keywords>   run a keyword query (numeric predicates like DealerPrice>100 work too)\n" +
+			"  pick N       select interpretation N\n" +
+			"  drill N M    drill into instance M of facet attribute N\n" +
+			"  back         undo the last drill\n" +
+			"  sql          print the SQL the current interpretation stands for\n" +
+			"  explain N    break down interpretation N's ranking score\n" +
+			"  csv          print the current facets as CSV\n" +
+			"  pivot N M    cross-tabulate facet attributes N and M\n" +
+			"  mode X       surprise / bellwether\n" +
+			"  quit")
+	case "pick":
+		r.pick(fields[1:])
+	case "drill":
+		r.drill(fields[1:])
+	case "back":
+		if f, err := r.s.Back(); err != nil {
+			fmt.Println(err)
+		} else {
+			r.show(f)
+		}
+	case "sql":
+		r.sql()
+	case "explain":
+		r.explain(fields[1:])
+	case "csv":
+		r.csv()
+	case "pivot":
+		r.pivot(fields[1:])
+	case "mode":
+		if len(fields) != 2 {
+			fmt.Println("usage: mode surprise|bellwether")
+			return
+		}
+		if err := r.setMode(fields[1]); err != nil {
+			fmt.Println(err)
+			return
+		}
+		if f := r.s.Facets(); f != nil {
+			r.show(f)
+		}
+	default:
+		r.query(line)
+	}
+}
+
+func (r *repl) query(q string) {
+	nets, err := r.s.Query(q)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if len(nets) == 0 {
+		fmt.Println("no interpretations — try different keywords")
+		for kw, sugg := range r.s.Engine().SuggestKeywords(q, 3) {
+			fmt.Printf("  %q matched nothing; did you mean %s?\n", kw, strings.Join(sugg, ", "))
+		}
+		return
+	}
+	fmt.Printf("%d interpretations:\n%s", len(nets), kdap.RenderStarNets(nets, 8))
+	fmt.Println("use 'pick N' to explore one")
+}
+
+func (r *repl) pick(args []string) {
+	if len(args) != 1 {
+		fmt.Println("usage: pick N (after a query)")
+		return
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Println("usage: pick N")
+		return
+	}
+	f, err := r.s.Pick(n)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	r.show(f)
+}
+
+func (r *repl) show(f *kdap.Facets) {
+	fmt.Print(kdap.RenderFacets(f))
+	fmt.Println("facet attributes are numbered top to bottom; 'drill N M' to zoom in")
+}
+
+func (r *repl) drill(args []string) {
+	if len(args) != 2 || r.s.Facets() == nil {
+		fmt.Println("usage: drill N M (after pick)")
+		return
+	}
+	an, err1 := strconv.Atoi(args[0])
+	in, err2 := strconv.Atoi(args[1])
+	attrs := r.s.FlatAttrs()
+	if err1 != nil || err2 != nil || an < 1 || an > len(attrs) {
+		fmt.Printf("drill 1..%d M\n", len(attrs))
+		return
+	}
+	a := attrs[an-1]
+	if in < 1 || in > len(a.Instances) {
+		fmt.Printf("attribute %s has instances 1..%d\n", a.Attr.Attr, len(a.Instances))
+		return
+	}
+	inst := a.Instances[in-1]
+	var f *kdap.Facets
+	var err error
+	if a.Numeric {
+		f, err = r.s.DrillRange(a.Attr, a.Role, inst.Lo, inst.Hi)
+	} else {
+		f, err = r.s.Drill(a.Attr, a.Role, inst.Value)
+	}
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	r.show(f)
+}
+
+func (r *repl) sql() {
+	sn := r.s.Current()
+	if sn == nil {
+		fmt.Println("pick an interpretation first")
+		return
+	}
+	e := r.s.Engine()
+	fmt.Println(sn.SQL(e.Measure(), e.Agg(), e.Graph().FactTable()))
+}
+
+func (r *repl) explain(args []string) {
+	nets := r.s.Interpretations()
+	if len(args) != 1 || nets == nil {
+		fmt.Println("usage: explain N (after a query)")
+		return
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 1 || n > len(nets) {
+		fmt.Printf("explain 1..%d\n", len(nets))
+		return
+	}
+	fmt.Print(nets[n-1].Explain())
+}
+
+func (r *repl) csv() {
+	if r.s.Facets() == nil {
+		fmt.Println("pick an interpretation first")
+		return
+	}
+	if err := kdap.WriteFacetsCSV(os.Stdout, r.s.Facets()); err != nil {
+		fmt.Println(err)
+	}
+}
+
+func (r *repl) pivot(args []string) {
+	if len(args) != 2 || r.s.Facets() == nil {
+		fmt.Println("usage: pivot N M (after pick; N, M are facet attribute numbers)")
+		return
+	}
+	attrs := r.s.FlatAttrs()
+	pick := func(arg string) *kdap.AttrFacet {
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 || n > len(attrs) {
+			return nil
+		}
+		return attrs[n-1]
+	}
+	ra, ca := pick(args[0]), pick(args[1])
+	if ra == nil || ca == nil || ra == ca {
+		fmt.Printf("pivot needs two distinct attributes in 1..%d\n", len(attrs))
+		return
+	}
+	if ra.Numeric || ca.Numeric {
+		fmt.Println("pivot works on categorical attributes; pick non-numeric facets")
+		return
+	}
+	e := r.s.Engine()
+	g := e.Graph()
+	rp, ok1 := g.PathFromFact(ra.Attr.Table, ra.Role)
+	cp, ok2 := g.PathFromFact(ca.Attr.Table, ca.Role)
+	if !ok1 || !ok2 {
+		fmt.Println("cannot resolve join paths for the pivot")
+		return
+	}
+	rows := e.SubspaceRows(r.s.Current())
+	pt := e.Executor().Pivot(rows, ra.Attr.Attr, rp, ca.Attr.Attr, cp, e.Measure(), e.Agg())
+	fmt.Print(pt)
+}

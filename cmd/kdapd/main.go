@@ -1,0 +1,83 @@
+// Command kdapd serves the KDAP JSON API over HTTP.
+//
+// Usage:
+//
+//	kdapd [-addr :8080] [-db ebiz,online,reseller]
+//
+// A minimal web UI is served at /; the JSON endpoints live under /api.
+// See internal/server for the endpoint contract. Example session:
+//
+//	curl -s localhost:8080/api/query -d '{"db":"ebiz","q":"Columbus LCD"}'
+//	curl -s localhost:8080/api/explore -d '{"session":"s1","pick":1}'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kdap/internal/dataset"
+	"kdap/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dbs := flag.String("db", "ebiz,online,reseller", "comma-separated warehouses to serve")
+	flag.Parse()
+
+	warehouses := make(map[string]*dataset.Warehouse)
+	for _, name := range strings.Split(*dbs, ",") {
+		switch strings.TrimSpace(name) {
+		case "ebiz":
+			warehouses["ebiz"] = dataset.EBiz()
+		case "online":
+			warehouses["online"] = dataset.AWOnline()
+		case "reseller":
+			warehouses["reseller"] = dataset.AWReseller()
+		case "":
+		default:
+			log.Fatalf("unknown warehouse %q", name)
+		}
+	}
+	if len(warehouses) == 0 {
+		log.Fatal("no warehouses selected")
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(warehouses),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	fmt.Printf("kdapd listening on %s, serving %d warehouse(s); UI at /\n", *addr, len(warehouses))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -1,0 +1,93 @@
+// Command kdapgen builds warehouse snapshots: from the built-in synthetic
+// generators, or from a directory of CSV files plus a manifest.json (see
+// internal/csvload for the format). Snapshots are reopened by cmd/kdap
+// via -snapshot, or programmatically with kdap.LoadWarehouse.
+//
+// Usage:
+//
+//	kdapgen -out ebiz.kdap -db ebiz                # snapshot a builtin
+//	kdapgen -out mart.kdap -csv ./mydata           # CSVs → snapshot
+//	kdapgen -info mart.kdap                        # inspect a snapshot
+//	kdapgen -dot mart.kdap > schema.dot            # schema diagram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"kdap"
+)
+
+func main() {
+	out := flag.String("out", "", "snapshot file to write")
+	db := flag.String("db", "", "builtin warehouse to snapshot: ebiz, online, reseller")
+	csvDir := flag.String("csv", "", "directory with manifest.json + CSV files to load")
+	info := flag.String("info", "", "snapshot file to summarize")
+	dot := flag.String("dot", "", "snapshot file to render as Graphviz DOT")
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		wh := mustLoad(*info)
+		st := wh.DB.Stats()
+		fmt.Printf("%s: %d tables, %d rows, %d full-text attribute domains, fact=%s\n",
+			st.Name, st.Tables, st.Rows, st.FullTextColumns, wh.Graph.FactTable())
+		for _, ts := range st.PerTable {
+			fmt.Printf("  %-24s %8d rows\n", ts.Name, ts.Rows)
+		}
+		for _, d := range wh.Graph.Dimensions() {
+			fmt.Printf("  dimension %-12s tables=%v hierarchies=%d groupBy=%d\n",
+				d.Name, d.Tables, len(d.Hierarchies), len(d.GroupBy))
+		}
+	case *dot != "":
+		fmt.Print(kdap.SchemaDOT(mustLoad(*dot)))
+	case *out != "":
+		var wh *kdap.Warehouse
+		var err error
+		switch {
+		case *csvDir != "":
+			wh, err = kdap.LoadCSVWarehouse(*csvDir)
+		case *db == "ebiz":
+			wh = kdap.EBiz()
+		case *db == "online":
+			wh = kdap.AWOnline()
+		case *db == "reseller":
+			wh = kdap.AWReseller()
+		default:
+			log.Fatal("need -db or -csv with -out")
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := kdap.SaveWarehouse(f, wh); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fi, _ := os.Stat(*out)
+		fmt.Printf("wrote %s (%d KiB)\n", *out, fi.Size()/1024)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func mustLoad(path string) *kdap.Warehouse {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	wh, err := kdap.LoadWarehouse(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return wh
+}

@@ -1,0 +1,92 @@
+package kdap
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteFacetsCSV exports facets as CSV with one row per facet instance:
+//
+//	dimension, attribute, role, promoted, numeric, attr_score,
+//	instance, lo, hi, aggregate, instance_score
+//
+// so downstream tools (spreadsheets, plotting) can consume an explore
+// result directly.
+func WriteFacetsCSV(w io.Writer, f *Facets) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"dimension", "attribute", "role", "promoted", "numeric",
+		"attr_score", "instance", "lo", "hi", "aggregate", "instance_score",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, d := range f.Dimensions {
+		for _, a := range d.Attributes {
+			score := ""
+			if !a.Promoted {
+				score = ff(a.Score)
+			}
+			for _, inst := range a.Instances {
+				lo, hi := "", ""
+				if a.Numeric {
+					lo, hi = ff(inst.Lo), ff(inst.Hi)
+				}
+				rec := []string{
+					d.Dimension, a.Attr.Attr, a.Role,
+					strconv.FormatBool(a.Promoted), strconv.FormatBool(a.Numeric),
+					score, inst.Label, lo, hi, ff(inst.Aggregate), ff(inst.Score),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SchemaDOT renders the warehouse's schema graph in Graphviz DOT form:
+// tables as nodes (the fact complex double-boxed), foreign keys as edges,
+// and dimensions as clusters. Feed it to `dot -Tsvg` to get a Figure
+// 2-style diagram of any warehouse.
+func SchemaDOT(wh *Warehouse) string {
+	g := wh.Graph
+	db := wh.DB
+	out := "digraph schema {\n  rankdir=LR;\n  node [shape=box];\n"
+	fact := g.FactTable()
+
+	inDim := map[string]string{}
+	for di, d := range g.Dimensions() {
+		out += fmt.Sprintf("  subgraph cluster_%d {\n    label=%q;\n", di, d.Name)
+		for _, tn := range d.Tables {
+			if _, taken := inDim[tn]; taken {
+				continue // shared tables render once, in their first dimension
+			}
+			inDim[tn] = d.Name
+			out += fmt.Sprintf("    %q;\n", tn)
+		}
+		out += "  }\n"
+	}
+	for _, tn := range db.TableNames() {
+		if _, ok := inDim[tn]; ok {
+			continue
+		}
+		shape := "box"
+		if tn == fact {
+			shape = "doubleoctagon"
+		}
+		out += fmt.Sprintf("  %q [shape=%s];\n", tn, shape)
+	}
+	for _, tn := range db.TableNames() {
+		for _, fk := range db.Table(tn).Schema().ForeignKeys {
+			out += fmt.Sprintf("  %q -> %q [label=%q];\n", tn, fk.RefTable, fk.Column)
+		}
+	}
+	out += "}\n"
+	return out
+}

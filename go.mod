@@ -1,0 +1,3 @@
+module kdap
+
+go 1.22

@@ -1,0 +1,127 @@
+// Package bitset implements fixed-universe bit sets used by the OLAP
+// executor to represent sets of fact rows. Star-net evaluation is
+// dominated by intersecting row sets that repeat across candidate nets
+// (every interpretation containing the "California" hit group shares the
+// same semijoin result); bitsets make the intersection a word-parallel
+// AND and make per-constraint caching cheap.
+package bitset
+
+import "math/bits"
+
+// Set is a bit set over the universe [0, Len()).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New creates an empty set over a universe of n elements.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative universe")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FromSorted builds a set from sorted (or unsorted — order is irrelevant)
+// element slices.
+func FromSorted(n int, xs []int) *Set {
+	s := New(n)
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+// Len returns the universe size.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts x. It panics if x is outside the universe.
+func (s *Set) Add(x int) {
+	if x < 0 || x >= s.n {
+		panic("bitset: element outside universe")
+	}
+	s.words[x>>6] |= 1 << (uint(x) & 63)
+}
+
+// Contains reports membership of x.
+func (s *Set) Contains(x int) bool {
+	if x < 0 || x >= s.n {
+		return false
+	}
+	return s.words[x>>6]&(1<<(uint(x)&63)) != 0
+}
+
+// Count returns the number of elements.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	out := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(out.words, s.words)
+	return out
+}
+
+// AndWith intersects s with o in place. The universes must match.
+func (s *Set) AndWith(o *Set) {
+	if s.n != o.n {
+		panic("bitset: universe mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// OrWith unions o into s in place. The universes must match.
+func (s *Set) OrWith(o *Set) {
+	if s.n != o.n {
+		panic("bitset: universe mismatch")
+	}
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// AndCount returns |s ∩ o| without materializing the intersection.
+func (s *Set) AndCount(o *Set) int {
+	if s.n != o.n {
+		panic("bitset: universe mismatch")
+	}
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// ToSlice returns the elements in ascending order.
+func (s *Set) ToSlice() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			out = append(out, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Range calls fn for each element in ascending order, stopping early if
+// fn returns false.
+func (s *Set) Range(fn func(x int) bool) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			if !fn(base + bits.TrailingZeros64(w)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package bitset
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kdap/internal/stats"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 || s.Count() != 0 {
+		t.Fatal("fresh set")
+	}
+	for _, x := range []int{0, 1, 63, 64, 65, 127, 129} {
+		s.Add(x)
+	}
+	if s.Count() != 7 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if !s.Contains(64) || s.Contains(2) || s.Contains(-1) || s.Contains(500) {
+		t.Error("Contains wrong")
+	}
+	want := []int{0, 1, 63, 64, 65, 127, 129}
+	if got := s.ToSlice(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ToSlice = %v", got)
+	}
+}
+
+func TestAddPanics(t *testing.T) {
+	s := New(10)
+	for _, x := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) should panic", x)
+				}
+			}()
+			s.Add(x)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSorted(200, []int{1, 5, 64, 100, 150})
+	b := FromSorted(200, []int{5, 64, 99, 150, 199})
+
+	inter := a.Clone()
+	inter.AndWith(b)
+	if got := inter.ToSlice(); !reflect.DeepEqual(got, []int{5, 64, 150}) {
+		t.Errorf("and = %v", got)
+	}
+	if a.AndCount(b) != 3 {
+		t.Errorf("AndCount = %d", a.AndCount(b))
+	}
+	union := a.Clone()
+	union.OrWith(b)
+	if union.Count() != 7 {
+		t.Errorf("or count = %d", union.Count())
+	}
+	// Originals untouched.
+	if a.Count() != 5 || b.Count() != 5 {
+		t.Error("operands mutated")
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	a, b := New(10), New(20)
+	for name, fn := range map[string]func(){
+		"AndWith":  func() { a.AndWith(b) },
+		"OrWith":   func() { a.OrWith(b) },
+		"AndCount": func() { a.AndCount(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := FromSorted(100, []int{3, 30, 70})
+	var seen []int
+	s.Range(func(x int) bool {
+		seen = append(seen, x)
+		return len(seen) < 2
+	})
+	if !reflect.DeepEqual(seen, []int{3, 30}) {
+		t.Errorf("Range = %v", seen)
+	}
+}
+
+// Property: bitset intersection agrees with a map-based reference for
+// random sets.
+func TestIntersectionMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 64 + rng.Intn(512)
+		mkSet := func() ([]int, *Set) {
+			var xs []int
+			seen := map[int]bool{}
+			for i := 0; i < n/3; i++ {
+				x := rng.Intn(n)
+				if !seen[x] {
+					seen[x] = true
+					xs = append(xs, x)
+				}
+			}
+			sort.Ints(xs)
+			return xs, FromSorted(n, xs)
+		}
+		ax, as := mkSet()
+		bx, bs := mkSet()
+		inB := map[int]bool{}
+		for _, x := range bx {
+			inB[x] = true
+		}
+		var want []int
+		for _, x := range ax {
+			if inB[x] {
+				want = append(want, x)
+			}
+		}
+		got := as.Clone()
+		got.AndWith(bs)
+		gotSlice := got.ToSlice()
+		if len(want) != len(gotSlice) {
+			return false
+		}
+		for i := range want {
+			if want[i] != gotSlice[i] {
+				return false
+			}
+		}
+		return as.AndCount(bs) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ToSlice round-trips through FromSorted.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		for i := 0; i < n/2; i++ {
+			s.Add(rng.Intn(n))
+		}
+		again := FromSorted(n, s.ToSlice())
+		return reflect.DeepEqual(s.ToSlice(), again.ToSlice()) && s.Count() == again.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

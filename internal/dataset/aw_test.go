@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"testing"
+
+	"kdap/internal/fulltext"
+	"kdap/internal/schemagraph"
+)
+
+// The §6.1 shape claims for AW_ONLINE: 5 dimensions, 10 tables, 3
+// hierarchical dimensions, >60k facts, the databases together exceeding
+// 20 full-text attribute domains each.
+func TestAWOnlineShape(t *testing.T) {
+	wh := AWOnline()
+	st := wh.DB.Stats()
+	if st.Tables != 10 {
+		t.Errorf("tables = %d, want 10", st.Tables)
+	}
+	if got := len(wh.Graph.Dimensions()); got != 5 {
+		t.Errorf("dimensions = %d, want 5", got)
+	}
+	hier := 0
+	for _, d := range wh.Graph.Dimensions() {
+		if len(d.Hierarchies) > 0 {
+			hier++
+		}
+	}
+	if hier != 3 {
+		t.Errorf("hierarchical dimensions = %d, want 3", hier)
+	}
+	if n := wh.DB.Table("FactInternetSales").Len(); n != AWOnlineFactCount || n < 60000 {
+		t.Errorf("facts = %d", n)
+	}
+	if st.FullTextColumns <= 20 {
+		t.Errorf("full-text attribute domains = %d, want > 20", st.FullTextColumns)
+	}
+}
+
+func TestAWResellerShape(t *testing.T) {
+	wh := AWReseller()
+	st := wh.DB.Stats()
+	if st.Tables != 13 {
+		t.Errorf("tables = %d, want 13", st.Tables)
+	}
+	if got := len(wh.Graph.Dimensions()); got != 7 {
+		t.Errorf("dimensions = %d, want 7", got)
+	}
+	hier := 0
+	for _, d := range wh.Graph.Dimensions() {
+		if len(d.Hierarchies) > 0 {
+			hier++
+		}
+	}
+	if hier != 4 {
+		t.Errorf("hierarchical dimensions = %d, want 4", hier)
+	}
+	if n := wh.DB.Table("FactResellerSales").Len(); n != AWResellerFactCount || n < 60000 {
+		t.Errorf("facts = %d", n)
+	}
+	if st.FullTextColumns <= 20 {
+		t.Errorf("full-text attribute domains = %d, want > 20", st.FullTextColumns)
+	}
+}
+
+func TestAWReferentialIntegrity(t *testing.T) {
+	if err := AWOnline().DB.Validate(true); err != nil {
+		t.Errorf("AW_ONLINE: %v", err)
+	}
+	if err := AWReseller().DB.Validate(true); err != nil {
+		t.Errorf("AW_RESELLER: %v", err)
+	}
+}
+
+// Every keyword family the Table 3 workload depends on must match.
+func TestAWOnlineWorkloadVocabulary(t *testing.T) {
+	ix := AWOnline().Index
+	queries := []string{
+		"Overstock", "Tire", "Sport", "October", "fernando35", "Bolts",
+		"Europe", "Australia", "Bachelors", "Blade", "Washer", "Lock",
+		"California", "Brakes", "Chains", "Road", "Bikes", "Chainring",
+		"Hub", "Silver", "2001", "January", "US", "Caps", "Gloves",
+		"Jerseys", "Pedal", "Sydney", "Helmet", "Discount", "Promotion",
+		"December", "Socks", "Cycling", "Alexandria", "Frame", "Ithaca",
+		"Accessories", "Clothing", "Wales", "Professional", "Jose",
+		"Metal", "Plate", "Washington", "Tubes", "Germany", "Dollar",
+		"2000", "September", "Components", "Torrance", "Denver", "Yellow",
+		"handcrafted", "bumps", "Fork", "America", "HeadSet", "Allpurpose",
+		"road", "November", "Mountain", "Seattle", "Saddles", "1245550139",
+		"Francisco", "Palo", "Alto", "Santa", "Cruz", "Corrinne", "Court",
+		"Sunday", "Pacific", "2003", "Sealed", "cartridge", "Horquilla",
+		"Wheel", "Headlights", "Weatherproof", "7800",
+	}
+	for _, q := range queries {
+		if hits := ix.Search(q, fulltext.Options{Prefix: true}); len(hits) == 0 {
+			t.Errorf("workload keyword %q matches nothing in AW_ONLINE", q)
+		}
+	}
+}
+
+func TestAWResellerVocabulary(t *testing.T) {
+	ix := AWReseller().Index
+	for _, q := range []string{
+		"Warehouse", "Specialty", "Valley", "Sales", "Representative",
+		"Engineer", "British", "Columbia", "Mountain", "France",
+	} {
+		if hits := ix.Search(q, fulltext.Options{Prefix: true}); len(hits) == 0 {
+			t.Errorf("keyword %q matches nothing in AW_RESELLER", q)
+		}
+	}
+}
+
+// Table 1's three interpretations need: California as state AND inside an
+// address line; "Mountain Bikes" as subcategory; Mountain products
+// (Fender Set - Mountain, Mountain Pump); Bikes as category.
+func TestAWOnlineCaliforniaMountainBikesAmbiguity(t *testing.T) {
+	ix := AWOnline().Index
+	calHits := ix.Search("California", fulltext.Options{})
+	domains := map[string]bool{}
+	for _, h := range calHits {
+		domains[h.Doc.Table+"."+h.Doc.Attr] = true
+	}
+	if !domains["DimGeography.StateProvinceName"] || !domains["DimCustomer.AddressLine1"] {
+		t.Errorf("California domains = %v", domains)
+	}
+	mb := ix.SearchPhrase("Mountain Bikes", fulltext.Options{})
+	foundSubcat := false
+	for _, h := range mb {
+		if h.Doc.Table == "DimProductSubcategory" {
+			foundSubcat = true
+		}
+	}
+	if !foundSubcat {
+		t.Error("phrase 'Mountain Bikes' misses the subcategory")
+	}
+	mtn := ix.Search("Mountain", fulltext.Options{})
+	prodHits := 0
+	for _, h := range mtn {
+		if h.Doc.Table == "DimProduct" && h.Doc.Attr == "EnglishProductName" {
+			prodHits++
+		}
+	}
+	if prodHits < 2 {
+		t.Errorf("Mountain product-name hits = %d, want several", prodHits)
+	}
+}
+
+// The Figure 5/6 numeric attributes must be present, numeric, and listed
+// as group-by candidates.
+func TestAWNumericGroupByCandidates(t *testing.T) {
+	check := func(wh *Warehouse, dim string, attrs ...string) {
+		t.Helper()
+		d := wh.Graph.Dimension(dim)
+		if d == nil {
+			t.Fatalf("missing dimension %s", dim)
+		}
+		for _, a := range attrs {
+			found := false
+			for _, gb := range d.GroupBy {
+				if gb.Attr == a {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: %s not a group-by candidate", dim, a)
+			}
+		}
+	}
+	check(AWOnline(), "Customer", "YearlyIncome")
+	check(AWOnline(), "Product", "DealerPrice")
+	check(AWReseller(), "Reseller", "AnnualSales", "AnnualRevenue", "NumberOfEmployees")
+}
+
+// Rollup paths required by Figures 5/6: StateProvince→Country and
+// Subcategory→Category.
+func TestAWRollupLevels(t *testing.T) {
+	g := AWOnline().Graph
+	parent, _, ok := g.HierarchyParent(schemagraph.AttrRef{Table: "DimGeography", Attr: "StateProvinceName"})
+	if !ok || parent.Attr != "CountryRegionName" {
+		t.Errorf("state parent = %v %v", parent, ok)
+	}
+	parent, _, ok = g.HierarchyParent(schemagraph.AttrRef{Table: "DimProductSubcategory", Attr: "SubcategoryName"})
+	if !ok || parent.Attr != "CategoryName" {
+		t.Errorf("subcategory parent = %v %v", parent, ok)
+	}
+}
+
+// The reseller schema's richer join-path ambiguity: a city reaches the
+// fact table through the reseller chain and through territory chains.
+func TestAWResellerGeographyPaths(t *testing.T) {
+	g := AWReseller().Graph
+	paths := g.JoinPaths("DimGeography")
+	if len(paths) < 2 {
+		for _, p := range paths {
+			t.Logf("  %v", p)
+		}
+		t.Fatalf("geography paths = %d, want ≥ 2", len(paths))
+	}
+	roles := map[string]bool{}
+	for _, p := range paths {
+		roles[p.Role] = true
+	}
+	if !roles["Reseller"] {
+		t.Errorf("roles = %v, want Reseller among them", roles)
+	}
+}
+
+func TestAWDeterministic(t *testing.T) {
+	// The sync.Once caching returns the same instance; determinism of the
+	// underlying generator is covered by re-running the builders.
+	a := buildAWOnline()
+	b := AWOnline()
+	fa, fb := a.DB.Table("FactInternetSales"), b.DB.Table("FactInternetSales")
+	if fa.Len() != fb.Len() {
+		t.Fatal("fact counts differ across builds")
+	}
+	for i := 0; i < fa.Len(); i += 997 {
+		ra, rb := fa.Row(i), fb.Row(i)
+		for c := range ra {
+			if !ra[c].Equal(rb[c]) {
+				t.Fatalf("row %d col %d differs", i, c)
+			}
+		}
+	}
+}

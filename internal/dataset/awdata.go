@@ -1,0 +1,329 @@
+package dataset
+
+// Shared vocabulary for the synthetic AdventureWorks warehouses. The
+// values reproduce the real AdventureWorks DW sample's vocabulary closely
+// enough that every keyword of the paper's Table 3 query workload matches
+// the same kind of attribute instance it matched in the original: product
+// names with "Mountain" ambiguity across bikes/accessories/components,
+// "California" as both a state and a street address, "Sydney" as both a
+// city and a customer first name, promotion names containing product
+// words, and so on.
+
+// awGeo rows: City, StateProvince, CountryRegionName, CountryCode,
+// TerritoryRegion.
+var awGeo = [][5]string{
+	{"San Francisco", "California", "United States", "US", "Southwest"},
+	{"Palo Alto", "California", "United States", "US", "Southwest"},
+	{"Santa Cruz", "California", "United States", "US", "Southwest"},
+	{"San Jose", "California", "United States", "US", "Southwest"},
+	{"Los Angeles", "California", "United States", "US", "Southwest"},
+	{"Torrance", "California", "United States", "US", "Southwest"},
+	{"Central Valley", "California", "United States", "US", "Southwest"},
+	{"Berkeley", "California", "United States", "US", "Southwest"},
+	{"Seattle", "Washington", "United States", "US", "Northwest"},
+	{"Spokane", "Washington", "United States", "US", "Northwest"},
+	{"Portland", "Oregon", "United States", "US", "Northwest"},
+	{"Denver", "Colorado", "United States", "US", "Central"},
+	{"Wichita", "Kansas", "United States", "US", "Central"},
+	{"Ithaca", "New York", "United States", "US", "Northeast"},
+	{"New York", "New York", "United States", "US", "Northeast"},
+	{"Columbus", "Ohio", "United States", "US", "Central"},
+	{"Sydney", "New South Wales", "Australia", "AU", "Australia"},
+	{"Alexandria", "New South Wales", "Australia", "AU", "Australia"},
+	{"Wollongong", "New South Wales", "Australia", "AU", "Australia"},
+	{"Melbourne", "Victoria", "Australia", "AU", "Australia"},
+	{"Berlin", "Brandenburg", "Germany", "DE", "Germany"},
+	{"Frankfurt", "Hessen", "Germany", "DE", "Germany"},
+	{"Hamburg", "Hamburg", "Germany", "DE", "Germany"},
+	{"Paris", "Seine", "France", "FR", "France"},
+	{"Orleans", "Loiret", "France", "FR", "France"},
+	{"Lyon", "Rhone", "France", "FR", "France"},
+	{"Vancouver", "British Columbia", "Canada", "CA", "Canada"},
+	{"Victoria", "British Columbia", "Canada", "CA", "Canada"},
+	{"Toronto", "Ontario", "Canada", "CA", "Canada"},
+	{"London", "England", "United Kingdom", "GB", "United Kingdom"},
+	{"Oxford", "England", "United Kingdom", "GB", "United Kingdom"},
+}
+
+// awTerritory rows: Region, Country, Group.
+var awTerritory = [][3]string{
+	{"Northwest", "United States", "North America"},
+	{"Northeast", "United States", "North America"},
+	{"Central", "United States", "North America"},
+	{"Southwest", "United States", "North America"},
+	{"Canada", "Canada", "North America"},
+	{"France", "France", "Europe"},
+	{"Germany", "Germany", "Europe"},
+	{"United Kingdom", "United Kingdom", "Europe"},
+	{"Australia", "Australia", "Pacific"},
+}
+
+// awCategories and awSubcats reproduce the four AdventureWorks categories
+// and a representative set of subcategories.
+var awCategories = []string{"Bikes", "Components", "Clothing", "Accessories"}
+
+// awSubcats rows: subcategory name, category.
+var awSubcats = [][2]string{
+	{"Mountain Bikes", "Bikes"},
+	{"Road Bikes", "Bikes"},
+	{"Touring Bikes", "Bikes"},
+	{"Handlebars", "Components"},
+	{"Bottom Brackets", "Components"},
+	{"Brakes", "Components"},
+	{"Chains", "Components"},
+	{"Cranksets", "Components"},
+	{"Derailleurs", "Components"},
+	{"Forks", "Components"},
+	{"Headsets", "Components"},
+	{"Mountain Frames", "Components"},
+	{"Road Frames", "Components"},
+	{"Touring Frames", "Components"},
+	{"Pedals", "Components"},
+	{"Saddles", "Components"},
+	{"Wheels", "Components"},
+	{"Hardware", "Components"},
+	{"Bib-Shorts", "Clothing"},
+	{"Caps", "Clothing"},
+	{"Gloves", "Clothing"},
+	{"Jerseys", "Clothing"},
+	{"Shorts", "Clothing"},
+	{"Socks", "Clothing"},
+	{"Tights", "Clothing"},
+	{"Vests", "Clothing"},
+	{"Bike Racks", "Accessories"},
+	{"Bike Stands", "Accessories"},
+	{"Bottles and Cages", "Accessories"},
+	{"Cleaners", "Accessories"},
+	{"Fenders", "Accessories"},
+	{"Helmets", "Accessories"},
+	{"Hydration Packs", "Accessories"},
+	{"Lights", "Accessories"},
+	{"Locks", "Accessories"},
+	{"Mirrors", "Accessories"},
+	{"Panniers", "Accessories"},
+	{"Pumps", "Accessories"},
+	{"Tires and Tubes", "Accessories"},
+}
+
+// awProduct describes one catalog product.
+type awProduct struct {
+	name        string
+	subcat      string
+	model       string
+	color       string
+	dealerPrice float64
+	description string
+}
+
+// awBikeVariants expands each bike model into the size/color variants the
+// real AdventureWorks catalog carries; variantSizes lists frame sizes.
+type awBikeVariant struct {
+	model       string
+	subcat      string
+	colors      []string
+	sizes       []string
+	dealerPrice float64 // variants vary ±3% around this in generation order
+	description string
+}
+
+var awBikeVariants = []awBikeVariant{
+	{"Mountain-100", "Mountain Bikes", []string{"Silver", "Black"}, []string{"38", "42", "44", "48"}, 2020, "Competition mountain bike with aluminum frame"},
+	{"Mountain-200", "Mountain Bikes", []string{"Silver", "Black"}, []string{"38", "42", "46"}, 1364, "Serious back-country riding with stout design"},
+	{"Mountain-400-W", "Mountain Bikes", []string{"Silver"}, []string{"38", "40", "42", "46"}, 769, "Womens mountain bike for true trail riding"},
+	{"Mountain-500", "Mountain Bikes", []string{"Red", "Black", "Silver"}, []string{"40", "42", "44", "48"}, 397, "Suitable for all off-road trips with bump absorbing design"},
+	{"Road-150", "Road Bikes", []string{"Red"}, []string{"44", "48", "52", "56", "62"}, 2171, "Top of the line competition road bike ridden by race winners"},
+	{"Road-250", "Road Bikes", []string{"Red", "Black"}, []string{"44", "48", "52", "58"}, 1466, "Alloy frame road bike for the budget conscious racer"},
+	{"Road-650", "Road Bikes", []string{"Red", "Black"}, []string{"44", "52", "58", "60"}, 462, "Value priced road bike with performance pedigree"},
+	{"Touring-1000", "Touring Bikes", []string{"Blue", "Yellow"}, []string{"46", "50", "54", "60"}, 1430, "Travel in comfort on long distance touring rides"},
+	{"Touring-3000", "Touring Bikes", []string{"Blue", "Yellow"}, []string{"54", "58", "62"}, 445, "Affordable touring bike with handcrafted frame and rubber bumps"},
+}
+
+var awProducts = buildAWProducts()
+
+// buildAWProducts assembles the catalog: expanded bike variants first
+// (deterministic order), then the non-bike items.
+func buildAWProducts() []awProduct {
+	var out []awProduct
+	for _, v := range awBikeVariants {
+		i := 0
+		for _, color := range v.colors {
+			for _, size := range v.sizes {
+				// Vary price slightly per variant, bounded within the
+				// model's band; the Mountain price range must keep the
+				// paper's 323–2040 DealerPrice endpoints.
+				price := v.dealerPrice * (1 + 0.01*float64(i%3-1))
+				if v.model == "Mountain-100" && color == "Silver" && size == "38" {
+					price = 2040
+				}
+				if v.model == "Mountain-500" && color == "Silver" && size == "44" {
+					price = 323
+				}
+				out = append(out, awProduct{
+					name:        v.model + " " + color + ", " + size,
+					subcat:      v.subcat,
+					model:       v.model,
+					color:       color,
+					dealerPrice: float64(int(price)),
+					description: v.description,
+				})
+				i++
+			}
+		}
+	}
+	return append(out, awNonBikeProducts...)
+}
+
+var awNonBikeProducts = []awProduct{
+	// Components.
+	{"LL Mountain Handlebars", "Handlebars", "LL Mountain Handlebars", "NA", 27, "Allpurpose bar for on or off-road"},
+	{"HL Mountain Handlebars", "Handlebars", "HL Mountain Handlebars", "NA", 72, "Flat bar with padded grips for serious riders"},
+	{"HL Road Frame - Black, 58", "Road Frames", "HL Road Frame", "Black", 852, "Our lightest and best quality aluminum frame"},
+	{"LL Road Frame - Red, 60", "Road Frames", "LL Road Frame", "Red", 183, "Aluminum frame in a variety of colors"},
+	{"HL Mountain Frame - Silver, 42", "Mountain Frames", "HL Mountain Frame", "Silver", 872, "Each frame is handcrafted to provide a built-in-front suspension"},
+	{"ML Fork", "Forks", "ML Fork", "NA", 92, "Sealed cartridge keeps dirt out; Horquilla GM sliders"},
+	{"HL Fork", "Forks", "HL Fork", "NA", 148, "High-performance carbon road fork with curved legs"},
+	{"HL Headset", "Headsets", "HL Headset", "NA", 57, "Sealed cartridge bearings for smooth steering"},
+	{"Chain", "Chains", "Chain", "Silver", 12, "Superior shifting performance chain"},
+	{"Front Brakes", "Brakes", "Front Brakes", "Silver", 47, "All-weather brake pads with breakaway cable"},
+	{"Rear Brakes", "Brakes", "Rear Brakes", "Silver", 47, "All-weather brake pads with breakaway cable"},
+	{"Rear Derailleur", "Derailleurs", "Rear Derailleur", "Silver", 53, "Wide-link design for strength"},
+	{"HL Crankset", "Cranksets", "HL Crankset", "Black", 179, "Triple crankset with alloy carrier"},
+	{"HL Bottom Bracket", "Bottom Brackets", "HL Bottom Bracket", "NA", 54, "Stainless steel spindle and sealed bearings"},
+	{"HL Mountain Pedal", "Pedals", "HL Mountain Pedal", "Silver", 35, "Stainless steel spindle provides durability"},
+	{"Touring Pedal", "Pedals", "Touring Pedal", "Silver", 36, "A pedal for all touring conditions"},
+	{"HL Mountain Saddle", "Saddles", "HL Mountain Saddle", "NA", 29, "Anatomic design for a full-day of riding"},
+	{"LL Road Saddle", "Saddles", "LL Road Saddle", "NA", 12, "Lightweight cut-away design saddle"},
+	{"LL Mountain Front Wheel", "Wheels", "LL Mountain Front Wheel", "Black", 27, "Replacement mountain wheel for entry-level rider"},
+	{"ML Road Rear Wheel", "Wheels", "ML Road Rear Wheel", "Black", 72, "Replacement road rear wheel with sealed hub"},
+	{"Blade", "Hardware", "Blade", "Silver", 1, "Replacement blade for chain tool"},
+	{"Chainring", "Hardware", "Chainring", "Black", 2, "Alloy chainring for triple cranksets"},
+	{"Chainring Bolts", "Hardware", "Chainring Bolts", "Silver", 1, "Hardened steel bolts for chainrings"},
+	{"Flat Washer 1", "Hardware", "Flat Washer", "Silver", 1, "Flat washer hardware"},
+	{"Keyed Washer", "Hardware", "Keyed Washer", "Silver", 1, "Keyed washer hardware"},
+	{"Internal Lock Washer", "Hardware", "Internal Lock Washer", "Silver", 1, "Internal lock washer hardware"},
+	{"Silver Hub Set", "Hardware", "Silver Hub", "Silver", 18, "Sealed silver hub set with metal plate guard"},
+	{"Metal Plate 2", "Hardware", "Metal Plate", "Silver", 3, "Metal plate for frame reinforcement"},
+	// Clothing.
+	{"AWC Logo Cap", "Caps", "Cycling Cap", "Multi", 4, "Traditional style cycling cap with a low profile"},
+	{"Long-Sleeve Logo Jersey, L", "Jerseys", "Long-Sleeve Logo Jersey", "Multi", 17, "Unisex long-sleeve AWC logo microfiber jersey"},
+	{"Short-Sleeve Classic Jersey, M", "Jerseys", "Short-Sleeve Classic Jersey", "Yellow", 18, "Short sleeve classic breathable jersey"},
+	{"Half-Finger Gloves, M", "Gloves", "Half-Finger Gloves", "Black", 10, "Synthetic palm and flexible spandex gloves"},
+	{"Full-Finger Gloves, L", "Gloves", "Full-Finger Gloves", "Black", 16, "Full padding and gel palm gloves"},
+	{"Mountain Bike Socks, M", "Socks", "Mountain Bike Socks", "White", 4, "Natural and synthetic fibers stay dry and provide cushioning"},
+	{"Racing Socks, L", "Socks", "Racing Socks", "White", 4, "Thin lightweight racing socks"},
+	{"Mens Sports Shorts, M", "Shorts", "Mens Sports Shorts", "Black", 24, "Lightweight windproof sports shorts"},
+	{"Womens Tights, S", "Tights", "Womens Tights", "Black", 30, "Warm spandex tights with wind protection"},
+	{"Classic Vest, M", "Vests", "Classic Vest", "Blue", 25, "Lightweight wind-resistant vest"},
+	{"Mens Bib-Shorts, L", "Bib-Shorts", "Mens Bib-Shorts", "Multi", 33, "High quality bib-shorts with chamois padding"},
+	// Accessories.
+	{"Sport-100 Helmet, Red", "Helmets", "Sport-100", "Red", 13, "Universal fit well-vented helmet"},
+	{"Sport-100 Helmet, Black", "Helmets", "Sport-100", "Black", 13, "Universal fit well-vented helmet"},
+	{"Sport-100 Helmet, Blue", "Helmets", "Sport-100", "Blue", 13, "Universal fit well-vented helmet"},
+	{"Mountain Tire", "Tires and Tubes", "Mountain Tire", "Black", 11, "Mountain tire with high-density rubber for rugged terrain"},
+	{"Road Tire", "Tires and Tubes", "Road Tire", "Black", 9, "Smooth rolling road tire"},
+	{"Touring Tire", "Tires and Tubes", "Touring Tire", "Black", 10, "All-season touring tire tube combination"},
+	{"Patch Kit/8 Patches", "Tires and Tubes", "Patch Kit", "NA", 1, "Tire patch kit with eight patches"},
+	{"Mountain Pump", "Pumps", "Mountain Pump", "Silver", 11, "Simple and lightweight mountain frame pump"},
+	{"Minipump", "Pumps", "Minipump", "Silver", 9, "Clip-on mini pump"},
+	{"Cable Lock", "Locks", "Cable Lock", "Black", 10, "Wraps to fit front and rear tires with internal lock"},
+	{"Headlights - Dual-Beam", "Lights", "Headlights Dual-Beam", "NA", 15, "Dual-beam headlights with rechargeable batteries"},
+	{"Headlights - Weatherproof", "Lights", "Headlights Weatherproof", "NA", 19, "Weatherproof headlights with water resistant housing"},
+	{"Taillights - Battery-Powered", "Lights", "Taillights", "NA", 6, "Battery powered taillights"},
+	{"Fender Set - Mountain", "Fenders", "Fender Set - Mountain", "Black", 9, "Clip-on fender set for mountain bikes"},
+	{"Water Bottle - 30 oz.", "Bottles and Cages", "Water Bottle", "NA", 2, "AWC logo water bottle"},
+	{"Mountain Bottle Cage", "Bottles and Cages", "Mountain Bottle Cage", "NA", 4, "Tough aluminum bottle cage for mountain riding"},
+	{"Road Bottle Cage", "Bottles and Cages", "Road Bottle Cage", "NA", 3, "Aluminum road bottle cage"},
+	{"Bike Wash - Dissolver", "Cleaners", "Bike Wash", "NA", 3, "Washes off the toughest road grime"},
+	{"Hydration Pack - 70 oz.", "Hydration Packs", "Hydration Pack", "Silver", 21, "Versatile hydration pack with insulated reservoir"},
+	{"Hitch Rack - 4-Bike", "Bike Racks", "Hitch Rack", "NA", 48, "Carries four bikes securely on a hitch rack"},
+	{"All-Purpose Bike Stand", "Bike Stands", "All-Purpose Bike Stand", "NA", 63, "Perfect all-purpose bike stand for working on your bike"},
+	{"Touring-Panniers, Large", "Panniers", "Touring-Panniers", "Grey", 50, "Durable waterproof panniers for touring"},
+	{"Mountain Pump Mirror", "Mirrors", "Mirror", "NA", 7, "Handlebar mounted mirror"},
+}
+
+// awPromotions rows: name, type. "Sport Helmet Discount" and friends give
+// the promotion dimension the product-word overlap the workload exploits.
+var awPromotions = [][2]string{
+	{"No Discount", "No Discount"},
+	{"Volume Discount 11 to 14", "Volume Discount"},
+	{"Mountain-100 Clearance Sale", "Discontinued Product"},
+	{"Sport Helmet Discount-2002", "Seasonal Discount"},
+	{"Road-650 Overstock", "Excess Inventory"},
+	{"Mountain Tire Sale", "Excess Inventory"},
+	{"Touring-3000 Promotion", "New Product"},
+	{"Half-Price Pedal Sale", "Seasonal Discount"},
+	{"LL Road Frame Sale", "Excess Inventory"},
+}
+
+var awCurrencies = []string{
+	"US Dollar", "Australian Dollar", "Canadian Dollar", "EURO", "United Kingdom Pound",
+}
+
+var awFirstNames = []string{
+	"Jon", "Eugene", "Ruben", "Christy", "Elizabeth", "Julio", "Janet", "Marco",
+	"Rob", "Shannon", "Jacquelyn", "Curtis", "Lauren", "Ian", "Sydney", "Chloe",
+	"Wyatt", "Shannon", "Clarence", "Luke", "Jordan", "Destiny", "Ethan", "Seth",
+	"Russell", "Alejandro", "Harold", "Jessie", "Gerald", "Lucas", "Fernando",
+	"Cesar", "Marc", "Gabriella", "Nina", "Colleen", "Blake", "Rafael",
+}
+
+var awLastNames = []string{
+	"Yang", "Huang", "Torres", "Zhu", "Johnson", "Ruiz", "Alvarez", "Mehta",
+	"Verhoff", "Carlson", "Suarez", "Lu", "Walker", "Jenkins", "Liang", "Young",
+	"Hernandez", "Lopez", "Gonzalez", "Martin", "Serrano", "Raje", "Vazquez",
+	"Coleman", "Gill", "Gomez", "Moreno", "Sanchez", "Sara", "Shen", "Blanco",
+}
+
+var awStreets = []string{
+	// Several distinct "California Street" addresses reproduce the
+	// paper's motivating ambiguity: the keyword "California" hits a large
+	// noisy AddressLine1 group that the group-size normalization must
+	// tame (§4.4), while the street-address interpretation stays a
+	// plausible runner-up (Table 1's #2).
+	"345 California Street", "1200 California Street", "78 California Street",
+	"5420 California Street", "901 California Street",
+	"7800 Corrinne Court", "2487 Riverside Drive",
+	"1318 Lasalle Street", "9228 Via Del Sol", "4598 Manila Avenue",
+	"1399 Firestone Drive", "6056 Hill Street", "7166 Brock Lane",
+	"9728 Blackberry Lane", "636 Vine Hill Way", "2681 Eagle Peak",
+	"7553 Harness Circle", "1226 Shoe Court", "1399 Salmon Court",
+	"44 Washington Avenue", "310 Columbus Court",
+}
+
+var awEducations = []string{
+	"Bachelors", "Partial College", "High School", "Partial High School", "Graduate Degree",
+}
+
+var awOccupations = []string{
+	"Professional", "Skilled Manual", "Clerical", "Management", "Manual",
+}
+
+// awResellerNames generate the reseller dimension; business words overlap
+// the product vocabulary deliberately (e.g. "Valley", "Bike").
+var awResellerWords1 = []string{
+	"Valley", "Metro", "Coastal", "Downtown", "Riverside", "Summit", "Alpine",
+	"Pacific", "Golden", "Urban", "Rural", "Classic", "Premier", "Elite",
+}
+var awResellerWords2 = []string{
+	"Bicycle Specialists", "Bike Store", "Cycle Shop", "Sports Depot",
+	"Bicycle Supply", "Cycling Outlet", "Bike Works", "Sport Mart",
+	"Wheel Warehouse", "Cycle Center",
+}
+
+var awBusinessTypes = []string{"Value Added Reseller", "Specialty Bike Shop", "Warehouse"}
+
+var awDepartments = []string{"Sales", "Marketing", "Production", "Engineering", "Shipping and Receiving"}
+
+var awTitles = []string{
+	"Sales Representative", "Sales Manager", "Marketing Specialist",
+	"Production Technician", "Design Engineer", "Shipping Clerk",
+}
+
+var awMonthNames = []string{
+	"January", "February", "March", "April", "May", "June",
+	"July", "August", "September", "October", "November", "December",
+}
+
+var awDayNames = []string{
+	"Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+}

@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"testing"
+
+	"kdap/internal/fulltext"
+	"kdap/internal/relation"
+)
+
+func TestEBizShape(t *testing.T) {
+	wh := EBiz()
+	if err := wh.DB.Validate(true); err != nil {
+		t.Fatalf("referential integrity: %v", err)
+	}
+	st := wh.DB.Stats()
+	if st.Tables != 12 {
+		t.Errorf("tables = %d, want 12", st.Tables)
+	}
+	fact := wh.DB.Table("TRANSITEM")
+	if fact.Len() != EBizFactCount {
+		t.Errorf("fact rows = %d, want %d", fact.Len(), EBizFactCount)
+	}
+	if len(wh.Graph.Dimensions()) != 4 {
+		t.Errorf("dimensions = %d, want 4 (Time, Store, Customer, Product)", len(wh.Graph.Dimensions()))
+	}
+}
+
+func TestEBizDeterministic(t *testing.T) {
+	a, b := EBiz(), EBiz()
+	fa, fb := a.DB.Table("TRANSITEM"), b.DB.Table("TRANSITEM")
+	if fa.Len() != fb.Len() {
+		t.Fatal("non-deterministic fact count")
+	}
+	for i := 0; i < fa.Len(); i += 97 {
+		ra, rb := fa.Row(i), fb.Row(i)
+		for c := range ra {
+			if !ra[c].Equal(rb[c]) {
+				t.Fatalf("row %d col %d differs: %#v vs %#v", i, c, ra[c], rb[c])
+			}
+		}
+	}
+}
+
+// The running example's ambiguities must exist in the data: "Columbus"
+// is both a city and a holiday, "LCD" appears in multiple product groups
+// and product names across hierarchy levels.
+func TestEBizColumbusAmbiguity(t *testing.T) {
+	wh := EBiz()
+	hits := wh.Index.Search("Columbus", fulltext.Options{})
+	tables := map[string]bool{}
+	for _, h := range hits {
+		tables[h.Doc.Table] = true
+	}
+	if !tables["LOC"] || !tables["HOLIDAY"] {
+		t.Errorf("Columbus must hit LOC and HOLIDAY; got tables %v", tables)
+	}
+	if !tables["CUSTOMER"] {
+		t.Errorf("a customer surnamed Columbus should exist; got %v", tables)
+	}
+}
+
+func TestEBizLCDAmbiguity(t *testing.T) {
+	wh := EBiz()
+	hits := wh.Index.Search("LCD", fulltext.Options{})
+	attrs := map[string]bool{}
+	for _, h := range hits {
+		attrs[h.Doc.Table+"."+h.Doc.Attr] = true
+	}
+	if !attrs["PGROUP.GroupName"] || !attrs["PRODUCT.ProductName"] {
+		t.Errorf("LCD should hit group names and product names; got %v", attrs)
+	}
+}
+
+func TestEBizThreeLocJoinPaths(t *testing.T) {
+	wh := EBiz()
+	paths := wh.Graph.JoinPaths("LOC")
+	if len(paths) != 3 {
+		for _, p := range paths {
+			t.Logf("  %v", p)
+		}
+		t.Fatalf("LOC paths = %d, want 3 (Store, Buyer, Seller)", len(paths))
+	}
+}
+
+func TestEBizHolidayReachesFact(t *testing.T) {
+	wh := EBiz()
+	paths := wh.Graph.JoinPaths("HOLIDAY")
+	if len(paths) != 1 {
+		t.Fatalf("HOLIDAY paths = %d", len(paths))
+	}
+	if paths[0].Dim != "Time" {
+		t.Errorf("holiday path dim = %q", paths[0].Dim)
+	}
+}
+
+func TestEBizMeasureColumnsPresent(t *testing.T) {
+	wh := EBiz()
+	fact := wh.DB.Table("TRANSITEM")
+	for _, col := range []string{"Quantity", "UnitPrice"} {
+		if !fact.Schema().HasColumn(col) {
+			t.Errorf("fact lacks %s", col)
+		}
+	}
+	// Sanity: revenue of the whole dataspace is positive.
+	var rev float64
+	fact.Scan(func(id int, row []relation.Value) bool {
+		rev += row[fact.Schema().ColumnIndex("Quantity")].AsFloat() *
+			row[fact.Schema().ColumnIndex("UnitPrice")].AsFloat()
+		return true
+	})
+	if rev <= 0 {
+		t.Errorf("total revenue = %g", rev)
+	}
+}
+
+func TestEBizIndexCoversDimensions(t *testing.T) {
+	wh := EBiz()
+	if wh.Index.DocCount() < 50 {
+		t.Errorf("index too small: %d docs", wh.Index.DocCount())
+	}
+	for _, q := range []string{"California", "Projectors", "October", "Business"} {
+		if hits := wh.Index.Search(q, fulltext.Options{}); len(hits) == 0 {
+			t.Errorf("query %q found nothing", q)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package e2e builds the real command binaries and drives them as a user
+// would: scripted REPL sessions, snapshot generation and inspection, and
+// experiment regeneration.
+package e2e
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "kdap-e2e")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, cmd := range []string{"kdap", "kdapbench", "kdapgen"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(dir, cmd), "kdap/cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			panic(cmd + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, stdin string, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestREPLSession(t *testing.T) {
+	script := strings.Join([]string{
+		"help",
+		"Columbus LCD",
+		"pick 3",
+		"sql",
+		"explain 3",
+		"drill 1 1",
+		"back",
+		"mode bellwether",
+		"csv",
+		"quit",
+	}, "\n") + "\n"
+	out := run(t, script, "kdap", "-db", "ebiz")
+	for _, want := range []string{
+		"KDAP session on EBiz",
+		"interpretations:",
+		"Sub-dataspace:",
+		"SELECT SUM(",
+		"score ",
+		"dimension,attribute,role", // CSV header
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("REPL output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLSuggestions(t *testing.T) {
+	out := run(t, "Colombus\nquit\n", "kdap", "-db", "ebiz")
+	if !strings.Contains(out, "did you mean Columbus") {
+		t.Errorf("no suggestion:\n%s", out)
+	}
+}
+
+func TestREPLNumericPredicate(t *testing.T) {
+	out := run(t, "Projectors UnitPrice>1000\npick 1\nquit\n", "kdap", "-db", "ebiz")
+	if !strings.Contains(out, "Sub-dataspace:") {
+		t.Errorf("predicate session failed:\n%s", out)
+	}
+}
+
+func TestSnapshotRoundTripViaBinaries(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "ebiz.kdap")
+	out := run(t, "", "kdapgen", "-out", snap, "-db", "ebiz")
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("kdapgen: %s", out)
+	}
+	info := run(t, "", "kdapgen", "-info", snap)
+	if !strings.Contains(info, "fact=TRANSITEM") || !strings.Contains(info, "12 tables") {
+		t.Errorf("info: %s", info)
+	}
+	dot := run(t, "", "kdapgen", "-dot", snap)
+	if !strings.Contains(dot, "digraph schema") {
+		t.Errorf("dot: %s", dot)
+	}
+	repl := run(t, "Columbus\nquit\n", "kdap", "-snapshot", snap)
+	if !strings.Contains(repl, "interpretations:") {
+		t.Errorf("snapshot REPL: %s", repl)
+	}
+}
+
+func TestBenchTable1(t *testing.T) {
+	out := run(t, "", "kdapbench", "-exp", "table1")
+	if !strings.Contains(out, "Mountain Bikes") || !strings.Contains(out, "California") {
+		t.Errorf("table1: %s", out)
+	}
+}
+
+func TestCSVWarehouseViaBinaries(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("p.csv", "K,Name\n1,Widget\n2,Gadget\n")
+	write("f.csv", "S,K,Amount\n1,1,10\n2,2,20\n3,1,5\n")
+	write("manifest.json", `{
+  "name": "Mini", "fact": "F", "strict": true,
+  "tables": [
+    {"name": "P", "file": "p.csv", "key": "K", "columns": [
+      {"name": "K", "kind": "int"}, {"name": "Name", "kind": "string", "fullText": true}]},
+    {"name": "F", "file": "f.csv", "key": "S", "columns": [
+      {"name": "S", "kind": "int"}, {"name": "K", "kind": "int"}, {"name": "Amount", "kind": "float"}],
+     "foreignKeys": [{"column": "K", "refTable": "P", "refColumn": "K"}]}
+  ],
+  "dimensions": [
+    {"name": "Product", "tables": ["P"], "groupBy": [{"table": "P", "attr": "Name"}]}
+  ]
+}`)
+	snap := filepath.Join(t.TempDir(), "mini.kdap")
+	run(t, "", "kdapgen", "-out", snap, "-csv", dir)
+	out := run(t, "Widget\nquit\n", "kdap", "-snapshot", snap)
+	if !strings.Contains(out, "interpretations:") {
+		t.Errorf("csv warehouse session: %s", out)
+	}
+}

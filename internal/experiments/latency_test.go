@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// The differentiate phase must stay interactive (well under a second per
+// query on any modern machine) — §4.1's motivation for disambiguating
+// before aggregating.
+func TestLatencyInteractive(t *testing.T) {
+	rep, err := Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("differentiate p50=%v p95=%v max=%v | explore p50=%v p95=%v max=%v (%d subspaces)",
+		rep.DifferentiateP50, rep.DifferentiateP95, rep.DifferentiateMax,
+		rep.ExploreP50, rep.ExploreP95, rep.ExploreMax, rep.ExploredSubspaces)
+	if rep.Queries != 50 {
+		t.Errorf("queries = %d", rep.Queries)
+	}
+	if rep.DifferentiateP95 > time.Second {
+		t.Errorf("differentiate p95 = %v, not interactive", rep.DifferentiateP95)
+	}
+	if rep.ExploredSubspaces < 45 {
+		t.Errorf("only %d subspaces explored", rep.ExploredSubspaces)
+	}
+}

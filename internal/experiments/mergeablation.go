@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"kdap/internal/kdapcore"
+)
+
+// MergeAblationRow compares the three interval-merge strategies on one
+// Figure 7 case and K.
+type MergeAblationRow struct {
+	Label      string
+	K          int
+	EqualWidth float64 // error% of the unoptimized equal-width split
+	Greedy     float64 // error% of the deterministic bottom-up merge
+	Anneal     float64 // error% of Algorithm 2 at 500 iterations
+}
+
+// MergeAblation runs the §7 merge-algorithm comparison over the paper's
+// three merge scenarios and K ∈ ks.
+func MergeAblation(ks []int) ([]MergeAblationRow, error) {
+	var out []MergeAblationRow
+	for _, c := range Fig7Cases() {
+		x, y, err := annealSeries(c, 40)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks {
+			cfg := kdapcore.AnnealConfig{K: k, L: 4, N: 500, AcceptProb: 0.25, Seed: 7}
+			start := kdapcore.MergeIntervals(x, y, kdapcore.AnnealConfig{K: k, L: 4, N: 0, AcceptProb: 0.25, Seed: 7})
+			sa := kdapcore.MergeIntervals(x, y, cfg)
+			gr := kdapcore.MergeIntervalsGreedy(x, y, cfg)
+			out = append(out, MergeAblationRow{
+				Label: c.Label, K: k,
+				EqualWidth: start.ErrPct, Greedy: gr.ErrPct, Anneal: sa.ErrPct,
+			})
+		}
+	}
+	return out, nil
+}

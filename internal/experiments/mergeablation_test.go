@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// Both optimizing strategies must beat or match the equal-width start;
+// neither may blow up.
+func TestMergeAblation(t *testing.T) {
+	rows, err := MergeAblation([]int{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-42s K=%d equal=%6.2f%% greedy=%6.2f%% anneal=%6.2f%%",
+			r.Label, r.K, r.EqualWidth, r.Greedy, r.Anneal)
+		if r.Anneal > r.EqualWidth+1e-9 {
+			t.Errorf("%s K=%d: annealing worse than its start", r.Label, r.K)
+		}
+		if r.Greedy > r.EqualWidth+10 {
+			t.Errorf("%s K=%d: greedy far worse than equal-width (%.2f vs %.2f)",
+				r.Label, r.K, r.Greedy, r.EqualWidth)
+		}
+	}
+}

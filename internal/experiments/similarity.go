@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"kdap/internal/dataset"
+	"kdap/internal/fulltext"
+	"kdap/internal/workload"
+)
+
+// SimilarityCurve pairs a text-relevance model with its Figure 4 result
+// under the standard ranking method.
+type SimilarityCurve struct {
+	Similarity fulltext.Similarity
+	Curve      RankCurve
+}
+
+// SimilarityAblation re-runs the Figure 4 protocol (standard ranking
+// method only) under each text similarity model. The paper's formula
+// consumes Sim(h, q) as a black box; the ablation checks that KDAP's
+// ranking quality is a property of the group/number normalizations, not
+// of one particular text scorer.
+func SimilarityAblation(wh *dataset.Warehouse, queries []workload.Query) ([]SimilarityCurve, error) {
+	var out []SimilarityCurve
+	for _, sim := range []fulltext.Similarity{fulltext.ClassicTFIDF, fulltext.BM25} {
+		e := Engine(wh)
+		e.SetTextSimilarity(sim)
+		curves, err := Fig4(e, queries)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SimilarityCurve{Similarity: sim, Curve: curves[0]}) // curves[0] = Standard
+	}
+	return out, nil
+}

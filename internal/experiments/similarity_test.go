@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"kdap/internal/dataset"
+	"kdap/internal/fulltext"
+	"kdap/internal/workload"
+)
+
+// KDAP's ranking quality must be robust to the underlying text scorer:
+// the standard method stays strong under both classic TF-IDF and BM25.
+func TestSimilarityAblation(t *testing.T) {
+	curves, err := SimilarityAblation(dataset.AWOnline(), workload.AWOnlineQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	for _, sc := range curves {
+		t.Logf("%-14s top1=%.0f%% top5=%.0f%% missing=%v",
+			sc.Similarity, sc.Curve.CumulativePct[0], sc.Curve.CumulativePct[4], sc.Curve.Missing)
+		if sc.Curve.CumulativePct[0] < 80 {
+			t.Errorf("%s: top-1 %.0f%% below 80%%", sc.Similarity, sc.Curve.CumulativePct[0])
+		}
+		if len(sc.Curve.Missing) > 2 {
+			t.Errorf("%s: %d missing interpretations", sc.Similarity, len(sc.Curve.Missing))
+		}
+	}
+	if curves[0].Similarity != fulltext.ClassicTFIDF || curves[1].Similarity != fulltext.BM25 {
+		t.Error("similarity order")
+	}
+}

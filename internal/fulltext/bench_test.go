@@ -1,0 +1,58 @@
+package fulltext
+
+import (
+	"fmt"
+	"testing"
+
+	"kdap/internal/relation"
+)
+
+func benchIndex(n int) *Index {
+	ix := NewIndex()
+	words := []string{"mountain", "road", "touring", "silver", "black", "frame",
+		"wheel", "tire", "helmet", "jersey", "california", "seattle"}
+	for i := 0; i < n; i++ {
+		text := fmt.Sprintf("%s %s %s %d", words[i%len(words)],
+			words[(i*7)%len(words)], words[(i*13)%len(words)], i)
+		ix.Add("T", "A", relation.String(text))
+	}
+	return ix
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if benchIndex(2000).DocCount() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"relational", "categories", "aggregations", "mountain",
+		"bikes", "exploration", "dimensional", "interestingness"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkSearchClassicVsBM25(b *testing.B) {
+	ix := benchIndex(5000)
+	for _, sim := range []Similarity{ClassicTFIDF, BM25} {
+		b.Run(sim.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(ix.Search("mountain silver", Options{Similarity: sim})) == 0 {
+					b.Fatal("no hits")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSuggest(b *testing.B) {
+	ix := benchIndex(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Suggest("montain", 3)
+	}
+}

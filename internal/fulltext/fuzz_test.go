@@ -1,0 +1,76 @@
+package fulltext
+
+import (
+	"testing"
+
+	"kdap/internal/relation"
+)
+
+// The fuzz targets double as robustness regression tests: their seed
+// corpora run on every `go test`, and `go test -fuzz` explores further.
+
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "Columbus LCD", "Flat Panel(LCD)", "Mountain-200 Silver, 38",
+		"fernando35@adventure-works.com", "---", "日本語 text", "a b c d e f",
+		"ALL CAPS WORDS", "ÀÉÎÕÜ accents", "tab\tand\nnewline",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		prev := -1
+		for _, tok := range toks {
+			if tok.Term == "" {
+				t.Fatalf("empty term in %q", s)
+			}
+			if tok.Pos <= prev {
+				t.Fatalf("positions not strictly increasing in %q: %v", s, toks)
+			}
+			prev = tok.Pos
+		}
+	})
+}
+
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "ab", "caresses", "agreed", "sky", "relational",
+		"yyyyy", "eeeee", "bbbbbb", "ionization", "maximize",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		// Restrict to the stemmer's contract: lower-case ASCII letters.
+		clean := make([]byte, 0, len(s))
+		for i := 0; i < len(s); i++ {
+			if s[i] >= 'a' && s[i] <= 'z' {
+				clean = append(clean, s[i])
+			}
+		}
+		w := string(clean)
+		out := Stem(w) // must not panic
+		if w != "" && out == "" {
+			t.Fatalf("Stem(%q) produced empty output", w)
+		}
+	})
+}
+
+func FuzzSearch(f *testing.F) {
+	ix := NewIndex()
+	ix.Add("T", "A", relation.String("Columbus Day holiday"))
+	ix.Add("T", "A", relation.String("Mountain-200 Silver"))
+	ix.Add("T", "B", relation.String("flat panel lcd monitor"))
+	for _, seed := range []string{"columbus", "mountain 200", "lcd panel", "", "zzz", "a b c d"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		hits := ix.Search(q, Options{Prefix: true})
+		for _, h := range hits {
+			if h.Score <= 0 {
+				t.Fatalf("non-positive score for %q: %+v", q, h)
+			}
+		}
+		_ = ix.SearchPhrase(q, Options{})
+		_ = ix.Search(q, Options{Similarity: BM25})
+	})
+}

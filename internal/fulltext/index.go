@@ -1,0 +1,436 @@
+package fulltext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"kdap/internal/relation"
+)
+
+// Doc identifies one virtual document: a distinct attribute instance. This
+// is the paper's conceptual (TabName, AttrID, Document) relation — note the
+// attribute-level granularity, which §3 argues is required for KDAP where
+// tuple-level indexing (DBExplorer/DISCOVER style) cannot distinguish which
+// attribute of a tuple matched.
+type Doc struct {
+	Table string
+	Attr  string
+	Value relation.Value
+}
+
+// String renders the doc as Table/Attr/"value".
+func (d Doc) String() string {
+	return fmt.Sprintf("%s/%s/%q", d.Table, d.Attr, d.Value.Text())
+}
+
+// Hit is one search result: a matching attribute instance and its
+// relevance score (the Sim(h.val, q) of the paper's ranking formula).
+type Hit struct {
+	Doc   Doc
+	Score float64
+}
+
+type posting struct {
+	doc       int
+	positions []int32
+}
+
+type termInfo struct {
+	postings []posting
+}
+
+// Index is a positional inverted index over attribute instances. Build it
+// with Add or IndexDatabase, then query with Search / SearchPhrase.
+// An Index is safe for concurrent readers once building has finished.
+type Index struct {
+	docs     []Doc
+	docLens  []int
+	totalLen int
+	byKey    map[Doc]int
+	terms    map[string]*termInfo
+
+	sortedTerms []string // lazily rebuilt for prefix expansion
+	termsDirty  bool
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		byKey: make(map[Doc]int),
+		terms: make(map[string]*termInfo),
+	}
+}
+
+// DocCount returns the number of indexed attribute instances.
+func (ix *Index) DocCount() int { return len(ix.docs) }
+
+// TermCount returns the number of distinct indexed terms.
+func (ix *Index) TermCount() int { return len(ix.terms) }
+
+// Add indexes one attribute instance. Re-adding the same (table, attr,
+// value) triple is a no-op, so callers may feed raw column scans.
+func (ix *Index) Add(table, attr string, value relation.Value) {
+	key := Doc{Table: table, Attr: attr, Value: value}
+	if _, dup := ix.byKey[key]; dup {
+		return
+	}
+	toks := Tokenize(value.Text())
+	if len(toks) == 0 {
+		return
+	}
+	id := len(ix.docs)
+	ix.docs = append(ix.docs, key)
+	ix.docLens = append(ix.docLens, len(toks))
+	ix.totalLen += len(toks)
+	ix.byKey[key] = id
+	ix.termsDirty = true
+	for _, tok := range toks {
+		ti := ix.terms[tok.Term]
+		if ti == nil {
+			ti = &termInfo{}
+			ix.terms[tok.Term] = ti
+		}
+		if n := len(ti.postings); n > 0 && ti.postings[n-1].doc == id {
+			ti.postings[n-1].positions = append(ti.postings[n-1].positions, int32(tok.Pos))
+		} else {
+			ti.postings = append(ti.postings, posting{doc: id, positions: []int32{int32(tok.Pos)}})
+		}
+	}
+}
+
+// IndexDatabase indexes every distinct value of every FullText column of
+// every table in db.
+func (ix *Index) IndexDatabase(db *relation.Database) {
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		for _, col := range t.Schema().FullTextColumns() {
+			for _, v := range t.DistinctValues(col) {
+				ix.Add(name, col, v)
+			}
+		}
+	}
+}
+
+// idf returns the inverse document frequency of a term with document
+// frequency df: 1 + ln(N / (df+1)), Lucene's classic formulation.
+func (ix *Index) idf(df int) float64 {
+	return 1 + math.Log(float64(len(ix.docs))/float64(df+1))
+}
+
+// idfBM25 is the Okapi idf: ln(1 + (N-df+0.5)/(df+0.5)).
+func (ix *Index) idfBM25(df int) float64 {
+	n := float64(len(ix.docs))
+	return math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
+}
+
+// avgDocLen returns the mean document length.
+func (ix *Index) avgDocLen() float64 {
+	if len(ix.docs) == 0 {
+		return 0
+	}
+	return float64(ix.totalLen) / float64(len(ix.docs))
+}
+
+// Similarity selects the document-query scoring function.
+type Similarity int
+
+const (
+	// ClassicTFIDF is Lucene's classic similarity (sqrt-tf, squared log
+	// idf, length norm, coord, query norm) — what the paper's 2007
+	// prototype used.
+	ClassicTFIDF Similarity = iota
+	// BM25 is the Okapi BM25 function with k1 = 1.2, b = 0.75, the
+	// modern default; provided for ablations of KDAP's ranking quality
+	// under a different text-relevance model.
+	BM25
+)
+
+// String names the similarity.
+func (s Similarity) String() string {
+	switch s {
+	case ClassicTFIDF:
+		return "classic-tfidf"
+	case BM25:
+		return "bm25"
+	default:
+		return "unknown"
+	}
+}
+
+// BM25 parameters.
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Options configure a search.
+type Options struct {
+	// Prefix enables partial matching: a query term additionally matches
+	// every indexed term it prefixes, at a reduced weight. This is the
+	// paper's "partial matches" requirement (§3).
+	Prefix bool
+	// Limit truncates the result list when positive.
+	Limit int
+	// Similarity selects the scoring function (default ClassicTFIDF).
+	Similarity Similarity
+}
+
+// prefixWeight scales the contribution of prefix (non-exact) term matches.
+const prefixWeight = 0.5
+
+// Search scores every attribute instance against the keyword query using
+// classic TF-IDF similarity:
+//
+//	score(q,d) = coord(q,d) · queryNorm(q) · Σ_t tf(t,d) · idf(t)² · lengthNorm(d)
+//
+// with tf = sqrt(freq), idf = 1+ln(N/(df+1)), lengthNorm = 1/sqrt(|d|),
+// coord = (matched query terms)/(total query terms). Results are sorted by
+// descending score with a deterministic tie-break on the doc identity.
+func (ix *Index) Search(query string, opts Options) []Hit {
+	qterms := Terms(query)
+	return ix.searchTerms(qterms, opts)
+}
+
+// SearchPhrase returns only the attribute instances in which the query
+// terms occur as a consecutive phrase, scored like Search but restricted
+// to phrase-containing documents. A single-term phrase degenerates to
+// Search without prefix expansion.
+func (ix *Index) SearchPhrase(query string, opts Options) []Hit {
+	qterms := Terms(query)
+	if len(qterms) == 0 {
+		return nil
+	}
+	if len(qterms) == 1 {
+		opts.Prefix = false
+		return ix.searchTerms(qterms, opts)
+	}
+	candidates := ix.phraseDocs(qterms)
+	if len(candidates) == 0 {
+		return nil
+	}
+	opts.Prefix = false
+	all := ix.searchTerms(qterms, Options{Similarity: opts.Similarity})
+	var out []Hit
+	for _, h := range all {
+		if _, ok := candidates[ix.byKey[h.Doc]]; ok {
+			// Phrase confirmation means every query term matched in
+			// sequence; reward full-phrase hits with coord = 1 already
+			// implied, so the score carries over unchanged.
+			out = append(out, h)
+		}
+	}
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	return out
+}
+
+// searchTerms is the shared scoring core of Search and SearchPhrase.
+func (ix *Index) searchTerms(qterms []string, opts Options) []Hit {
+	if len(qterms) == 0 || len(ix.docs) == 0 {
+		return nil
+	}
+	type acc struct {
+		score   float64
+		matched int
+	}
+	accs := make(map[int]*acc)
+	var queryNormSq float64
+
+	for _, qt := range qterms {
+		// Expand the query term to the indexed terms it matches.
+		type match struct {
+			ti     *termInfo
+			weight float64
+		}
+		var matches []match
+		if ti := ix.terms[qt]; ti != nil {
+			matches = append(matches, match{ti, 1})
+		} else if opts.Prefix {
+			// Partial matching is a fallback for terms with no exact
+			// posting — expanding terms that already match exactly would
+			// drown precise hits in near-miss noise ("com" →
+			// "components").
+			for _, term := range ix.prefixTerms(qt) {
+				matches = append(matches, match{ix.terms[term], prefixWeight})
+			}
+		}
+		if len(matches) == 0 {
+			// Unmatched query terms still count toward coord's denominator
+			// but contribute nothing; idf of an absent term is ignored in
+			// queryNorm, as Lucene does.
+			continue
+		}
+		seen := make(map[int]bool)
+		bestIDF := 0.0
+		avgdl := ix.avgDocLen()
+		for _, m := range matches {
+			df := len(m.ti.postings)
+			switch opts.Similarity {
+			case BM25:
+				idf := ix.idfBM25(df)
+				for _, p := range m.ti.postings {
+					a := accs[p.doc]
+					if a == nil {
+						a = &acc{}
+						accs[p.doc] = a
+					}
+					tf := float64(len(p.positions))
+					dl := float64(ix.docLens[p.doc])
+					tfn := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgdl))
+					a.score += idf * tfn * m.weight
+					if !seen[p.doc] {
+						seen[p.doc] = true
+						a.matched++
+					}
+				}
+			default: // ClassicTFIDF
+				idf := ix.idf(df)
+				if idf > bestIDF {
+					bestIDF = idf
+				}
+				w := idf * idf * m.weight
+				for _, p := range m.ti.postings {
+					a := accs[p.doc]
+					if a == nil {
+						a = &acc{}
+						accs[p.doc] = a
+					}
+					tf := math.Sqrt(float64(len(p.positions)))
+					a.score += tf * w / math.Sqrt(float64(ix.docLens[p.doc]))
+					if !seen[p.doc] {
+						seen[p.doc] = true
+						a.matched++
+					}
+				}
+			}
+		}
+		queryNormSq += bestIDF * bestIDF
+	}
+	if len(accs) == 0 {
+		return nil
+	}
+	queryNorm := 1.0
+	if queryNormSq > 0 {
+		queryNorm = 1 / math.Sqrt(queryNormSq)
+	}
+	hits := make([]Hit, 0, len(accs))
+	for doc, a := range accs {
+		score := a.score
+		if opts.Similarity != BM25 {
+			coord := float64(a.matched) / float64(len(qterms))
+			score *= coord * queryNorm
+		}
+		hits = append(hits, Hit{Doc: ix.docs[doc], Score: score})
+	}
+	sortHits(hits)
+	if opts.Limit > 0 && len(hits) > opts.Limit {
+		hits = hits[:opts.Limit]
+	}
+	return hits
+}
+
+// phraseDocs returns the set of doc IDs containing qterms consecutively.
+func (ix *Index) phraseDocs(qterms []string) map[int]struct{} {
+	infos := make([]*termInfo, len(qterms))
+	for i, qt := range qterms {
+		infos[i] = ix.terms[qt]
+		if infos[i] == nil {
+			return nil
+		}
+	}
+	// Intersect postings on the rarest term first for efficiency.
+	rarest := 0
+	for i, ti := range infos {
+		if len(ti.postings) < len(infos[rarest].postings) {
+			rarest = i
+		}
+	}
+	out := make(map[int]struct{})
+	for _, p := range infos[rarest].postings {
+		if ix.docHasPhrase(p.doc, qterms, infos) {
+			out[p.doc] = struct{}{}
+		}
+	}
+	return out
+}
+
+// docHasPhrase reports whether doc contains the terms at consecutive
+// positions.
+func (ix *Index) docHasPhrase(doc int, qterms []string, infos []*termInfo) bool {
+	positions := make([][]int32, len(qterms))
+	for i, ti := range infos {
+		j := sort.Search(len(ti.postings), func(k int) bool { return ti.postings[k].doc >= doc })
+		if j == len(ti.postings) || ti.postings[j].doc != doc {
+			return false
+		}
+		positions[i] = ti.postings[j].positions
+	}
+	for _, start := range positions[0] {
+		ok := true
+		for i := 1; i < len(positions); i++ {
+			if !containsPos(positions[i], start+int32(i)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func containsPos(ps []int32, want int32) bool {
+	i := sort.Search(len(ps), func(k int) bool { return ps[k] >= want })
+	return i < len(ps) && ps[i] == want
+}
+
+// prefixTerms returns the indexed terms having q as a proper or improper
+// prefix, capped to avoid pathological expansion.
+func (ix *Index) prefixTerms(q string) []string {
+	const maxExpansion = 64
+	if ix.termsDirty || ix.sortedTerms == nil {
+		ix.sortedTerms = make([]string, 0, len(ix.terms))
+		for t := range ix.terms {
+			ix.sortedTerms = append(ix.sortedTerms, t)
+		}
+		sort.Strings(ix.sortedTerms)
+		ix.termsDirty = false
+	}
+	i := sort.SearchStrings(ix.sortedTerms, q)
+	var out []string
+	for ; i < len(ix.sortedTerms) && len(out) < maxExpansion; i++ {
+		if !strings.HasPrefix(ix.sortedTerms[i], q) {
+			break
+		}
+		out = append(out, ix.sortedTerms[i])
+	}
+	return out
+}
+
+// sortHits orders hits by descending score, breaking ties by doc identity
+// so results are stable across runs.
+func sortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		a, b := hits[i].Doc, hits[j].Doc
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		return a.Value.Text() < b.Value.Text()
+	})
+}
+
+// Freeze finalizes the index for concurrent reads by pre-building the
+// sorted term list used by prefix expansion.
+func (ix *Index) Freeze() {
+	ix.prefixTerms("")
+}

@@ -1,0 +1,387 @@
+package fulltext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kdap/internal/relation"
+)
+
+// smallIndex builds an index with a handful of attribute instances drawn
+// from the paper's running examples.
+func smallIndex() *Index {
+	ix := NewIndex()
+	ix.Add("Loc", "City", relation.String("Columbus"))
+	ix.Add("Loc", "City", relation.String("San Jose"))
+	ix.Add("Loc", "City", relation.String("San Antonio"))
+	ix.Add("Loc", "City", relation.String("San Francisco"))
+	ix.Add("Holiday", "Event", relation.String("Columbus Day"))
+	ix.Add("PGROUP", "GroupName", relation.String("LCD Projectors"))
+	ix.Add("PGROUP", "GroupName", relation.String("Flat Panel(LCD)"))
+	ix.Add("PGROUP", "GroupName", relation.String("Plasma TVs"))
+	ix.Add("Customer", "FirstName", relation.String("Jose"))
+	return ix
+}
+
+func docValues(hits []Hit) []string {
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.Doc.Value.Text()
+	}
+	return out
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("T", "A", relation.String("hello world"))
+	ix.Add("T", "A", relation.String("hello world"))
+	if ix.DocCount() != 1 {
+		t.Errorf("DocCount = %d after duplicate Add", ix.DocCount())
+	}
+	ix.Add("T", "B", relation.String("hello world")) // different attr → new doc
+	if ix.DocCount() != 2 {
+		t.Errorf("DocCount = %d, attr should distinguish docs", ix.DocCount())
+	}
+}
+
+func TestAddSkipsEmptyText(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("T", "A", relation.String("   ---   "))
+	ix.Add("T", "A", relation.Null())
+	if ix.DocCount() != 0 {
+		t.Errorf("empty/punctuation docs indexed: %d", ix.DocCount())
+	}
+}
+
+func TestSearchFindsAcrossAttributes(t *testing.T) {
+	ix := smallIndex()
+	hits := ix.Search("Columbus", Options{})
+	if len(hits) != 2 {
+		t.Fatalf("Columbus hits = %v", docValues(hits))
+	}
+	// "Columbus" alone is a full match of the one-word city doc but only
+	// half of "Columbus Day", so the city must rank first.
+	if hits[0].Doc.Table != "Loc" || hits[1].Doc.Table != "Holiday" {
+		t.Errorf("ranking: %v", docValues(hits))
+	}
+	if hits[0].Score <= hits[1].Score {
+		t.Errorf("scores not ordered: %v", hits)
+	}
+}
+
+func TestSearchMultiTermPrefersBothTerms(t *testing.T) {
+	ix := smallIndex()
+	hits := ix.Search("san jose", Options{})
+	if len(hits) == 0 || hits[0].Doc.Value.Text() != "San Jose" {
+		t.Fatalf("top hit for 'san jose' = %v", docValues(hits))
+	}
+	// All three "San *" cities and "Jose" the customer should appear.
+	if len(hits) != 4 {
+		t.Errorf("expected 4 hits, got %v", docValues(hits))
+	}
+}
+
+func TestSearchStemmedMatch(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("P", "Name", relation.String("Mountain Bikes"))
+	for _, q := range []string{"bike", "Bikes", "BIKE", "biking"} {
+		hits := ix.Search(q, Options{})
+		if len(hits) != 1 {
+			t.Errorf("query %q: hits = %v", q, docValues(hits))
+		}
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	ix := smallIndex()
+	if hits := ix.Search("zzzzz", Options{}); hits != nil {
+		t.Errorf("unexpected hits: %v", docValues(hits))
+	}
+	if hits := ix.Search("", Options{}); hits != nil {
+		t.Errorf("empty query should yield nil, got %v", docValues(hits))
+	}
+	if hits := NewIndex().Search("x", Options{}); hits != nil {
+		t.Errorf("empty index should yield nil, got %v", docValues(hits))
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	ix := smallIndex()
+	hits := ix.Search("san", Options{Limit: 2})
+	if len(hits) != 2 {
+		t.Errorf("Limit not applied: %v", docValues(hits))
+	}
+}
+
+func TestSearchPrefix(t *testing.T) {
+	ix := smallIndex()
+	// "colum" matches nothing exactly but prefixes "columbus".
+	if hits := ix.Search("colum", Options{}); hits != nil {
+		t.Fatalf("exact search should miss: %v", docValues(hits))
+	}
+	hits := ix.Search("colum", Options{Prefix: true})
+	if len(hits) != 2 {
+		t.Fatalf("prefix search hits = %v", docValues(hits))
+	}
+	// Prefix matches score below what the exact query scores.
+	exact := ix.Search("Columbus", Options{})
+	if hits[0].Score >= exact[0].Score {
+		t.Errorf("prefix score %g should be below exact score %g", hits[0].Score, exact[0].Score)
+	}
+}
+
+func TestSearchPhrase(t *testing.T) {
+	ix := smallIndex()
+	hits := ix.SearchPhrase("San Jose", Options{})
+	if len(hits) != 1 || hits[0].Doc.Value.Text() != "San Jose" {
+		t.Fatalf("phrase hits = %v", docValues(hits))
+	}
+	// Reversed order is not a phrase.
+	if hits := ix.SearchPhrase("Jose San", Options{}); hits != nil {
+		t.Errorf("reversed phrase matched: %v", docValues(hits))
+	}
+	// Single-word phrase degenerates to term search.
+	if hits := ix.SearchPhrase("Columbus", Options{}); len(hits) != 2 {
+		t.Errorf("single-term phrase: %v", docValues(hits))
+	}
+	if hits := ix.SearchPhrase("", Options{}); hits != nil {
+		t.Errorf("empty phrase: %v", docValues(hits))
+	}
+	if hits := ix.SearchPhrase("San Zanzibar", Options{}); hits != nil {
+		t.Errorf("half-missing phrase matched: %v", docValues(hits))
+	}
+}
+
+func TestSearchPhraseNonAdjacent(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("T", "A", relation.String("flat screen panel"))
+	if hits := ix.SearchPhrase("flat panel", Options{}); hits != nil {
+		t.Errorf("non-adjacent words matched as phrase: %v", docValues(hits))
+	}
+	ix.Add("T", "A", relation.String("flat panel screen"))
+	hits := ix.SearchPhrase("flat panel", Options{})
+	if len(hits) != 1 || hits[0].Doc.Value.Text() != "flat panel screen" {
+		t.Errorf("adjacent phrase missed: %v", docValues(hits))
+	}
+}
+
+func TestIDFOrdersRareTermsHigher(t *testing.T) {
+	ix := NewIndex()
+	// "common" appears in many docs, "rare" in one; a doc matching the
+	// rare term must outscore a doc matching the common term.
+	for i := 0; i < 20; i++ {
+		ix.Add("T", "A", relation.String(fmt.Sprintf("common filler %d", i)))
+	}
+	ix.Add("T", "A", relation.String("rare gem"))
+	common := ix.Search("common", Options{})
+	rare := ix.Search("rare", Options{})
+	if len(rare) != 1 || len(common) != 20 {
+		t.Fatal("setup wrong")
+	}
+	if rare[0].Score <= common[0].Score {
+		t.Errorf("rare term score %g not above common term score %g", rare[0].Score, common[0].Score)
+	}
+}
+
+func TestLengthNormPrefersShorterDocs(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("T", "A", relation.String("zebra"))
+	ix.Add("T", "A", relation.String("zebra in a very long descriptive sentence about animals"))
+	hits := ix.Search("zebra", Options{})
+	if len(hits) != 2 || hits[0].Doc.Value.Text() != "zebra" {
+		t.Errorf("length norm not applied: %v", docValues(hits))
+	}
+}
+
+func TestIndexDatabase(t *testing.T) {
+	db := relation.NewDatabase("d")
+	tab := db.MustCreateTable(relation.MustSchema("P", []relation.Column{
+		{Name: "Key", Kind: relation.KindInt},
+		{Name: "Name", Kind: relation.KindString, FullText: true},
+		{Name: "Hidden", Kind: relation.KindString}, // not full-text
+	}, "Key", nil))
+	tab.MustAppend(relation.Int(1), relation.String("Mountain Bikes"), relation.String("secret"))
+	tab.MustAppend(relation.Int(2), relation.String("Road Bikes"), relation.String("secret"))
+	tab.MustAppend(relation.Int(3), relation.String("Mountain Bikes"), relation.String("dup value"))
+
+	ix := NewIndex()
+	ix.IndexDatabase(db)
+	if ix.DocCount() != 2 {
+		t.Errorf("DocCount = %d, want 2 distinct values", ix.DocCount())
+	}
+	if hits := ix.Search("secret", Options{}); hits != nil {
+		t.Errorf("non-fulltext column leaked into index: %v", docValues(hits))
+	}
+	if hits := ix.Search("mountain", Options{}); len(hits) != 1 {
+		t.Errorf("mountain hits = %v", docValues(hits))
+	}
+}
+
+func TestHitOrderDeterministic(t *testing.T) {
+	build := func() []Hit {
+		ix := NewIndex()
+		ix.Add("B", "X", relation.String("tie"))
+		ix.Add("A", "Y", relation.String("tie"))
+		ix.Add("A", "X", relation.String("tie"))
+		return ix.Search("tie", Options{})
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		again := build()
+		for j := range first {
+			if first[j].Doc != again[j].Doc {
+				t.Fatalf("order unstable: %v vs %v", first, again)
+			}
+		}
+	}
+	// Equal scores must be ordered by (table, attr, value).
+	if !(first[0].Doc.Table == "A" && first[0].Doc.Attr == "X") {
+		t.Errorf("tie-break order: %v", first)
+	}
+}
+
+// Property: every hit returned for a single-term query actually contains a
+// token whose normalized form equals the normalized query term, and scores
+// are positive and sorted.
+func TestSearchSoundnessProperty(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "omega", "bike", "bikes", "mountain"}
+	f := func(seed uint16) bool {
+		n := int(seed%50) + 1
+		ix := NewIndex()
+		docs := make([]string, n)
+		for i := 0; i < n; i++ {
+			w1 := words[(int(seed)+i)%len(words)]
+			w2 := words[(int(seed)*3+i*7)%len(words)]
+			docs[i] = w1 + " " + w2
+			ix.Add("T", "A", relation.String(docs[i]))
+		}
+		q := words[int(seed)%len(words)]
+		hits := ix.Search(q, Options{})
+		qn := Normalize(q)
+		last := math.Inf(1)
+		for _, h := range hits {
+			if h.Score <= 0 || h.Score > last {
+				return false
+			}
+			last = h.Score
+			found := false
+			for _, term := range Terms(h.Doc.Value.Text()) {
+				if term == qn {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixTermsCapAndBoundary(t *testing.T) {
+	ix := NewIndex()
+	for i := 0; i < 100; i++ {
+		ix.Add("T", "A", relation.String(fmt.Sprintf("aaa%02d", i)))
+	}
+	ix.Add("T", "A", relation.String("abz"))
+	terms := ix.prefixTerms("aaa")
+	if len(terms) != 64 {
+		t.Errorf("expansion cap: %d", len(terms))
+	}
+	if !sort.StringsAreSorted(terms) {
+		t.Error("prefix terms not sorted")
+	}
+	for _, term := range terms {
+		if term[:3] != "aaa" {
+			t.Errorf("non-prefix term %q", term)
+		}
+	}
+}
+
+func TestDocString(t *testing.T) {
+	d := Doc{Table: "Loc", Attr: "City", Value: relation.String("Columbus")}
+	if d.String() != `Loc/City/"Columbus"` {
+		t.Errorf("Doc.String = %q", d.String())
+	}
+}
+
+func TestFreezeThenConcurrentSearch(t *testing.T) {
+	ix := smallIndex()
+	ix.Freeze()
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			ok := true
+			for i := 0; i < 50; i++ {
+				if len(ix.Search("san", Options{Prefix: true})) == 0 {
+					ok = false
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent search failed")
+		}
+	}
+}
+
+func TestBM25Similarity(t *testing.T) {
+	ix := smallIndex()
+	classic := ix.Search("Columbus", Options{})
+	bm := ix.Search("Columbus", Options{Similarity: BM25})
+	if len(classic) != len(bm) {
+		t.Fatalf("hit sets differ: %d vs %d", len(classic), len(bm))
+	}
+	// Same membership, scores on different scales, city still first (the
+	// one-word doc wins the length normalization under both models).
+	if bm[0].Doc.Value.Text() != "Columbus" {
+		t.Errorf("BM25 top hit = %v", bm[0].Doc)
+	}
+	for _, h := range bm {
+		if h.Score <= 0 {
+			t.Errorf("non-positive BM25 score: %+v", h)
+		}
+	}
+	if classic[0].Score == bm[0].Score {
+		t.Error("similarities look identical — BM25 branch not taken?")
+	}
+}
+
+func TestBM25IDFOrdering(t *testing.T) {
+	ix := NewIndex()
+	for i := 0; i < 20; i++ {
+		ix.Add("T", "A", relation.String(fmt.Sprintf("common filler %d", i)))
+	}
+	ix.Add("T", "A", relation.String("rare gem"))
+	rare := ix.Search("rare", Options{Similarity: BM25})
+	common := ix.Search("common", Options{Similarity: BM25})
+	if len(rare) != 1 || rare[0].Score <= common[0].Score {
+		t.Errorf("BM25 idf ordering: rare %v vs common %v", rare, common)
+	}
+}
+
+func TestBM25Phrase(t *testing.T) {
+	ix := smallIndex()
+	hits := ix.SearchPhrase("San Jose", Options{Similarity: BM25})
+	if len(hits) != 1 || hits[0].Doc.Value.Text() != "San Jose" {
+		t.Errorf("BM25 phrase hits = %v", docValues(hits))
+	}
+}
+
+func TestSimilarityString(t *testing.T) {
+	if ClassicTFIDF.String() != "classic-tfidf" || BM25.String() != "bm25" {
+		t.Error("similarity names")
+	}
+	if Similarity(9).String() != "unknown" {
+		t.Error("unknown similarity name")
+	}
+}

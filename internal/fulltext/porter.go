@@ -1,0 +1,287 @@
+package fulltext
+
+// Stem reduces an English word to its Porter stem. The input must already
+// be lower-case; words shorter than three letters are returned unchanged,
+// as in Porter's original description. This is a from-scratch
+// implementation of the classic five-step algorithm (M.F. Porter, "An
+// algorithm for suffix stripping", 1980), which is what Lucene's
+// PorterStemFilter — used by the paper's prototype — implements.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	s := &stemmer{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+// stemmer holds the word being stemmed. All step methods mutate b.
+type stemmer struct {
+	b []byte
+	// j marks the end of the stem while a candidate suffix is held; it is
+	// set by hasSuffix and consumed by the measure/condition helpers.
+	j int
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// letters other than a,e,i,o,u, with 'y' a consonant iff it follows a
+// vowel position or starts the word.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	default:
+		return true
+	}
+}
+
+// measure returns m, the number of vowel-consonant sequences in b[0..j].
+func (s *stemmer) measure() int {
+	n, i := 0, 0
+	j := s.j
+	for {
+		if i > j {
+			return n
+		}
+		if !s.isConsonant(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > j {
+				return n
+			}
+			if s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > j {
+				return n
+			}
+			if !s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0..j] contains a vowel.
+func (s *stemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleConsonant reports whether b[i-1..i] is a double consonant.
+func (s *stemmer) doubleConsonant(i int) bool {
+	if i < 1 {
+		return false
+	}
+	return s.b[i] == s.b[i-1] && s.isConsonant(i)
+}
+
+// cvc reports whether b[i-2..i] is consonant-vowel-consonant with the
+// final consonant not w, x, or y — the *o condition of Porter's paper.
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.isConsonant(i) || s.isConsonant(i-1) || !s.isConsonant(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the word ends with suf; when it does, j is set
+// to the last index of the stem preceding the suffix.
+func (s *stemmer) hasSuffix(suf string) bool {
+	n := len(s.b)
+	if len(suf) > n {
+		return false
+	}
+	if string(s.b[n-len(suf):]) != suf {
+		return false
+	}
+	s.j = n - len(suf) - 1
+	return true
+}
+
+// setSuffix replaces the currently matched suffix (everything after j)
+// with rep.
+func (s *stemmer) setSuffix(rep string) {
+	s.b = append(s.b[:s.j+1], rep...)
+}
+
+// replaceIfM0 replaces the matched suffix with rep when measure() > 0.
+func (s *stemmer) replaceIfM0(rep string) {
+	if s.measure() > 0 {
+		s.setSuffix(rep)
+	}
+}
+
+func (s *stemmer) step1a() {
+	if s.b[len(s.b)-1] != 's' {
+		return
+	}
+	switch {
+	case s.hasSuffix("sses"):
+		s.setSuffix("ss")
+	case s.hasSuffix("ies"):
+		s.setSuffix("i")
+	case s.hasSuffix("ss"):
+		// unchanged
+	case s.hasSuffix("s"):
+		s.setSuffix("")
+	}
+}
+
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure() > 0 {
+			s.b = s.b[:len(s.b)-1] // eed -> ee
+		}
+		return
+	}
+	fired := false
+	if s.hasSuffix("ed") && s.vowelInStem() {
+		s.setSuffix("")
+		fired = true
+	} else if s.hasSuffix("ing") && s.vowelInStem() {
+		s.setSuffix("")
+		fired = true
+	}
+	if !fired {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"):
+		s.setSuffix("ate")
+	case s.hasSuffix("bl"):
+		s.setSuffix("ble")
+	case s.hasSuffix("iz"):
+		s.setSuffix("ize")
+	case s.doubleConsonant(len(s.b) - 1):
+		switch s.b[len(s.b)-1] {
+		case 'l', 's', 'z':
+			// keep the double consonant
+		default:
+			s.b = s.b[:len(s.b)-1]
+		}
+	default:
+		s.j = len(s.b) - 1
+		if s.measure() == 1 && s.cvc(len(s.b)-1) {
+			s.b = append(s.b, 'e')
+		}
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.vowelInStem() {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m > 0. The pairs use the
+// revised rules (bli→ble, logi→log) that Porter later endorsed and Lucene
+// implements.
+func (s *stemmer) step2() {
+	rules := []struct{ from, to string }{
+		{"ational", "ate"}, {"tional", "tion"},
+		{"enci", "ence"}, {"anci", "ance"},
+		{"izer", "ize"},
+		{"bli", "ble"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+		{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+		{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"}, {"ousness", "ous"},
+		{"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+		{"logi", "log"},
+	}
+	for _, r := range rules {
+		if s.hasSuffix(r.from) {
+			s.replaceIfM0(r.to)
+			return
+		}
+	}
+}
+
+func (s *stemmer) step3() {
+	rules := []struct{ from, to string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+		{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, r := range rules {
+		if s.hasSuffix(r.from) {
+			s.replaceIfM0(r.to)
+			return
+		}
+	}
+}
+
+func (s *stemmer) step4() {
+	suffixes := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+		"ement", "ment", "ent", "ion", "ou", "ism", "ate", "iti",
+		"ous", "ive", "ize",
+	}
+	for _, suf := range suffixes {
+		if !s.hasSuffix(suf) {
+			continue
+		}
+		if suf == "ion" {
+			if s.j < 0 || (s.b[s.j] != 's' && s.b[s.j] != 't') {
+				continue
+			}
+		}
+		if s.measure() > 1 {
+			s.setSuffix("")
+		}
+		return
+	}
+}
+
+func (s *stemmer) step5a() {
+	if s.b[len(s.b)-1] != 'e' {
+		return
+	}
+	s.j = len(s.b) - 2
+	m := s.measure()
+	if m > 1 || (m == 1 && !s.cvc(len(s.b)-2)) {
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+func (s *stemmer) step5b() {
+	n := len(s.b)
+	if n < 2 || s.b[n-1] != 'l' || !s.doubleConsonant(n-1) {
+		return
+	}
+	s.j = n - 1
+	if s.measure() > 1 {
+		s.b = s.b[:n-1]
+	}
+}

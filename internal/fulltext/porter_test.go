@@ -1,0 +1,152 @@
+package fulltext
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Vectors from Porter's 1980 paper and the reference implementation's
+// sample vocabulary (with the revised bli/logi rules, as in Lucene).
+func TestStemVectors(t *testing.T) {
+	vectors := map[string]string{
+		// step 1a
+		"caresses": "caress", "ponies": "poni", "ties": "ti",
+		"caress": "caress", "cats": "cat",
+		// step 1b
+		"feed": "feed", "agreed": "agre", "plastered": "plaster",
+		"bled": "bled", "motoring": "motor", "sing": "sing",
+		"conflated": "conflat", "troubled": "troubl", "sized": "size",
+		"hopping": "hop", "tanned": "tan", "falling": "fall",
+		"hissing": "hiss", "fizzed": "fizz", "failing": "fail",
+		"filing": "file",
+		// step 1c
+		"happy": "happi", "sky": "sky",
+		// step 2
+		"relational": "relat", "conditional": "condit", "rational": "ration",
+		"valenci": "valenc", "hesitanci": "hesit",
+		"digitizer": "digit", "conformabli": "conform",
+		"radicalli": "radic", "differentli": "differ", "vileli": "vile",
+		"analogousli": "analog", "vietnamization": "vietnam",
+		"predication": "predic", "operator": "oper", "feudalism": "feudal",
+		"decisiveness": "decis", "hopefulness": "hope",
+		"callousness": "callous", "formaliti": "formal",
+		"sensitiviti": "sensit", "sensibiliti": "sensibl",
+		// step 3
+		"triplicate": "triplic", "formative": "form", "formalize": "formal",
+		"electriciti": "electr", "electrical": "electr",
+		"hopeful": "hope", "goodness": "good",
+		// step 4
+		"revival": "reviv", "allowance": "allow", "inference": "infer",
+		"airliner": "airlin", "gyroscopic": "gyroscop",
+		"adjustable": "adjust", "defensible": "defens",
+		"irritant": "irrit", "replacement": "replac",
+		"adjustment": "adjust", "dependent": "depend",
+		"adoption": "adopt", "homologou": "homolog",
+		"communism": "commun", "activate": "activ",
+		"angulariti": "angular", "homologous": "homolog",
+		"effective": "effect", "bowdlerize": "bowdler",
+		// step 5
+		"probate": "probat", "rate": "rate", "cease": "ceas",
+		"controll": "control", "roll": "roll",
+		// short words pass through
+		"a": "a", "is": "is", "be": "be",
+	}
+	for in, want := range vectors {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Stemming must unify the morphological families KDAP's keyword matching
+// depends on.
+func TestStemFamilies(t *testing.T) {
+	families := [][]string{
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"accessory", "accessories"},
+		{"bike", "bikes"},
+		{"sale", "sales"},
+	}
+	for _, fam := range families {
+		base := Stem(fam[0])
+		for _, w := range fam[1:] {
+			if got := Stem(w); got != base {
+				t.Errorf("Stem(%q) = %q, want %q (family of %q)", w, got, base, fam[0])
+			}
+		}
+	}
+}
+
+// Property: stemming is idempotent-ish on its own output for plain
+// alphabetic words — stemming a stem must never grow the word, and must
+// terminate with a non-empty result for non-empty input.
+func TestStemProperties(t *testing.T) {
+	f := func(raw string) bool {
+		var b strings.Builder
+		for _, r := range strings.ToLower(raw) {
+			if r >= 'a' && r <= 'z' {
+				b.WriteRune(r)
+			}
+		}
+		w := b.String()
+		if w == "" {
+			return true
+		}
+		s := Stem(w)
+		if len(s) > len(w) && !strings.HasSuffix(s, "e") {
+			// step1b may add back 'e' (hop+ing → hope case), nothing else
+			// may grow the word.
+			return false
+		}
+		return len(s) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Flat Panel(LCD)")
+	want := []Token{{"flat", 0}, {"panel", 1}, {"lcd", 2}}
+	if len(toks) != len(want) {
+		t.Fatalf("Tokenize = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeMixedAlphanumeric(t *testing.T) {
+	// Model numbers must not be stemmed and must split on punctuation.
+	toks := Terms("Mountain-200 Silver, 38\"")
+	want := []string{"mountain", "200", "silver", "38"}
+	if len(toks) != len(want) {
+		t.Fatalf("Terms = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("term %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeEmptyAndPunctuation(t *testing.T) {
+	if got := Tokenize(""); got != nil {
+		t.Errorf("Tokenize(\"\") = %v", got)
+	}
+	if got := Tokenize("--- ,,, ()"); got != nil {
+		t.Errorf("punctuation-only should produce no tokens: %v", got)
+	}
+}
+
+func TestNormalizeStemsOnlyAlpha(t *testing.T) {
+	if Normalize("Bikes") != "bike" {
+		t.Errorf("Normalize(Bikes) = %q", Normalize("Bikes"))
+	}
+	if Normalize("R2D2") != "r2d2" {
+		t.Errorf("mixed alphanumerics must not be stemmed: %q", Normalize("R2D2"))
+	}
+}

@@ -1,0 +1,85 @@
+// Package fulltext implements the text-search substrate KDAP requires: an
+// inverted index over *attribute instances* rather than tuples.
+//
+// The paper (§3) stores each distinct attribute value as a virtual document
+// in a conceptual relation (TabName, AttrID, Document) and requires
+// (a) direct approximate search — stemming and partial matches — over both
+// dimension and fact data, and (b) a relevance score per hit that the
+// star-net ranking consumes as Sim(hit, query). This package provides both,
+// with classic Lucene-style TF-IDF scoring (the prototype used Lucene) and
+// positional postings for phrase queries (§4.3).
+package fulltext
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one indexed term occurrence: the normalized (lower-cased,
+// stemmed) term and its word position within the document.
+type Token struct {
+	Term string
+	Pos  int
+}
+
+// RawWords splits text into its raw words: maximal runs of letters or
+// digits, unnormalized.
+func RawWords(text string) []string {
+	var out []string
+	start := -1
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, text[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, text[start:])
+	}
+	return out
+}
+
+// Tokenize splits text into normalized tokens: runs of letters or digits,
+// lower-cased, with alphabetic tokens Porter-stemmed. Positions count
+// words, so "Flat Panel(LCD)" yields flat@0, panel@1, lcd@2 — parentheses
+// and other punctuation separate words but do not occupy positions.
+func Tokenize(text string) []Token {
+	words := RawWords(text)
+	if len(words) == 0 {
+		return nil
+	}
+	out := make([]Token, 0, len(words))
+	for pos, w := range words {
+		out = append(out, Token{Term: Normalize(w), Pos: pos})
+	}
+	return out
+}
+
+// Terms returns just the normalized terms of text, in order.
+func Terms(text string) []string {
+	toks := Tokenize(text)
+	terms := make([]string, len(toks))
+	for i, t := range toks {
+		terms[i] = t.Term
+	}
+	return terms
+}
+
+// Normalize lower-cases a single word and stems it if it is purely
+// alphabetic (mixed alphanumerics such as model numbers are kept verbatim
+// so "Mountain-200" still matches "200").
+func Normalize(word string) string {
+	w := strings.ToLower(word)
+	for _, r := range w {
+		if !unicode.IsLower(r) {
+			return w
+		}
+	}
+	return Stem(w)
+}

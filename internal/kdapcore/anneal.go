@@ -1,0 +1,165 @@
+package kdapcore
+
+import (
+	"math"
+
+	"kdap/internal/stats"
+)
+
+// AnnealConfig parameterizes the Algorithm 2 interval merge.
+type AnnealConfig struct {
+	// K is the number of displayed numeric categories (5–7 in §6.5).
+	K int
+	// L bounds the skew: the largest merged range may contain at most L
+	// times as many basic intervals as the smallest (§5.3.2's second
+	// objective).
+	L float64
+	// N is the iteration count (§6.5 shows convergence by ~100, and a
+	// 500-iteration merge under 5 ms).
+	N int
+	// AcceptProb is the probability of accepting a non-improving neighbor
+	// as the new current state — the pseudocode's "RANDOM() > some
+	// constant" escape from local maxima.
+	AcceptProb float64
+	// Seed drives the deterministic random source.
+	Seed uint64
+}
+
+// DefaultAnnealConfig returns the paper's defaults.
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{K: 6, L: 4, N: 500, AcceptProb: 0.25, Seed: 1}
+}
+
+// MergeResult is the outcome of one interval merge.
+type MergeResult struct {
+	// Splits are the K-1 split positions: range j spans basic intervals
+	// [Splits[j-1], Splits[j]) with implicit 0 and m sentinels.
+	Splits []int
+	// Score is the correlation between the merged X and Y series.
+	Score float64
+	// BasicScore is the correlation over the unmerged basic intervals —
+	// the value the merge tries to preserve.
+	BasicScore float64
+	// ErrPct is |Score − BasicScore| / |BasicScore| × 100, the figures'
+	// y-axis.
+	ErrPct float64
+	// History records ErrPct of the best-so-far solution after every
+	// iteration (index 0 = the equal-width start), for Figure 7/8.
+	History []float64
+}
+
+// mergeSeries sums x within each range defined by splits.
+func mergeSeries(x []float64, splits []int) []float64 {
+	out := make([]float64, 0, len(splits)+1)
+	prev := 0
+	bounds := append(append([]int(nil), splits...), len(x))
+	for _, b := range bounds {
+		var s float64
+		for i := prev; i < b; i++ {
+			s += x[i]
+		}
+		out = append(out, s)
+		prev = b
+	}
+	return out
+}
+
+// validSplits checks ordering, bounds, and the L-skew constraint.
+func validSplits(splits []int, m int, l float64) bool {
+	prev := 0
+	minW, maxW := math.MaxInt, 0
+	for _, s := range append(append([]int(nil), splits...), m) {
+		w := s - prev
+		if w < 1 {
+			return false
+		}
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+		prev = s
+	}
+	return float64(maxW) <= l*float64(minW)
+}
+
+// MergeIntervals is Algorithm 2: merge m basic intervals (with aggregate
+// series x for the sub-dataspace and y for its roll-up space) into K
+// contiguous ranges whose merged correlation stays as close as possible to
+// the basic-interval correlation, subject to the L-skew constraint. The
+// search is simulated annealing over split positions, starting from
+// equal-width splits; it runs entirely in memory with no store access, as
+// §5.3.2 emphasizes.
+func MergeIntervals(x, y []float64, cfg AnnealConfig) MergeResult {
+	if len(x) != len(y) {
+		panic("kdapcore: MergeIntervals series length mismatch")
+	}
+	m := len(x)
+	k := cfg.K
+	if k > m {
+		k = m
+	}
+	if k < 1 {
+		k = 1
+	}
+	basic := stats.Pearson(x, y)
+
+	// Equal-width start.
+	start := make([]int, 0, k-1)
+	for j := 1; j < k; j++ {
+		start = append(start, j*m/k)
+	}
+	score := func(splits []int) float64 {
+		return stats.Pearson(mergeSeries(x, splits), mergeSeries(y, splits))
+	}
+	errOf := func(s float64) float64 { return math.Abs(s - basic) }
+
+	cur := append([]int(nil), start...)
+	best := append([]int(nil), start...)
+	bestErr := errOf(score(best))
+	history := make([]float64, 0, cfg.N+1)
+	record := func() {
+		history = append(history, stats.AbsErrPct(score(best), basic))
+	}
+	record()
+
+	rng := stats.NewRNG(cfg.Seed)
+	for i := 0; i < cfg.N; i++ {
+		if len(cur) == 0 {
+			record()
+			continue // K >= m: nothing to move
+		}
+		// Neighbor: move one random split by ±1 basic interval.
+		neighbor := append([]int(nil), cur...)
+		j := rng.Intn(len(neighbor))
+		if rng.Intn(2) == 0 {
+			neighbor[j]--
+		} else {
+			neighbor[j]++
+		}
+		if !validSplits(neighbor, m, cfg.L) {
+			record()
+			continue
+		}
+		nErr := errOf(score(neighbor))
+		if nErr < bestErr {
+			best = append(best[:0], neighbor...)
+			bestErr = nErr
+		}
+		// Accept improving neighbors always; others with AcceptProb, the
+		// pseudocode's deliberate acceptance of worse states.
+		if nErr <= errOf(score(cur)) || rng.Float64() < cfg.AcceptProb {
+			cur = neighbor
+		}
+		record()
+	}
+	final := score(best)
+	return MergeResult{
+		Splits:     best,
+		Score:      final,
+		BasicScore: basic,
+		ErrPct:     stats.AbsErrPct(final, basic),
+		History:    history,
+	}
+}

@@ -1,0 +1,164 @@
+package kdapcore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kdap/internal/stats"
+)
+
+func randSeries(seed uint64, n int) ([]float64, []float64) {
+	rng := stats.NewRNG(seed)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 100
+		y[i] = x[i]*0.7 + rng.Float64()*30 // correlated with noise
+	}
+	return x, y
+}
+
+func TestMergeSeries(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	got := mergeSeries(x, []int{2, 4})
+	want := []float64{3, 7, 11}
+	if len(got) != 3 {
+		t.Fatalf("mergeSeries = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("mergeSeries = %v, want %v", got, want)
+		}
+	}
+	// No splits: single total.
+	if got := mergeSeries(x, nil); len(got) != 1 || got[0] != 21 {
+		t.Errorf("no-split merge = %v", got)
+	}
+}
+
+func TestValidSplits(t *testing.T) {
+	cases := []struct {
+		splits []int
+		m      int
+		l      float64
+		want   bool
+	}{
+		{[]int{2, 4}, 6, 4, true},
+		{[]int{0, 4}, 6, 4, false},  // zero-width first range
+		{[]int{4, 4}, 6, 4, false},  // zero-width middle range
+		{[]int{4, 2}, 6, 4, false},  // out of order
+		{[]int{2, 6}, 6, 4, false},  // zero-width last range
+		{[]int{1, 2}, 12, 4, false}, // widths 1,1,10 violate L=4
+		{[]int{1, 2}, 12, 10, true},
+		{nil, 5, 4, true}, // single range is trivially balanced
+	}
+	for _, c := range cases {
+		if got := validSplits(c.splits, c.m, c.l); got != c.want {
+			t.Errorf("validSplits(%v, m=%d, L=%g) = %v, want %v", c.splits, c.m, c.l, got, c.want)
+		}
+	}
+}
+
+func TestMergeIntervalsReducesError(t *testing.T) {
+	x, y := randSeries(7, 40)
+	cfg := DefaultAnnealConfig()
+	cfg.K = 5
+	res0 := MergeIntervals(x, y, AnnealConfig{K: 5, L: cfg.L, N: 0, AcceptProb: 0.25, Seed: 1})
+	res := MergeIntervals(x, y, cfg)
+	if res.ErrPct > res0.ErrPct+1e-9 {
+		t.Errorf("annealing made things worse: start %.3f%%, end %.3f%%", res0.ErrPct, res.ErrPct)
+	}
+	if len(res.Splits) != 4 {
+		t.Errorf("splits = %v, want 4 positions", res.Splits)
+	}
+	if !validSplits(res.Splits, 40, cfg.L) {
+		t.Errorf("result violates constraint: %v", res.Splits)
+	}
+	if len(res.History) != cfg.N+1 {
+		t.Errorf("history length = %d, want %d", len(res.History), cfg.N+1)
+	}
+	// History is the best-so-far error: non-increasing.
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]+1e-9 {
+			t.Fatalf("best-so-far error increased at %d: %g -> %g", i, res.History[i-1], res.History[i])
+		}
+	}
+}
+
+func TestMergeIntervalsDeterministic(t *testing.T) {
+	x, y := randSeries(11, 40)
+	cfg := DefaultAnnealConfig()
+	a := MergeIntervals(x, y, cfg)
+	b := MergeIntervals(x, y, cfg)
+	if a.Score != b.Score || a.ErrPct != b.ErrPct {
+		t.Error("same seed diverged")
+	}
+	for i := range a.Splits {
+		if a.Splits[i] != b.Splits[i] {
+			t.Error("splits diverged")
+		}
+	}
+}
+
+func TestMergeIntervalsDegenerate(t *testing.T) {
+	// K >= m: every basic interval stands alone; zero error.
+	x, y := randSeries(3, 4)
+	res := MergeIntervals(x, y, AnnealConfig{K: 10, L: 4, N: 50, AcceptProb: 0.25, Seed: 1})
+	if res.ErrPct != 0 {
+		t.Errorf("K>=m should be exact: %g%%", res.ErrPct)
+	}
+	if len(res.Splits) != 3 {
+		t.Errorf("splits = %v", res.Splits)
+	}
+	// K = 1: single range, correlation of 1-point series is 0.
+	res = MergeIntervals(x, y, AnnealConfig{K: 1, L: 4, N: 10, AcceptProb: 0.25, Seed: 1})
+	if len(res.Splits) != 0 || res.Score != 0 {
+		t.Errorf("K=1: %+v", res)
+	}
+	// Length mismatch panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	MergeIntervals([]float64{1}, []float64{1, 2}, DefaultAnnealConfig())
+}
+
+// Property: for any series the final splits satisfy the L constraint and
+// the best error never exceeds the starting (equal-width) error.
+func TestMergeIntervalsInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, kRaw, mRaw uint8) bool {
+		m := int(mRaw)%60 + 8
+		k := int(kRaw)%6 + 2
+		x, y := randSeries(seed, m)
+		cfg := AnnealConfig{K: k, L: 4, N: 120, AcceptProb: 0.3, Seed: seed}
+		res := MergeIntervals(x, y, cfg)
+		if !validSplits(res.Splits, m, cfg.L) {
+			return false
+		}
+		if len(res.Splits) != k-1 {
+			return false
+		}
+		start := res.History[0]
+		end := res.History[len(res.History)-1]
+		return end <= start+1e-9 && !math.IsNaN(res.Score)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// With more iterations the achieved error is (weakly) better — the
+// Figure 7/8 convergence shape.
+func TestMergeIntervalsConvergenceShape(t *testing.T) {
+	x, y := randSeries(99, 40)
+	var prev float64 = math.Inf(1)
+	for _, n := range []int{0, 25, 100, 400} {
+		res := MergeIntervals(x, y, AnnealConfig{K: 5, L: 4, N: n, AcceptProb: 0.25, Seed: 5})
+		if res.ErrPct > prev+1e-9 {
+			t.Errorf("error increased with more iterations at N=%d: %g > %g", n, res.ErrPct, prev)
+		}
+		prev = res.ErrPct
+	}
+}

@@ -1,0 +1,151 @@
+package kdapcore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kdap/internal/olap"
+	"kdap/internal/stats"
+)
+
+func vm(pairs ...float64) []olap.ValueMeasure {
+	out := make([]olap.ValueMeasure, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, olap.ValueMeasure{Value: pairs[i], Measure: pairs[i+1]})
+	}
+	return out
+}
+
+func TestMakeIntervalsBasic(t *testing.T) {
+	iv := MakeIntervals(vm(0, 1, 10, 1), 5)
+	if iv.Buckets() != 5 {
+		t.Fatalf("buckets = %d", iv.Buckets())
+	}
+	if iv.Edges[0] != 0 || iv.Edges[5] != 10 {
+		t.Errorf("edges = %v", iv.Edges)
+	}
+	// Bucket membership.
+	cases := map[float64]int{0: 0, 1.9: 0, 2: 1, 9.99: 4, 10: 4}
+	for v, want := range cases {
+		if got := iv.Find(v); got != want {
+			t.Errorf("Find(%g) = %d, want %d", v, got, want)
+		}
+	}
+	if iv.Find(-0.1) != -1 || iv.Find(10.1) != -1 {
+		t.Error("out-of-domain values must map to -1")
+	}
+}
+
+func TestMakeIntervalsDegenerate(t *testing.T) {
+	if iv := MakeIntervals(nil, 10); iv.Buckets() != 1 {
+		t.Error("empty input should give one bucket")
+	}
+	iv := MakeIntervals(vm(5, 1, 5, 2, 5, 3), 10)
+	if iv.Buckets() != 1 {
+		t.Errorf("constant domain buckets = %d", iv.Buckets())
+	}
+	if iv.Find(5) != 0 {
+		t.Error("constant domain Find")
+	}
+}
+
+func TestIntervalLabels(t *testing.T) {
+	iv := MakeIntervals(vm(0, 1, 100, 1), 4)
+	if iv.Label(0) != "0 - 25" {
+		t.Errorf("Label(0) = %q", iv.Label(0))
+	}
+	iv2 := MakeIntervals(vm(0, 1, 1, 1), 2)
+	if iv2.Label(0) != "0 - 0.50" {
+		t.Errorf("fractional label = %q", iv2.Label(0))
+	}
+}
+
+func TestAggregateSeries(t *testing.T) {
+	iv := MakeIntervals(vm(0, 0, 10, 0), 2) // edges 0,5,10
+	series := iv.AggregateSeries(vm(1, 10, 2, 20, 6, 5, 10, 7, 99, 100))
+	if len(series) != 2 {
+		t.Fatalf("series = %v", series)
+	}
+	if series[0] != 30 || series[1] != 12 {
+		t.Errorf("series = %v, want [30 12] (out-of-domain dropped)", series)
+	}
+}
+
+func TestMakeDistinctIntervals(t *testing.T) {
+	vals := vm(1, 1, 3, 1, 3, 2, 7, 1)
+	iv := MakeDistinctIntervals(vals)
+	if iv.Buckets() != 3 {
+		t.Fatalf("distinct buckets = %d (%v)", iv.Buckets(), iv.Edges)
+	}
+	s := iv.AggregateSeries(vals)
+	if s[0] != 1 || s[1] != 3 || s[2] != 1 {
+		t.Errorf("distinct series = %v", s)
+	}
+	if MakeDistinctIntervals(nil).Buckets() != 1 {
+		t.Error("empty distinct should give one bucket")
+	}
+	if MakeDistinctIntervals(vm(4, 1)).Buckets() != 1 {
+		t.Error("single distinct value should give one bucket")
+	}
+}
+
+// Property: bucketization partitions the measure mass — the series always
+// sums to the total measure of in-domain values.
+func TestAggregateSeriesMassConservation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, bRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := int(nRaw)%200 + 1
+		b := int(bRaw)%64 + 1
+		vals := make([]olap.ValueMeasure, n)
+		var total float64
+		for i := range vals {
+			vals[i] = olap.ValueMeasure{Value: rng.Float64() * 1000, Measure: rng.Float64() * 10}
+			total += vals[i].Measure
+		}
+		iv := MakeIntervals(vals, b)
+		var got float64
+		for _, s := range iv.AggregateSeries(vals) {
+			got += s
+		}
+		return math.Abs(got-total) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Find is consistent with the edge array — every value lands in
+// the bucket whose edges bracket it.
+func TestFindConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		vals := make([]olap.ValueMeasure, 50)
+		for i := range vals {
+			vals[i] = olap.ValueMeasure{Value: rng.Float64() * 100}
+		}
+		iv := MakeIntervals(vals, 1+rng.Intn(30))
+		for _, vmx := range vals {
+			b := iv.Find(vmx.Value)
+			if b < 0 {
+				return false // in-domain by construction
+			}
+			if vmx.Value < iv.Edges[b] || vmx.Value > iv.Edges[b+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{12: "12", -3: "-3", 2.5: "2.50", 0: "0"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

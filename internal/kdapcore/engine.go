@@ -1,0 +1,169 @@
+package kdapcore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"kdap/internal/fulltext"
+	"kdap/internal/olap"
+	"kdap/internal/schemagraph"
+)
+
+// Engine is a KDAP session over one warehouse: it answers keyword queries
+// with ranked star nets (differentiate) and builds dynamic facets over a
+// chosen net's sub-dataspace (explore). An Engine is safe for concurrent
+// use.
+type Engine struct {
+	graph   *schemagraph.Graph
+	index   *fulltext.Index
+	exec    *olap.Executor
+	measure olap.Measure
+	agg     olap.Agg
+
+	hitLim hitLimits
+	netLim netLimits
+	sim    fulltext.Similarity
+
+	// Materialized sub-dataspaces, keyed by star-net signature. Repeated
+	// exploration of the same interpretation — the common interactive
+	// pattern of mode switches and back-navigation — skips the semijoin.
+	// The paper's §7 notes subspace aggregation as the cost to optimize;
+	// this is the simplest materialization that helps an interactive
+	// session.
+	cacheMu   sync.Mutex
+	rowsCache map[string][]int
+}
+
+// rowsCacheCap bounds the subspace cache; one arbitrary entry is evicted
+// per insert beyond the cap.
+const rowsCacheCap = 128
+
+// NewEngine creates an engine. The measure and aggregation define the
+// pre-defined aggregate of §3 (the experiments use SUM of revenue).
+func NewEngine(g *schemagraph.Graph, ix *fulltext.Index, m olap.Measure, agg olap.Agg) *Engine {
+	return &Engine{
+		graph:     g,
+		index:     ix,
+		exec:      olap.NewExecutor(g),
+		measure:   m,
+		agg:       agg,
+		hitLim:    defaultHitLimits(),
+		netLim:    defaultNetLimits(),
+		rowsCache: make(map[string][]int),
+	}
+}
+
+// SetTextSimilarity switches the text-relevance model used when probing
+// the full-text index (default: the classic TF-IDF the paper's prototype
+// used). The Figure 4 ablation compares ranking quality across models.
+func (e *Engine) SetTextSimilarity(s fulltext.Similarity) { e.sim = s }
+
+// Graph returns the engine's schema graph.
+func (e *Engine) Graph() *schemagraph.Graph { return e.graph }
+
+// Executor returns the engine's OLAP executor.
+func (e *Engine) Executor() *olap.Executor { return e.exec }
+
+// Measure returns the engine's measure.
+func (e *Engine) Measure() olap.Measure { return e.measure }
+
+// Agg returns the engine's aggregation function.
+func (e *Engine) Agg() olap.Agg { return e.agg }
+
+// Differentiate runs the first KDAP phase with the paper's standard
+// ranking: keyword query in, ranked candidate star nets out.
+func (e *Engine) Differentiate(query string) ([]*StarNet, error) {
+	return e.DifferentiateRanked(query, Standard)
+}
+
+// DifferentiateRanked is Differentiate with an explicit ranking method
+// (the Figure 4 evaluation sweeps all four).
+func (e *Engine) DifferentiateRanked(query string, method RankMethod) ([]*StarNet, error) {
+	tokens := splitKeywords(query)
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("kdap: empty keyword query")
+	}
+	filters, keywords, err := e.extractFilters(tokens)
+	if err != nil {
+		return nil, err
+	}
+	if len(keywords) == 0 {
+		// Pure-predicate query: one interpretation over the whole
+		// dataspace, sliced by the filters alone.
+		if len(filters) == 0 {
+			return nil, fmt.Errorf("kdap: empty keyword query")
+		}
+		return []*StarNet{{Query: query, Filters: filters, Score: 1}}, nil
+	}
+	sets := buildHitSets(e.index, keywords, e.hitLim, e.sim)
+	merged := mergePhrases(e.index, sets, keywords, e.sim)
+	seeds := enumerateSeeds(sets, merged, e.netLim.maxSeeds)
+	if len(seeds) == 0 {
+		return nil, nil
+	}
+	nets := generateStarNets(e.graph, query, seeds, e.netLim)
+	for _, sn := range nets {
+		sn.Filters = filters
+	}
+	rankStarNets(nets, method)
+	return nets, nil
+}
+
+// splitKeywords splits a raw query on whitespace, keeping original word
+// forms (normalization happens inside the text index).
+func splitKeywords(query string) []string {
+	return strings.Fields(query)
+}
+
+// SuggestKeywords returns, for each query keyword that matches nothing
+// in the index (even with prefix expansion), up to max "did you mean"
+// term suggestions within edit distance 2. Numeric predicate tokens are
+// skipped.
+func (e *Engine) SuggestKeywords(query string, max int) map[string][]string {
+	out := make(map[string][]string)
+	for _, kw := range splitKeywords(query) {
+		if _, _, _, isFilter := parseFilterToken(kw); isFilter {
+			continue
+		}
+		if hits := e.index.Search(kw, fulltext.Options{Prefix: true, Limit: 1}); len(hits) > 0 {
+			continue
+		}
+		if sugg := e.index.Suggest(kw, max); len(sugg) > 0 {
+			out[kw] = sugg
+		}
+	}
+	return out
+}
+
+// SubspaceRows materializes the fact rows of the net's sub-dataspace
+// DS', caching by interpretation signature. The returned slice is shared
+// and must not be modified.
+func (e *Engine) SubspaceRows(sn *StarNet) []int {
+	sig := sn.Signature()
+	e.cacheMu.Lock()
+	if rows, ok := e.rowsCache[sig]; ok {
+		e.cacheMu.Unlock()
+		return rows
+	}
+	e.cacheMu.Unlock()
+	rows := e.exec.FactRows(sn.Constraints())
+	if len(sn.Filters) > 0 {
+		rows = e.applyFilters(rows, sn.Filters)
+	}
+	e.cacheMu.Lock()
+	if len(e.rowsCache) >= rowsCacheCap {
+		for k := range e.rowsCache {
+			delete(e.rowsCache, k)
+			break
+		}
+	}
+	e.rowsCache[sig] = rows
+	e.cacheMu.Unlock()
+	return rows
+}
+
+// SubspaceAggregate computes the engine's measure aggregate over DS'.
+func (e *Engine) SubspaceAggregate(sn *StarNet) float64 {
+	return e.exec.Aggregate(e.SubspaceRows(sn), e.measure, e.agg)
+}

@@ -1,0 +1,17 @@
+package kdapcore
+
+import "testing"
+
+func TestSuggestKeywords(t *testing.T) {
+	e := ebizEngine()
+	sugg := e.SuggestKeywords("Colombus LCD UnitPrice>10", 3)
+	if len(sugg["Colombus"]) == 0 {
+		t.Errorf("no suggestion for Colombus: %v", sugg)
+	}
+	if _, ok := sugg["LCD"]; ok {
+		t.Error("matched keyword should not be suggested")
+	}
+	if _, ok := sugg["UnitPrice>10"]; ok {
+		t.Error("filter token should be skipped")
+	}
+}

@@ -1,0 +1,80 @@
+package kdapcore
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GroupExplanation breaks one hit group's contribution to the §4.4
+// ranking score into its factors.
+type GroupExplanation struct {
+	Domain string
+	Role   string
+	// Hits is |HG|, the group size.
+	Hits int
+	// SumSim and AvgSim aggregate the hits' Sim(h, q) values.
+	SumSim float64
+	AvgSim float64
+	// SizeNorm is the 1 + ln|HG| divisor penalizing broad groups.
+	SizeNorm float64
+	// Contribution = AvgSim / SizeNorm, the group's term in the sum.
+	Contribution float64
+	// Phrase is set for merged phrase groups.
+	Phrase string
+}
+
+// Explanation decomposes a star net's standard ranking score.
+type Explanation struct {
+	Signature string
+	Groups    []GroupExplanation
+	// GroupSum is Σ contributions before group-number normalization.
+	GroupSum float64
+	// NumNorm is |SN|², the group-number divisor.
+	NumNorm int
+	// Score = GroupSum / NumNorm.
+	Score float64
+}
+
+// Explain decomposes the net's standard-method score into the paper's
+// formula components, for debugging rankings and for teaching the system
+// ("why did San Jose the city beat San Antonio + Jose?").
+func (sn *StarNet) Explain() Explanation {
+	ex := Explanation{Signature: sn.DomainSignature(), NumNorm: len(sn.Groups) * len(sn.Groups)}
+	for _, bg := range sn.Groups {
+		hg := bg.Group
+		ge := GroupExplanation{
+			Domain: hg.Domain(),
+			Role:   bg.Path.Role,
+			Hits:   len(hg.Hits),
+			SumSim: hg.SumScore(),
+			Phrase: hg.Phrase,
+		}
+		if ge.Hits > 0 {
+			ge.AvgSim = ge.SumSim / float64(ge.Hits)
+			ge.SizeNorm = 1 + math.Log(float64(ge.Hits))
+			ge.Contribution = ge.AvgSim / ge.SizeNorm
+		}
+		ex.GroupSum += ge.Contribution
+		ex.Groups = append(ex.Groups, ge)
+	}
+	if ex.NumNorm > 0 {
+		ex.Score = ex.GroupSum / float64(ex.NumNorm)
+	}
+	return ex
+}
+
+// String renders the explanation as an indented breakdown.
+func (ex Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "score %.6f = %.6f / |SN|²=%d\n", ex.Score, ex.GroupSum, ex.NumNorm)
+	for _, g := range ex.Groups {
+		phrase := ""
+		if g.Phrase != "" {
+			phrase = fmt.Sprintf(" phrase=%q", g.Phrase)
+		}
+		fmt.Fprintf(&b, "  %s[%s]%s: |HG|=%d avgSim=%.4f sizeNorm=%.4f -> %.6f\n",
+			g.Domain, g.Role, phrase, g.Hits, g.AvgSim, g.SizeNorm, g.Contribution)
+	}
+	return b.String()
+}

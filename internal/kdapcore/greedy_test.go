@@ -1,0 +1,92 @@
+package kdapcore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyProducesKRanges(t *testing.T) {
+	x, y := randSeries(4, 40)
+	for _, k := range []int{2, 5, 7} {
+		res := MergeIntervalsGreedy(x, y, AnnealConfig{K: k, L: 4})
+		if len(res.Splits) != k-1 {
+			t.Errorf("K=%d: splits = %v", k, res.Splits)
+		}
+	}
+}
+
+func TestGreedyDegenerate(t *testing.T) {
+	x, y := randSeries(5, 4)
+	res := MergeIntervalsGreedy(x, y, AnnealConfig{K: 10, L: 4})
+	if res.ErrPct != 0 || len(res.Splits) != 3 {
+		t.Errorf("K>=m: %+v", res)
+	}
+	res = MergeIntervalsGreedy(x, y, AnnealConfig{K: 1, L: 4})
+	if len(res.Splits) != 0 {
+		t.Errorf("K=1: %+v", res)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	MergeIntervalsGreedy([]float64{1}, []float64{1, 2}, AnnealConfig{K: 2, L: 4})
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	x, y := randSeries(6, 30)
+	a := MergeIntervalsGreedy(x, y, AnnealConfig{K: 5, L: 4})
+	b := MergeIntervalsGreedy(x, y, AnnealConfig{K: 5, L: 4})
+	if a.Score != b.Score {
+		t.Error("greedy must be deterministic")
+	}
+	for i := range a.Splits {
+		if a.Splits[i] != b.Splits[i] {
+			t.Error("splits diverged")
+		}
+	}
+}
+
+// Greedy quality is comparable with annealing on typical series: within a
+// few points of error, usually better than the equal-width start.
+func TestGreedyQualityVsAnnealing(t *testing.T) {
+	var greedyWorse int
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		x, y := randSeries(seed+100, 40)
+		cfg := AnnealConfig{K: 6, L: 4, N: 500, AcceptProb: 0.25, Seed: seed}
+		sa := MergeIntervals(x, y, cfg)
+		gr := MergeIntervalsGreedy(x, y, cfg)
+		if gr.ErrPct > sa.ErrPct+5 {
+			greedyWorse++
+		}
+		if !validSplits(gr.Splits, 40, 1e9) { // structural validity
+			t.Fatalf("greedy produced invalid splits: %v", gr.Splits)
+		}
+	}
+	if greedyWorse > trials/2 {
+		t.Errorf("greedy clearly worse than annealing on %d/%d series", greedyWorse, trials)
+	}
+}
+
+// Property: greedy splits are strictly increasing and within bounds.
+func TestGreedyStructureProperty(t *testing.T) {
+	f := func(seed uint64, kRaw, mRaw uint8) bool {
+		m := int(mRaw)%50 + 6
+		k := int(kRaw)%5 + 2
+		x, y := randSeries(seed, m)
+		res := MergeIntervalsGreedy(x, y, AnnealConfig{K: k, L: 4})
+		prev := 0
+		for _, s := range res.Splits {
+			if s <= prev || s >= m {
+				return false
+			}
+			prev = s
+		}
+		return !math.IsNaN(res.Score)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package kdapcore
+
+import (
+	"math"
+	"sort"
+)
+
+// RankMethod selects the star-net scoring formula. Standard is the
+// paper's proposal (§4.4); the other three are the comparison methods of
+// Figure 4.
+type RankMethod int
+
+const (
+	// Standard is the paper's formula:
+	//
+	//	SCORE(SN,q) = Σ_HG [ Σ_h Sim(h.val,q) / (|HG|·(1+ln|HG|)) ] / |SN|²
+	//
+	// It averages hit similarity per group, penalizes large hit groups
+	// (the "California Street" problem), and strongly prefers nets with
+	// fewer hit groups, i.e. interpretations where several keywords land
+	// in the same attribute instance ("San Jose" the city beats
+	// "San Antonio"+"Jose").
+	Standard RankMethod = iota
+	// NoGroupNumNorm disables the |SN|² group-number normalization.
+	NoGroupNumNorm
+	// NoGroupSizeNorm disables the (1+ln|HG|) group-size normalization.
+	NoGroupSizeNorm
+	// Baseline directly averages the raw full-text scores of all hits in
+	// the net, as in Hristidis et al. (the paper's baseline).
+	Baseline
+)
+
+// String names the method as used in the Figure 4 legend.
+func (m RankMethod) String() string {
+	switch m {
+	case Standard:
+		return "standard"
+	case NoGroupNumNorm:
+		return "no-group-number-norm"
+	case NoGroupSizeNorm:
+		return "no-group-size-norm"
+	case Baseline:
+		return "baseline"
+	default:
+		return "unknown"
+	}
+}
+
+// RankMethods lists all four methods in Figure 4 order.
+var RankMethods = []RankMethod{Standard, NoGroupNumNorm, NoGroupSizeNorm, Baseline}
+
+// scoreStarNet computes the ranking score of one star net under a method.
+func scoreStarNet(sn *StarNet, m RankMethod) float64 {
+	if len(sn.Groups) == 0 {
+		return 0
+	}
+	switch m {
+	case Baseline:
+		// Direct average of the text engine's original scores — no group
+		// structure, no phrase score update (the [15]-style baseline).
+		var sum float64
+		var n int
+		for _, bg := range sn.Groups {
+			for _, h := range bg.Group.Hits {
+				sum += h.RawScore
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	default:
+		var total float64
+		for _, bg := range sn.Groups {
+			hg := bg.Group
+			if len(hg.Hits) == 0 {
+				continue
+			}
+			gs := hg.SumScore() / float64(len(hg.Hits)) // average similarity
+			if m != NoGroupSizeNorm {
+				gs /= 1 + math.Log(float64(len(hg.Hits)))
+			}
+			total += gs
+		}
+		if m != NoGroupNumNorm {
+			total /= float64(len(sn.Groups) * len(sn.Groups))
+		}
+		return total
+	}
+}
+
+// rankStarNets scores and sorts nets in place, descending. The scoring
+// formula sees only hit groups, so nets that differ solely in join paths
+// tie; ties break toward smaller join networks (the DISCOVER/DBXplorer
+// heuristic the paper builds on) and then deterministically by signature.
+func rankStarNets(nets []*StarNet, m RankMethod) {
+	for _, sn := range nets {
+		sn.Score = scoreStarNet(sn, m)
+	}
+	sort.SliceStable(nets, func(i, j int) bool {
+		if nets[i].Score != nets[j].Score {
+			return nets[i].Score > nets[j].Score
+		}
+		if a, b := nets[i].pathLen(), nets[j].pathLen(); a != b {
+			return a < b
+		}
+		return nets[i].Signature() < nets[j].Signature()
+	})
+}

@@ -1,0 +1,110 @@
+package kdapcore
+
+import (
+	"testing"
+
+	"kdap/internal/relation"
+	"kdap/internal/schemagraph"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	return NewSession(ebizEngine(), DefaultExploreOptions())
+}
+
+func TestSessionFullLoop(t *testing.T) {
+	s := newSession(t)
+	if s.Current() != nil || s.Facets() != nil || s.Depth() != 0 {
+		t.Fatal("fresh session not empty")
+	}
+	nets, err := s.Query("Columbus LCD")
+	if err != nil || len(nets) == 0 {
+		t.Fatalf("query: %v", err)
+	}
+	if len(s.Interpretations()) != len(nets) {
+		t.Error("interpretations not stored")
+	}
+	f, err := s.Pick(1)
+	if err != nil || f == nil || s.Facets() != f {
+		t.Fatalf("pick: %v", err)
+	}
+	before := f.SubspaceSize
+
+	// Drill into the first categorical instance.
+	var drilled *Facets
+	for _, a := range s.FlatAttrs() {
+		if a.Numeric || len(a.Instances) == 0 || a.Instances[0].Value.IsNull() {
+			continue
+		}
+		drilled, err = s.Drill(a.Attr, a.Role, a.Instances[0].Value)
+		if err != nil {
+			t.Fatalf("drill: %v", err)
+		}
+		break
+	}
+	if drilled == nil {
+		t.Fatal("nothing drilled")
+	}
+	if s.Depth() != 1 || drilled.SubspaceSize > before {
+		t.Errorf("depth %d, sizes %d -> %d", s.Depth(), before, drilled.SubspaceSize)
+	}
+	back, err := s.Back()
+	if err != nil || back.SubspaceSize != before || s.Depth() != 0 {
+		t.Errorf("back: %v size %d", err, back.SubspaceSize)
+	}
+	if _, err := s.Back(); err == nil {
+		t.Error("back at root accepted")
+	}
+}
+
+func TestSessionModeSwitchRebuildsFacets(t *testing.T) {
+	s := newSession(t)
+	if err := s.SetMode(Bellwether); err != nil {
+		t.Fatal(err) // no facets yet: just records the mode
+	}
+	if _, err := s.Query("Projectors"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pick(1); err != nil {
+		t.Fatal(err)
+	}
+	f1 := s.Facets()
+	if err := s.SetMode(Surprise); err != nil {
+		t.Fatal(err)
+	}
+	if s.Facets() == f1 {
+		t.Error("mode switch did not rebuild facets")
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Pick(1); err == nil {
+		t.Error("pick before query accepted")
+	}
+	if _, err := s.Query("   "); err == nil {
+		t.Error("blank query accepted")
+	}
+	if _, err := s.Drill(schemagraph.AttrRef{Table: "LOC", Attr: "City"}, "Store", relation.String("Columbus")); err == nil {
+		t.Error("drill before pick accepted")
+	}
+	nets, _ := s.Query("Projectors")
+	if len(nets) == 0 {
+		t.Fatal("no nets")
+	}
+	if _, err := s.Pick(999); err == nil {
+		t.Error("out-of-range pick accepted")
+	}
+	if _, err := s.Pick(1); err != nil {
+		t.Fatal(err)
+	}
+	// A drill into a nonexistent value empties the subspace and must
+	// leave the session usable at the previous state.
+	before := s.Facets().SubspaceSize
+	if _, err := s.Drill(schemagraph.AttrRef{Table: "LOC", Attr: "City"}, "Store", relation.String("Atlantis")); err == nil {
+		t.Error("empty drill accepted")
+	}
+	if s.Depth() != 0 || s.Facets() == nil || s.Facets().SubspaceSize != before {
+		t.Error("failed drill corrupted the session")
+	}
+}

@@ -1,0 +1,126 @@
+package kdapcore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kdap/internal/olap"
+)
+
+// SQL renders the star net as the SQL aggregation query it stands for —
+// the statement a conventional OLAP tool would have required the analyst
+// to write by hand (the paper's §1 motivation). Each hit group
+// contributes its join path's chain of INNER JOINs plus an IN predicate.
+// Join chains that share a prefix from the fact table share table
+// aliases (the same TRANS header join serves both a Store and a Buyer
+// path); where chains diverge onto the same table, role-suffixed aliases
+// keep the interpretations apart, exactly as §4.2 requires. Numeric
+// predicates append to the WHERE clause.
+//
+// The output is standard SQL over the warehouse's schema, intended for
+// explanation and for porting a KDAP interpretation onto an external
+// RDBMS; the in-memory executor does not parse it.
+func (sn *StarNet) SQL(measure olap.Measure, agg olap.Agg, factTable string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s(%s)\nFROM %s", agg, measureSQL(measure), quoteIdent(factTable))
+
+	type joinClause struct {
+		table, alias, fromAlias, fromCol, toCol string
+	}
+	aliasByPrefix := map[string]string{"": factTable}
+	usedAliases := map[string]bool{factTable: true}
+	var joins []joinClause
+	var preds []string
+
+	// introduce renders the join chain of one path (fact outward),
+	// sharing aliases on common hop-prefixes, and returns the alias of
+	// the path's source table.
+	introduce := func(role string, pathLen int, hopAt func(i int) (table, fromCol, toCol, key string)) string {
+		prefix := ""
+		prevAlias := factTable
+		for i := 0; i < pathLen; i++ {
+			table, fromCol, toCol, key := hopAt(i)
+			prefix += "|" + key
+			alias, ok := aliasByPrefix[prefix]
+			if !ok {
+				alias = table
+				if usedAliases[alias] {
+					alias = table + "_" + strings.ToLower(role)
+				}
+				for n := 2; usedAliases[alias]; n++ {
+					alias = fmt.Sprintf("%s_%d", table, n)
+				}
+				usedAliases[alias] = true
+				aliasByPrefix[prefix] = alias
+				joins = append(joins, joinClause{
+					table: table, alias: alias, fromAlias: prevAlias,
+					fromCol: fromCol, toCol: toCol,
+				})
+			}
+			prevAlias = alias
+		}
+		return prevAlias
+	}
+
+	for _, bg := range sn.Groups {
+		hops := bg.Path.Hops
+		prevAlias := introduce(bg.Path.Role, len(hops), func(i int) (string, string, string, string) {
+			hop := hops[len(hops)-1-i].Reverse() // oriented away from the fact
+			return hop.ToTable, hop.FromCol, hop.ToCol, hop.String()
+		})
+		vals := make([]string, 0, len(bg.Group.Hits))
+		for _, h := range bg.Group.Hits {
+			vals = append(vals, quoteValue(h.Value.Text()))
+		}
+		sort.Strings(vals)
+		preds = append(preds, fmt.Sprintf("%s.%s IN (%s)",
+			quoteIdent(prevAlias), quoteIdent(bg.Group.Attr), strings.Join(vals, ", ")))
+	}
+
+	for _, nf := range sn.Filters {
+		if nf.OnFact {
+			preds = append(preds, fmt.Sprintf("%s.%s %s %g",
+				quoteIdent(factTable), quoteIdent(nf.Attr.Attr), nf.Op, nf.Value))
+			continue
+		}
+		hops := nf.Path.Hops
+		alias := introduce(nf.Role, len(hops), func(i int) (string, string, string, string) {
+			hop := hops[len(hops)-1-i].Reverse()
+			return hop.ToTable, hop.FromCol, hop.ToCol, hop.String()
+		})
+		preds = append(preds, fmt.Sprintf("%s.%s %s %g",
+			quoteIdent(alias), quoteIdent(nf.Attr.Attr), nf.Op, nf.Value))
+	}
+	for _, j := range joins {
+		fmt.Fprintf(&b, "\n  JOIN %s AS %s ON %s.%s = %s.%s",
+			quoteIdent(j.table), quoteIdent(j.alias),
+			quoteIdent(j.fromAlias), quoteIdent(j.fromCol),
+			quoteIdent(j.alias), quoteIdent(j.toCol))
+	}
+	if len(preds) > 0 {
+		fmt.Fprintf(&b, "\nWHERE %s", strings.Join(preds, "\n  AND "))
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+// measureSQL renders the measure's expression; Measure carries a Go
+// closure rather than an AST, so the measure's name stands in as the
+// column expression.
+func measureSQL(m olap.Measure) string {
+	if m.Name == "" {
+		return "*"
+	}
+	return quoteIdent(m.Name)
+}
+
+// quoteIdent double-quotes an SQL identifier.
+func quoteIdent(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// quoteValue single-quotes an SQL string literal.
+func quoteValue(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

@@ -1,0 +1,18 @@
+package olap
+
+import "testing"
+
+func BenchmarkPivot(b *testing.B) {
+	ex := NewExecutor(ebiz.Graph)
+	m := ProductMeasure(ebiz.DB.Table("TRANSITEM"), "rev", "UnitPrice", "Quantity")
+	rows := ex.FactRows(nil)
+	rp, _ := ebiz.Graph.PathFromFact("PGROUP", "Product")
+	cp, _ := ebiz.Graph.PathFromFact("LOC", "Store")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt := ex.Pivot(rows, "GroupName", rp, "State", cp, m, Sum)
+		if pt.Grand == 0 {
+			b.Fatal("empty pivot")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package olap
+
+import (
+	"testing"
+
+	"kdap/internal/relation"
+	"kdap/internal/schemagraph"
+)
+
+// dirtyWarehouse builds a small star schema with deliberately broken
+// rows: a fact with a dangling product key, a fact with a NULL product
+// key, and a product with a dangling group key. Real warehouses have
+// them; the executor must degrade gracefully (drop the unlinkable rows)
+// rather than panic or miscount.
+func dirtyWarehouse(t *testing.T) (*schemagraph.Graph, *Executor) {
+	t.Helper()
+	db := relation.NewDatabase("dirty")
+	group := db.MustCreateTable(relation.MustSchema("Grp", []relation.Column{
+		{Name: "GrpKey", Kind: relation.KindInt},
+		{Name: "GrpName", Kind: relation.KindString, FullText: true},
+	}, "GrpKey", nil))
+	prod := db.MustCreateTable(relation.MustSchema("Prod", []relation.Column{
+		{Name: "ProdKey", Kind: relation.KindInt},
+		{Name: "Name", Kind: relation.KindString, FullText: true},
+		{Name: "GrpKey", Kind: relation.KindInt},
+	}, "ProdKey", []relation.ForeignKey{{Column: "GrpKey", RefTable: "Grp", RefColumn: "GrpKey"}}))
+	fact := db.MustCreateTable(relation.MustSchema("Fact", []relation.Column{
+		{Name: "FactKey", Kind: relation.KindInt},
+		{Name: "ProdKey", Kind: relation.KindInt},
+		{Name: "Amount", Kind: relation.KindFloat},
+	}, "FactKey", []relation.ForeignKey{{Column: "ProdKey", RefTable: "Prod", RefColumn: "ProdKey"}}))
+
+	group.MustAppend(relation.Int(1), relation.String("Widgets"))
+	prod.MustAppend(relation.Int(1), relation.String("Widget A"), relation.Int(1))
+	prod.MustAppend(relation.Int(2), relation.String("Widget B"), relation.Int(999)) // dangling group
+	fact.MustAppend(relation.Int(1), relation.Int(1), relation.Float(10))
+	fact.MustAppend(relation.Int(2), relation.Int(2), relation.Float(20))
+	fact.MustAppend(relation.Int(3), relation.Int(777), relation.Float(40)) // dangling product
+	fact.MustAppend(relation.Int(4), relation.Null(), relation.Float(80))   // NULL product
+
+	g := schemagraph.New(db, "Fact")
+	if err := g.AddDimension(&schemagraph.Dimension{
+		Name: "Product", Tables: []string{"Prod", "Grp"},
+		GroupBy: []schemagraph.AttrRef{{Table: "Grp", Attr: "GrpName"}, {Table: "Prod", Attr: "Name"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-strict integrity passes (the schema is fine, the data dirty).
+	if err := db.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	return g, NewExecutor(g)
+}
+
+func TestDirtyDataSemijoin(t *testing.T) {
+	g, ex := dirtyWarehouse(t)
+	path, ok := g.PathFromFact("Prod", "Product")
+	if !ok {
+		t.Fatal("no path")
+	}
+	rows := ex.FactRows([]Constraint{{
+		Table: "Prod", Attr: "Name",
+		Values: []relation.Value{relation.String("Widget A"), relation.String("Widget B")},
+		Path:   path,
+	}})
+	// Only facts 1 and 2 link to real products.
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 1 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestDirtyDataGroupByDropsUnlinked(t *testing.T) {
+	g, ex := dirtyWarehouse(t)
+	m := ColumnMeasure(g.DB().Table("Fact"), "Amount")
+	all := ex.FactRows(nil)
+	if len(all) != 4 {
+		t.Fatalf("all = %d", len(all))
+	}
+	prodPath, _ := g.PathFromFact("Prod", "Product")
+	byName := ex.GroupBy(all, "Name", prodPath, m, Sum)
+	if len(byName) != 2 {
+		t.Fatalf("groups = %v", byName)
+	}
+	if byName[relation.String("Widget A")] != 10 || byName[relation.String("Widget B")] != 20 {
+		t.Errorf("groups = %v (dangling/NULL facts must be dropped)", byName)
+	}
+	// Two hops with a dangling middle: group by GrpName drops Widget B's
+	// facts too.
+	grpPath, _ := g.PathFromFact("Grp", "Product")
+	byGrp := ex.GroupBy(all, "GrpName", grpPath, m, Sum)
+	if len(byGrp) != 1 || byGrp[relation.String("Widgets")] != 10 {
+		t.Errorf("group-level groups = %v", byGrp)
+	}
+}
+
+func TestDirtyDataNumericSeries(t *testing.T) {
+	g, ex := dirtyWarehouse(t)
+	m := ColumnMeasure(g.DB().Table("Fact"), "Amount")
+	all := ex.FactRows(nil)
+	prodPath, _ := g.PathFromFact("Prod", "Product")
+	// ProdKey as a "numeric attribute" on the product table: only linked
+	// facts appear.
+	series := ex.NumericSeries(all, "ProdKey", prodPath, m)
+	if len(series) != 2 {
+		t.Errorf("series = %v", series)
+	}
+}

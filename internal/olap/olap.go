@@ -1,0 +1,497 @@
+// Package olap executes aggregation queries over a star/snowflake schema:
+// semijoin of keyword-hit dimension rows through join paths to fact rows
+// (slicing the sub-dataspace of a star net), measures and aggregation
+// functions over fact rows, and group-by along arbitrary dimension
+// attributes reached through join paths.
+package olap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"kdap/internal/bitset"
+	"kdap/internal/relation"
+	"kdap/internal/schemagraph"
+)
+
+// Measure evaluates a numeric measure on one fact row. The paper's
+// experiments use sales revenue = UnitPrice × Quantity; arbitrary
+// user-defined measures are supported per §5's extension note.
+type Measure struct {
+	Name string
+	Eval func(row []relation.Value) float64
+}
+
+// ColumnMeasure returns a measure that reads a single numeric fact column.
+func ColumnMeasure(t *relation.Table, col string) Measure {
+	ci := t.Schema().ColumnIndex(col)
+	if ci < 0 {
+		panic(fmt.Sprintf("olap: fact table %s has no column %q", t.Name(), col))
+	}
+	return Measure{Name: col, Eval: func(row []relation.Value) float64 {
+		return row[ci].AsFloat()
+	}}
+}
+
+// ProductMeasure returns a measure multiplying two numeric fact columns,
+// e.g. revenue = UnitPrice × Quantity.
+func ProductMeasure(t *relation.Table, name, colA, colB string) Measure {
+	a := t.Schema().ColumnIndex(colA)
+	b := t.Schema().ColumnIndex(colB)
+	if a < 0 || b < 0 {
+		panic(fmt.Sprintf("olap: fact table %s lacks %q or %q", t.Name(), colA, colB))
+	}
+	return Measure{Name: name, Eval: func(row []relation.Value) float64 {
+		return row[a].AsFloat() * row[b].AsFloat()
+	}}
+}
+
+// CountMeasure counts fact rows.
+func CountMeasure() Measure {
+	return Measure{Name: "count", Eval: func([]relation.Value) float64 { return 1 }}
+}
+
+// Agg selects the aggregation function applied to measure values.
+type Agg int
+
+// The supported aggregation functions.
+const (
+	Sum Agg = iota
+	Count
+	Avg
+	Min
+	Max
+)
+
+// String returns the SQL-ish name of the aggregation function.
+func (a Agg) String() string {
+	switch a {
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AGG(%d)", int(a))
+	}
+}
+
+type aggState struct {
+	sum float64
+	n   int
+	min float64
+	max float64
+}
+
+func newAggState() aggState {
+	return aggState{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (s *aggState) add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	s.sum += x
+	s.n++
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+}
+
+func (s *aggState) final(a Agg) float64 {
+	switch a {
+	case Sum:
+		return s.sum
+	case Count:
+		return float64(s.n)
+	case Avg:
+		if s.n == 0 {
+			return math.NaN()
+		}
+		return s.sum / float64(s.n)
+	case Min:
+		if s.n == 0 {
+			return math.NaN()
+		}
+		return s.min
+	case Max:
+		if s.n == 0 {
+			return math.NaN()
+		}
+		return s.max
+	default:
+		panic("olap: unknown aggregation")
+	}
+}
+
+// Constraint restricts the sub-dataspace: fact rows must link, through
+// Path, to a row of Table whose Attr is one of Values. One constraint per
+// hit group, per the paper's star-net semantics (§4.2): dimension hit
+// groups slice the subspace; all constraints intersect at the fact table.
+type Constraint struct {
+	Table  string
+	Attr   string
+	Values []relation.Value
+	Path   schemagraph.JoinPath // from Table to the fact table
+}
+
+// Executor runs star-net queries against one warehouse. It memoizes
+// fact-row→dimension-row mappings per join path and per-constraint
+// semijoin results (as bitsets over fact rows), so repeated facet
+// construction and the evaluation of many star nets sharing hit groups
+// are cheap. Safe for concurrent use.
+type Executor struct {
+	g    *schemagraph.Graph
+	fact *relation.Table
+
+	mu      sync.Mutex
+	factMap map[string][]int32 // path signature -> fact row -> dim row (-1 when unlinked)
+	// constraintBits caches each constraint's fact-row set; candidate
+	// star nets combine a small vocabulary of hit groups, so hit rates
+	// are high during differentiation-heavy workloads.
+	constraintBits map[string]*bitset.Set
+}
+
+// constraintCacheCap bounds the per-constraint cache.
+const constraintCacheCap = 512
+
+// NewExecutor creates an executor over the graph's database.
+func NewExecutor(g *schemagraph.Graph) *Executor {
+	fact := g.DB().Table(g.FactTable())
+	if fact == nil {
+		panic("olap: graph has no fact table")
+	}
+	return &Executor{
+		g: g, fact: fact,
+		factMap:        make(map[string][]int32),
+		constraintBits: make(map[string]*bitset.Set),
+	}
+}
+
+// Graph returns the schema graph the executor runs against.
+func (ex *Executor) Graph() *schemagraph.Graph { return ex.g }
+
+// FactLen returns the number of fact rows (the full dataspace size).
+func (ex *Executor) FactLen() int { return ex.fact.Len() }
+
+// MapRows maps row IDs of path.Source to row IDs of path.Target by
+// walking the path's hops; the result is sorted and deduplicated. This is
+// the semijoin primitive: dimension rows in, fact rows out.
+func (ex *Executor) MapRows(rows []int, path schemagraph.JoinPath) []int {
+	cur := rows
+	curTable := ex.g.DB().Table(path.Source)
+	for _, hop := range path.Hops {
+		next := ex.g.DB().Table(hop.ToTable)
+		if next == nil {
+			panic(fmt.Sprintf("olap: path references missing table %q", hop.ToTable))
+		}
+		fromIdx := curTable.Schema().ColumnIndex(hop.FromCol)
+		if fromIdx < 0 {
+			panic(fmt.Sprintf("olap: %s has no column %q", hop.FromTable, hop.FromCol))
+		}
+		var nextRows []int
+		seen := make(map[int]struct{})
+		for _, r := range cur {
+			v := curTable.Row(r)[fromIdx]
+			if v.IsNull() {
+				continue
+			}
+			for _, nr := range next.Lookup(hop.ToCol, v) {
+				if _, dup := seen[nr]; !dup {
+					seen[nr] = struct{}{}
+					nextRows = append(nextRows, nr)
+				}
+			}
+		}
+		sort.Ints(nextRows)
+		cur, curTable = nextRows, next
+	}
+	return cur
+}
+
+// constraintSig canonically identifies a constraint for caching.
+func constraintSig(c Constraint) string {
+	vals := make([]string, len(c.Values))
+	for i, v := range c.Values {
+		vals[i] = v.GoString()
+	}
+	sort.Strings(vals)
+	return c.Table + "\x00" + c.Attr + "\x00" + c.Path.Signature() + "\x00" + strings.Join(vals, "\x01")
+}
+
+// constraintSet returns (cached) the bitset of fact rows satisfying one
+// constraint.
+func (ex *Executor) constraintSet(c Constraint) *bitset.Set {
+	sig := constraintSig(c)
+	ex.mu.Lock()
+	if s, ok := ex.constraintBits[sig]; ok {
+		ex.mu.Unlock()
+		return s
+	}
+	ex.mu.Unlock()
+
+	t := ex.g.DB().Table(c.Table)
+	if t == nil {
+		panic(fmt.Sprintf("olap: constraint references missing table %q", c.Table))
+	}
+	dimRows := t.LookupIn(c.Attr, c.Values)
+	s := bitset.FromSorted(ex.fact.Len(), ex.MapRows(dimRows, c.Path))
+
+	ex.mu.Lock()
+	if len(ex.constraintBits) >= constraintCacheCap {
+		for k := range ex.constraintBits {
+			delete(ex.constraintBits, k)
+			break
+		}
+	}
+	ex.constraintBits[sig] = s
+	ex.mu.Unlock()
+	return s
+}
+
+// FactRows returns the fact rows of the sub-dataspace defined by the
+// constraints: the intersection over all constraints of the fact rows
+// reachable from matching dimension rows. With no constraints it returns
+// every fact row (the full dataspace). Per-constraint results are cached
+// as bitsets, so nets sharing hit groups share semijoin work.
+func (ex *Executor) FactRows(constraints []Constraint) []int {
+	if len(constraints) == 0 {
+		all := make([]int, ex.fact.Len())
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if len(constraints) == 1 {
+		rows := ex.constraintSet(constraints[0]).ToSlice()
+		if len(rows) == 0 {
+			return nil
+		}
+		return rows
+	}
+	acc := ex.constraintSet(constraints[0]).Clone()
+	for _, c := range constraints[1:] {
+		acc.AndWith(ex.constraintSet(c))
+		if acc.Count() == 0 {
+			return nil
+		}
+	}
+	rows := acc.ToSlice()
+	if len(rows) == 0 {
+		return nil
+	}
+	return rows
+}
+
+// Aggregate applies the measure and aggregation function over fact rows.
+func (ex *Executor) Aggregate(rows []int, m Measure, agg Agg) float64 {
+	st := newAggState()
+	for _, r := range rows {
+		st.add(m.Eval(ex.fact.Row(r)))
+	}
+	return st.final(agg)
+}
+
+// factToDim returns, memoized, the functional mapping fact row → dimension
+// row for a path from a dimension table to the fact table. Star schemas
+// make the fact→dimension direction many-to-one, so each fact row maps to
+// at most one dimension row (-1 when a foreign key is NULL or dangling).
+func (ex *Executor) factToDim(path schemagraph.JoinPath) []int32 {
+	sig := path.Signature()
+	ex.mu.Lock()
+	if m, ok := ex.factMap[sig]; ok {
+		ex.mu.Unlock()
+		return m
+	}
+	ex.mu.Unlock()
+
+	// Walk the reversed path fact → ... → dimension, column-at-a-time.
+	cur := make([]int32, ex.fact.Len())
+	for i := range cur {
+		cur[i] = int32(i)
+	}
+	curTable := ex.fact
+	for i := len(path.Hops) - 1; i >= 0; i-- {
+		hop := path.Hops[i].Reverse() // now oriented away from the fact
+		next := ex.g.DB().Table(hop.ToTable)
+		fromIdx := curTable.Schema().ColumnIndex(hop.FromCol)
+		out := make([]int32, len(cur))
+		for f, r := range cur {
+			if r < 0 {
+				out[f] = -1
+				continue
+			}
+			v := curTable.Row(int(r))[fromIdx]
+			if v.IsNull() {
+				out[f] = -1
+				continue
+			}
+			matches := next.Lookup(hop.ToCol, v)
+			if len(matches) == 0 {
+				out[f] = -1
+			} else {
+				out[f] = int32(matches[0])
+			}
+		}
+		cur, curTable = out, next
+	}
+	ex.mu.Lock()
+	ex.factMap[sig] = cur
+	ex.mu.Unlock()
+	return cur
+}
+
+// GroupBy partitions the given fact rows by the attribute at the far end
+// of path (a path from the attribute's table to the fact table) and
+// aggregates the measure within each group. The result maps each
+// attribute value to its aggregate; fact rows with no linked dimension
+// row are dropped.
+func (ex *Executor) GroupBy(rows []int, attr string, path schemagraph.JoinPath, m Measure, agg Agg) map[relation.Value]float64 {
+	dimTable := ex.g.DB().Table(path.Source)
+	ai := dimTable.Schema().ColumnIndex(attr)
+	if ai < 0 {
+		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
+	}
+	f2d := ex.factToDim(path)
+	states := make(map[relation.Value]*aggState)
+	for _, r := range rows {
+		d := f2d[r]
+		if d < 0 {
+			continue
+		}
+		v := dimTable.Row(int(d))[ai]
+		if v.IsNull() {
+			continue
+		}
+		st := states[v]
+		if st == nil {
+			s := newAggState()
+			st = &s
+			states[v] = st
+		}
+		st.add(m.Eval(ex.fact.Row(r)))
+	}
+	out := make(map[relation.Value]float64, len(states))
+	for v, st := range states {
+		out[v] = st.final(agg)
+	}
+	return out
+}
+
+// ValueMeasure pairs one fact row's numeric attribute value with its
+// measure value; the bucketizer consumes slices of these.
+type ValueMeasure struct {
+	Value   float64
+	Measure float64
+}
+
+// NumericSeries extracts, for each fact row, the numeric value of the
+// attribute reached via path together with the row's measure value.
+// Rows with NULL or unlinked attributes are dropped.
+func (ex *Executor) NumericSeries(rows []int, attr string, path schemagraph.JoinPath, m Measure) []ValueMeasure {
+	dimTable := ex.g.DB().Table(path.Source)
+	ai := dimTable.Schema().ColumnIndex(attr)
+	if ai < 0 {
+		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
+	}
+	f2d := ex.factToDim(path)
+	out := make([]ValueMeasure, 0, len(rows))
+	for _, r := range rows {
+		d := f2d[r]
+		if d < 0 {
+			continue
+		}
+		v := dimTable.Row(int(d))[ai]
+		if v.IsNull() || !v.Numeric() {
+			continue
+		}
+		out = append(out, ValueMeasure{Value: v.AsFloat(), Measure: m.Eval(ex.fact.Row(r))})
+	}
+	return out
+}
+
+// FilterRowsNumeric keeps the fact rows whose numeric attribute at the
+// far end of path satisfies pred; rows with NULL or unlinked attributes
+// are dropped. The KDAP engine uses it for the numeric-predicate query
+// extension.
+func (ex *Executor) FilterRowsNumeric(rows []int, attr string, path schemagraph.JoinPath, pred func(float64) bool) []int {
+	dimTable := ex.g.DB().Table(path.Source)
+	ai := dimTable.Schema().ColumnIndex(attr)
+	if ai < 0 {
+		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
+	}
+	f2d := ex.factToDim(path)
+	var out []int
+	for _, r := range rows {
+		d := f2d[r]
+		if d < 0 {
+			continue
+		}
+		v := dimTable.Row(int(d))[ai]
+		if v.IsNull() || !v.Numeric() {
+			continue
+		}
+		if pred(v.AsFloat()) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DimValues projects the distinct values of attr over the dimension rows
+// reached from the given rows of fromTable via an inner (fact-avoiding)
+// path; the roll-up executor uses it to generalize hit values to their
+// hierarchy parents.
+func (ex *Executor) DimValues(fromTable string, rows []int, path schemagraph.JoinPath, attr string) []relation.Value {
+	target := ex.g.DB().Table(path.Target())
+	mapped := ex.MapRows(rows, path)
+	ai := target.Schema().ColumnIndex(attr)
+	if ai < 0 {
+		panic(fmt.Sprintf("olap: %s has no column %q", path.Target(), attr))
+	}
+	seen := make(map[relation.Value]struct{})
+	var out []relation.Value
+	for _, r := range mapped {
+		v := target.Row(r)[ai]
+		if v.IsNull() {
+			continue
+		}
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// intersectSorted intersects two sorted, deduplicated int slices.
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kdap/internal/relation"
+	"kdap/internal/schemagraph"
+)
+
+// PivotTable is a two-dimensional cross-tabulation of a sub-dataspace:
+// rows partitioned by one attribute, columns by another, each cell the
+// aggregate of the facts falling in both groups. Pivot completes the
+// OLAP navigation set the paper lists in §2 (slice-dice, drill-down,
+// roll-up, pivot).
+type PivotTable struct {
+	RowAttr, ColAttr string
+	RowKeys, ColKeys []relation.Value
+	// Cells[i][j] aggregates the facts with RowKeys[i] and ColKeys[j];
+	// missing combinations hold 0 for Sum/Count (NaN would complicate
+	// rendering; Present distinguishes true zeros).
+	Cells   [][]float64
+	Present [][]bool
+	// RowTotals / ColTotals / Grand aggregate each margin.
+	RowTotals []float64
+	ColTotals []float64
+	Grand     float64
+}
+
+// Pivot cross-tabulates the given fact rows by two attributes reached
+// through their join paths.
+func (ex *Executor) Pivot(rows []int, rowAttr string, rowPath schemagraph.JoinPath,
+	colAttr string, colPath schemagraph.JoinPath, m Measure, agg Agg) *PivotTable {
+
+	rowTable := ex.g.DB().Table(rowPath.Source)
+	colTable := ex.g.DB().Table(colPath.Source)
+	ri := rowTable.Schema().ColumnIndex(rowAttr)
+	ci := colTable.Schema().ColumnIndex(colAttr)
+	if ri < 0 || ci < 0 {
+		panic(fmt.Sprintf("olap: pivot attrs %q/%q missing", rowAttr, colAttr))
+	}
+	rf2d := ex.factToDim(rowPath)
+	cf2d := ex.factToDim(colPath)
+
+	type cellKey struct{ r, c relation.Value }
+	states := make(map[cellKey]*aggState)
+	rowSet := map[relation.Value]bool{}
+	colSet := map[relation.Value]bool{}
+	for _, fr := range rows {
+		rd, cd := rf2d[fr], cf2d[fr]
+		if rd < 0 || cd < 0 {
+			continue
+		}
+		rv := rowTable.Row(int(rd))[ri]
+		cv := colTable.Row(int(cd))[ci]
+		if rv.IsNull() || cv.IsNull() {
+			continue
+		}
+		rowSet[rv] = true
+		colSet[cv] = true
+		k := cellKey{rv, cv}
+		st := states[k]
+		if st == nil {
+			s := newAggState()
+			st = &s
+			states[k] = st
+		}
+		st.add(m.Eval(ex.fact.Row(fr)))
+	}
+
+	sortVals := func(set map[relation.Value]bool) []relation.Value {
+		out := make([]relation.Value, 0, len(set))
+		for v := range set {
+			out = append(out, v)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+		return out
+	}
+	pt := &PivotTable{
+		RowAttr: rowAttr, ColAttr: colAttr,
+		RowKeys: sortVals(rowSet), ColKeys: sortVals(colSet),
+	}
+	pt.Cells = make([][]float64, len(pt.RowKeys))
+	pt.Present = make([][]bool, len(pt.RowKeys))
+	pt.RowTotals = make([]float64, len(pt.RowKeys))
+	pt.ColTotals = make([]float64, len(pt.ColKeys))
+	grand := newAggState()
+	for i, rv := range pt.RowKeys {
+		pt.Cells[i] = make([]float64, len(pt.ColKeys))
+		pt.Present[i] = make([]bool, len(pt.ColKeys))
+		rowState := newAggState()
+		for j, cv := range pt.ColKeys {
+			if st, ok := states[cellKey{rv, cv}]; ok {
+				pt.Cells[i][j] = st.final(agg)
+				pt.Present[i][j] = true
+				rowState.sum += st.sum
+				rowState.n += st.n
+				if st.min < rowState.min {
+					rowState.min = st.min
+				}
+				if st.max > rowState.max {
+					rowState.max = st.max
+				}
+			}
+		}
+		pt.RowTotals[i] = rowState.final(agg)
+		grand.sum += rowState.sum
+		grand.n += rowState.n
+		if rowState.min < grand.min {
+			grand.min = rowState.min
+		}
+		if rowState.max > grand.max {
+			grand.max = rowState.max
+		}
+	}
+	for j, cv := range pt.ColKeys {
+		colState := newAggState()
+		for _, rv := range pt.RowKeys {
+			if st, ok := states[cellKey{rv, cv}]; ok {
+				colState.sum += st.sum
+				colState.n += st.n
+				if st.min < colState.min {
+					colState.min = st.min
+				}
+				if st.max > colState.max {
+					colState.max = st.max
+				}
+			}
+		}
+		pt.ColTotals[j] = colState.final(agg)
+	}
+	pt.Grand = grand.final(agg)
+	return pt
+}
+
+// String renders the pivot as an aligned text table with margins.
+func (pt *PivotTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s", pt.RowAttr+" \\ "+pt.ColAttr)
+	for _, cv := range pt.ColKeys {
+		fmt.Fprintf(&b, " %14s", truncate(cv.Text(), 14))
+	}
+	fmt.Fprintf(&b, " %14s\n", "TOTAL")
+	for i, rv := range pt.RowKeys {
+		fmt.Fprintf(&b, "%-20s", truncate(rv.Text(), 20))
+		for j := range pt.ColKeys {
+			if pt.Present[i][j] {
+				fmt.Fprintf(&b, " %14.2f", pt.Cells[i][j])
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		fmt.Fprintf(&b, " %14.2f\n", pt.RowTotals[i])
+	}
+	fmt.Fprintf(&b, "%-20s", "TOTAL")
+	for j := range pt.ColKeys {
+		fmt.Fprintf(&b, " %14.2f", pt.ColTotals[j])
+	}
+	fmt.Fprintf(&b, " %14.2f\n", pt.Grand)
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

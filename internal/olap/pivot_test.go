@@ -1,0 +1,75 @@
+package olap
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"kdap/internal/relation"
+)
+
+func TestPivotTotalsConsistency(t *testing.T) {
+	ex := NewExecutor(ebiz.Graph)
+	m := revenue(t)
+	rows := ex.FactRows(nil)
+	pt := ex.Pivot(rows, "GroupName", pathTo(t, "PGROUP", "Product"),
+		"State", pathTo(t, "LOC", "Store"), m, Sum)
+
+	if len(pt.RowKeys) == 0 || len(pt.ColKeys) == 0 {
+		t.Fatal("empty pivot")
+	}
+	total := ex.Aggregate(rows, m, Sum)
+	if math.Abs(pt.Grand-total) > 1e-6*total {
+		t.Errorf("grand %g != total %g", pt.Grand, total)
+	}
+	var rowSum, colSum float64
+	for _, v := range pt.RowTotals {
+		rowSum += v
+	}
+	for _, v := range pt.ColTotals {
+		colSum += v
+	}
+	if math.Abs(rowSum-pt.Grand) > 1e-6*pt.Grand || math.Abs(colSum-pt.Grand) > 1e-6*pt.Grand {
+		t.Errorf("margins: rows %g cols %g grand %g", rowSum, colSum, pt.Grand)
+	}
+	// Each cell equals the direct aggregate of the two-constraint slice.
+	rv, cv := pt.RowKeys[0], pt.ColKeys[0]
+	ri, ci := 0, 0
+	slice := ex.FactRows([]Constraint{
+		{Table: "PGROUP", Attr: "GroupName", Values: []relation.Value{rv}, Path: pathTo(t, "PGROUP", "Product")},
+		{Table: "LOC", Attr: "State", Values: []relation.Value{cv}, Path: pathTo(t, "LOC", "Store")},
+	})
+	want := ex.Aggregate(slice, m, Sum)
+	if pt.Present[ri][ci] != (len(slice) > 0) {
+		t.Errorf("presence mismatch")
+	}
+	if pt.Present[ri][ci] && math.Abs(pt.Cells[ri][ci]-want) > 1e-6*(want+1) {
+		t.Errorf("cell = %g, direct = %g", pt.Cells[ri][ci], want)
+	}
+}
+
+func TestPivotRendering(t *testing.T) {
+	ex := NewExecutor(ebiz.Graph)
+	m := revenue(t)
+	rows := ex.FactRows(nil)[:500]
+	pt := ex.Pivot(rows, "LineName", pathTo(t, "PLINE", "Product"),
+		"Country", pathTo(t, "LOC", "Store"), m, Sum)
+	out := pt.String()
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, "LineName \\ Country") {
+		t.Errorf("rendering:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(pt.RowKeys)+2 {
+		t.Errorf("line count %d, want %d", len(lines), len(pt.RowKeys)+2)
+	}
+}
+
+func TestPivotCountAgg(t *testing.T) {
+	ex := NewExecutor(ebiz.Graph)
+	rows := ex.FactRows(nil)
+	pt := ex.Pivot(rows, "GroupName", pathTo(t, "PGROUP", "Product"),
+		"Country", pathTo(t, "LOC", "Store"), CountMeasure(), Count)
+	if int(pt.Grand) != len(rows) {
+		t.Errorf("count grand = %g, want %d", pt.Grand, len(rows))
+	}
+}

@@ -1,0 +1,33 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"kdap/internal/dataset"
+)
+
+func BenchmarkSave(b *testing.B) {
+	wh := dataset.EBiz()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Save(&buf, wh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoad(b *testing.B) {
+	var buf bytes.Buffer
+	if err := Save(&buf, dataset.EBiz()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

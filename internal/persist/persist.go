@@ -1,0 +1,215 @@
+// Package persist serializes a complete warehouse — data, schema,
+// dimension metadata, and edge labels — to a single gob stream, so that a
+// generated or loaded warehouse can be snapshotted to disk and reopened
+// without re-running generation or ETL. The full-text index is rebuilt on
+// load (it is derived state and rebuilding is fast and deterministic).
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"kdap/internal/dataset"
+	"kdap/internal/fulltext"
+	"kdap/internal/relation"
+	"kdap/internal/schemagraph"
+)
+
+// formatVersion guards against reading snapshots from incompatible
+// releases.
+const formatVersion = 1
+
+// valueData is the serialized form of one relational value.
+type valueData struct {
+	Kind uint8
+	S    string
+	I    int64
+	F    float64
+	B    bool
+}
+
+func encodeValue(v relation.Value) valueData {
+	d := valueData{Kind: uint8(v.Kind())}
+	switch v.Kind() {
+	case relation.KindString:
+		d.S = v.Str()
+	case relation.KindInt:
+		d.I = v.IntVal()
+	case relation.KindFloat:
+		d.F = v.FloatVal()
+	case relation.KindBool:
+		d.B = v.BoolVal()
+	}
+	return d
+}
+
+func decodeValue(d valueData) (relation.Value, error) {
+	switch relation.Kind(d.Kind) {
+	case relation.KindNull:
+		return relation.Null(), nil
+	case relation.KindString:
+		return relation.String(d.S), nil
+	case relation.KindInt:
+		return relation.Int(d.I), nil
+	case relation.KindFloat:
+		return relation.Float(d.F), nil
+	case relation.KindBool:
+		return relation.Bool(d.B), nil
+	default:
+		return relation.Value{}, fmt.Errorf("persist: unknown value kind %d", d.Kind)
+	}
+}
+
+type columnData struct {
+	Name     string
+	Kind     uint8
+	FullText bool
+}
+
+type fkData struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+type tableData struct {
+	Name        string
+	Columns     []columnData
+	Key         string
+	ForeignKeys []fkData
+	Rows        [][]valueData
+}
+
+type hierarchyData struct {
+	Name   string
+	Levels []schemagraph.AttrRef
+}
+
+type dimensionData struct {
+	Name        string
+	Tables      []string
+	Hierarchies []hierarchyData
+	GroupBy     []schemagraph.AttrRef
+}
+
+type warehouseFile struct {
+	Version    int
+	Name       string
+	Fact       string
+	FactExt    []string
+	MaxHops    int
+	Tables     []tableData
+	Dimensions []dimensionData
+	EdgeLabels []schemagraph.EdgeLabel
+}
+
+// Save writes the warehouse to w.
+func Save(w io.Writer, wh *dataset.Warehouse) error {
+	wf := warehouseFile{
+		Version:    formatVersion,
+		Name:       wh.DB.Name(),
+		Fact:       wh.Graph.FactTable(),
+		FactExt:    wh.Graph.FactExtensions(),
+		MaxHops:    wh.Graph.MaxHops(),
+		EdgeLabels: wh.Graph.EdgeLabels(),
+	}
+	for _, tn := range wh.DB.TableNames() {
+		t := wh.DB.Table(tn)
+		s := t.Schema()
+		td := tableData{Name: tn, Key: s.Key}
+		for _, c := range s.Columns {
+			td.Columns = append(td.Columns, columnData{Name: c.Name, Kind: uint8(c.Kind), FullText: c.FullText})
+		}
+		for _, fk := range s.ForeignKeys {
+			td.ForeignKeys = append(td.ForeignKeys, fkData{Column: fk.Column, RefTable: fk.RefTable, RefColumn: fk.RefColumn})
+		}
+		td.Rows = make([][]valueData, 0, t.Len())
+		t.Scan(func(id int, row []relation.Value) bool {
+			r := make([]valueData, len(row))
+			for i, v := range row {
+				r[i] = encodeValue(v)
+			}
+			td.Rows = append(td.Rows, r)
+			return true
+		})
+		wf.Tables = append(wf.Tables, td)
+	}
+	for _, d := range wh.Graph.Dimensions() {
+		dd := dimensionData{Name: d.Name, Tables: d.Tables, GroupBy: d.GroupBy}
+		for _, h := range d.Hierarchies {
+			dd.Hierarchies = append(dd.Hierarchies, hierarchyData{Name: h.Name, Levels: h.Levels})
+		}
+		wf.Dimensions = append(wf.Dimensions, dd)
+	}
+	return gob.NewEncoder(w).Encode(&wf)
+}
+
+// Load reads a warehouse from r, rebuilding the schema graph and the
+// full-text index.
+func Load(r io.Reader) (*dataset.Warehouse, error) {
+	var wf warehouseFile
+	if err := gob.NewDecoder(r).Decode(&wf); err != nil {
+		return nil, fmt.Errorf("persist: decode: %w", err)
+	}
+	if wf.Version != formatVersion {
+		return nil, fmt.Errorf("persist: snapshot version %d, want %d", wf.Version, formatVersion)
+	}
+	db := relation.NewDatabase(wf.Name)
+	for _, td := range wf.Tables {
+		cols := make([]relation.Column, len(td.Columns))
+		for i, c := range td.Columns {
+			cols[i] = relation.Column{Name: c.Name, Kind: relation.Kind(c.Kind), FullText: c.FullText}
+		}
+		fks := make([]relation.ForeignKey, len(td.ForeignKeys))
+		for i, fk := range td.ForeignKeys {
+			fks[i] = relation.ForeignKey{Column: fk.Column, RefTable: fk.RefTable, RefColumn: fk.RefColumn}
+		}
+		schema, err := relation.NewSchema(td.Name, cols, td.Key, fks)
+		if err != nil {
+			return nil, fmt.Errorf("persist: table %s: %w", td.Name, err)
+		}
+		t := relation.NewTable(schema)
+		for ri, rd := range td.Rows {
+			row := make([]relation.Value, len(rd))
+			for i, vd := range rd {
+				v, err := decodeValue(vd)
+				if err != nil {
+					return nil, fmt.Errorf("persist: %s row %d: %w", td.Name, ri, err)
+				}
+				row[i] = v
+			}
+			if _, err := t.Append(row); err != nil {
+				return nil, fmt.Errorf("persist: %s row %d: %w", td.Name, ri, err)
+			}
+		}
+		if err := db.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+
+	g := schemagraph.New(db, wf.Fact)
+	g.SetMaxHops(wf.MaxHops)
+	g.AddFactExtension(wf.FactExt...)
+	for _, dd := range wf.Dimensions {
+		d := &schemagraph.Dimension{Name: dd.Name, Tables: dd.Tables, GroupBy: dd.GroupBy}
+		for _, h := range dd.Hierarchies {
+			d.Hierarchies = append(d.Hierarchies, schemagraph.Hierarchy{Name: h.Name, Levels: h.Levels})
+		}
+		if err := g.AddDimension(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Build(); err != nil {
+		return nil, fmt.Errorf("persist: rebuild graph: %w", err)
+	}
+	for _, el := range wf.EdgeLabels {
+		g.LabelEdge(el.Table, el.Column, el.Role, el.Dimension)
+	}
+
+	db.Freeze()
+	ix := fulltext.NewIndex()
+	ix.IndexDatabase(db)
+	ix.Freeze()
+	return &dataset.Warehouse{DB: db, Graph: g, Index: ix}, nil
+}

@@ -1,0 +1,127 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database is a named collection of tables with validated foreign keys.
+type Database struct {
+	name   string
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{name: name, tables: make(map[string]*Table)}
+}
+
+// Name returns the database name.
+func (db *Database) Name() string { return db.name }
+
+// AddTable registers a table. Table names must be unique.
+func (db *Database) AddTable(t *Table) error {
+	if _, dup := db.tables[t.Name()]; dup {
+		return fmt.Errorf("relation: database %s: duplicate table %q", db.name, t.Name())
+	}
+	db.tables[t.Name()] = t
+	db.order = append(db.order, t.Name())
+	return nil
+}
+
+// MustCreateTable builds a table from a schema, registers it, and returns
+// it; it panics on any error. Intended for static dataset construction.
+func (db *Database) MustCreateTable(s *Schema) *Table {
+	t := NewTable(s)
+	if err := db.AddTable(t); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns the table names in registration order.
+func (db *Database) TableNames() []string {
+	return append([]string(nil), db.order...)
+}
+
+// Validate checks referential integrity: every foreign key must point to an
+// existing table and column, and (when strict) every non-NULL foreign-key
+// value must resolve to exactly one referenced row.
+func (db *Database) Validate(strict bool) error {
+	for _, name := range db.order {
+		t := db.tables[name]
+		for _, fk := range t.Schema().ForeignKeys {
+			ref := db.tables[fk.RefTable]
+			if ref == nil {
+				return fmt.Errorf("relation: %s.%s references missing table %q", name, fk.Column, fk.RefTable)
+			}
+			if !ref.Schema().HasColumn(fk.RefColumn) {
+				return fmt.Errorf("relation: %s.%s references missing column %s.%s", name, fk.Column, fk.RefTable, fk.RefColumn)
+			}
+			if !strict {
+				continue
+			}
+			ci := t.Schema().ColumnIndex(fk.Column)
+			var bad error
+			t.Scan(func(id int, row []Value) bool {
+				v := row[ci]
+				if v.IsNull() {
+					return true
+				}
+				n := len(ref.Lookup(fk.RefColumn, v))
+				if n != 1 {
+					bad = fmt.Errorf("relation: %s row %d: %s=%#v resolves to %d rows of %s",
+						name, id, fk.Column, v, n, fk.RefTable)
+					return false
+				}
+				return true
+			})
+			if bad != nil {
+				return bad
+			}
+		}
+	}
+	return nil
+}
+
+// Freeze freezes every table (pre-building key indexes) so that the
+// database can afterwards be read concurrently.
+func (db *Database) Freeze() {
+	for _, name := range db.order {
+		db.tables[name].Freeze()
+	}
+}
+
+// Stats summarises the database for logging: table count, row counts, and
+// full-text attribute count.
+func (db *Database) Stats() DatabaseStats {
+	st := DatabaseStats{Name: db.name, Tables: len(db.order)}
+	names := append([]string(nil), db.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.tables[name]
+		st.Rows += t.Len()
+		st.FullTextColumns += len(t.Schema().FullTextColumns())
+		st.PerTable = append(st.PerTable, TableStats{Name: name, Rows: t.Len()})
+	}
+	return st
+}
+
+// DatabaseStats is the result of Database.Stats.
+type DatabaseStats struct {
+	Name            string
+	Tables          int
+	Rows            int
+	FullTextColumns int
+	PerTable        []TableStats
+}
+
+// TableStats is one table's row count within DatabaseStats.
+type TableStats struct {
+	Name string
+	Rows int
+}

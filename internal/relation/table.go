@@ -1,0 +1,198 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an append-only in-memory relation. Rows are identified by dense
+// integer row IDs (their insertion position), which the rest of the system
+// uses as compact fact/dimension handles.
+//
+// Hash indexes are built lazily per column on first lookup and maintained
+// on subsequent appends. A Table is not safe for concurrent mutation;
+// concurrent reads are safe once loading has finished and Freeze was
+// called (Freeze pre-builds the key indexes so readers never mutate).
+type Table struct {
+	schema  *Schema
+	rows    [][]Value
+	indexes map[string]map[Value][]int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{
+		schema:  schema,
+		indexes: make(map[string]map[Value][]int),
+	}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Append validates the row against the schema and appends it, returning
+// the new row ID. Int values are widened into float columns.
+func (t *Table) Append(row []Value) (int, error) {
+	if len(row) != len(t.schema.Columns) {
+		return 0, fmt.Errorf("relation: %s: row arity %d, want %d", t.Name(), len(row), len(t.schema.Columns))
+	}
+	stored := make([]Value, len(row))
+	for i, v := range row {
+		c := t.schema.Columns[i]
+		switch {
+		case v.IsNull():
+			stored[i] = v
+		case v.Kind() == c.Kind:
+			stored[i] = v
+		case c.Kind == KindFloat && v.Kind() == KindInt:
+			stored[i] = Float(float64(v.IntVal()))
+		default:
+			return 0, fmt.Errorf("relation: %s.%s: cannot store %s value %#v in %s column",
+				t.Name(), c.Name, v.Kind(), v, c.Kind)
+		}
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, stored)
+	for col, idx := range t.indexes {
+		ci := t.schema.ColumnIndex(col)
+		v := stored[ci]
+		idx[v] = append(idx[v], id)
+	}
+	return id, nil
+}
+
+// MustAppend is Append that panics on error; for statically known rows.
+func (t *Table) MustAppend(row ...Value) int {
+	id, err := t.Append(row)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Row returns the stored row for id. The returned slice must not be
+// modified.
+func (t *Table) Row(id int) []Value {
+	return t.rows[id]
+}
+
+// Value returns the value at (row id, column name). It panics if the
+// column does not exist.
+func (t *Table) Value(id int, col string) Value {
+	ci := t.schema.ColumnIndex(col)
+	if ci < 0 {
+		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
+	}
+	return t.rows[id][ci]
+}
+
+// index returns (building if needed) the hash index for col.
+func (t *Table) index(col string) map[Value][]int {
+	if idx, ok := t.indexes[col]; ok {
+		return idx
+	}
+	ci := t.schema.ColumnIndex(col)
+	if ci < 0 {
+		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
+	}
+	idx := make(map[Value][]int)
+	for id, row := range t.rows {
+		idx[row[ci]] = append(idx[row[ci]], id)
+	}
+	t.indexes[col] = idx
+	return idx
+}
+
+// Freeze pre-builds hash indexes on the primary key and every foreign-key
+// column so that subsequent concurrent lookups never mutate the table.
+func (t *Table) Freeze() {
+	if t.schema.Key != "" {
+		t.index(t.schema.Key)
+	}
+	for _, fk := range t.schema.ForeignKeys {
+		t.index(fk.Column)
+	}
+}
+
+// Lookup returns the IDs of rows whose col equals v, using (and caching) a
+// hash index. The returned slice is shared and must not be modified.
+func (t *Table) Lookup(col string, v Value) []int {
+	return t.index(col)[v]
+}
+
+// LookupIn returns the IDs of rows whose col equals any of vals, in
+// ascending row order without duplicates.
+func (t *Table) LookupIn(col string, vals []Value) []int {
+	idx := t.index(col)
+	var out []int
+	for _, v := range vals {
+		out = append(out, idx[v]...)
+	}
+	sort.Ints(out)
+	return dedupSorted(out)
+}
+
+// Scan calls fn for every row ID in insertion order, stopping early if fn
+// returns false.
+func (t *Table) Scan(fn func(id int, row []Value) bool) {
+	for id, row := range t.rows {
+		if !fn(id, row) {
+			return
+		}
+	}
+}
+
+// Filter returns the IDs of rows satisfying pred, in insertion order.
+func (t *Table) Filter(pred func(row []Value) bool) []int {
+	var out []int
+	for id, row := range t.rows {
+		if pred(row) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// DistinctValues returns the distinct non-NULL values of col in first-seen
+// order.
+func (t *Table) DistinctValues(col string) []Value {
+	ci := t.schema.ColumnIndex(col)
+	if ci < 0 {
+		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
+	}
+	seen := make(map[Value]struct{})
+	var out []Value
+	for _, row := range t.rows {
+		v := row[ci]
+		if v.IsNull() {
+			continue
+		}
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// dedupSorted removes duplicates from a sorted int slice in place.
+func dedupSorted(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}

@@ -1,0 +1,305 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func citySchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("City",
+		[]Column{
+			{Name: "CityKey", Kind: KindInt},
+			{Name: "Name", Kind: KindString, FullText: true},
+			{Name: "Population", Kind: KindFloat},
+		},
+		"CityKey", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaValidation(t *testing.T) {
+	cols := []Column{{Name: "A", Kind: KindInt}}
+	cases := []struct {
+		name string
+		fn   func() (*Schema, error)
+	}{
+		{"empty name", func() (*Schema, error) { return NewSchema("", cols, "", nil) }},
+		{"no columns", func() (*Schema, error) { return NewSchema("T", nil, "", nil) }},
+		{"dup column", func() (*Schema, error) {
+			return NewSchema("T", []Column{{Name: "A", Kind: KindInt}, {Name: "A", Kind: KindString}}, "", nil)
+		}},
+		{"null-kind column", func() (*Schema, error) {
+			return NewSchema("T", []Column{{Name: "A", Kind: KindNull}}, "", nil)
+		}},
+		{"missing key", func() (*Schema, error) { return NewSchema("T", cols, "B", nil) }},
+		{"missing fk column", func() (*Schema, error) {
+			return NewSchema("T", cols, "", []ForeignKey{{Column: "B", RefTable: "X", RefColumn: "Y"}})
+		}},
+		{"empty fk target", func() (*Schema, error) {
+			return NewSchema("T", cols, "", []ForeignKey{{Column: "A"}})
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.fn(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := citySchema(t)
+	if s.ColumnIndex("Name") != 1 || s.ColumnIndex("missing") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+	if !s.HasColumn("Population") || s.HasColumn("Pop") {
+		t.Error("HasColumn wrong")
+	}
+	c, ok := s.Column("Name")
+	if !ok || !c.FullText {
+		t.Error("Column lookup wrong")
+	}
+	if got := s.FullTextColumns(); !reflect.DeepEqual(got, []string{"Name"}) {
+		t.Errorf("FullTextColumns = %v", got)
+	}
+	if s.String() != "City(CityKey:int, Name:string, Population:float)" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestTableAppendAndRead(t *testing.T) {
+	tab := NewTable(citySchema(t))
+	id0 := tab.MustAppend(Int(1), String("Columbus"), Float(900000))
+	id1 := tab.MustAppend(Int(2), String("San Jose"), Int(1000000)) // int widened to float
+	if id0 != 0 || id1 != 1 || tab.Len() != 2 {
+		t.Fatalf("ids %d,%d len %d", id0, id1, tab.Len())
+	}
+	if tab.Value(1, "Population").Kind() != KindFloat {
+		t.Error("int not widened into float column")
+	}
+	if tab.Value(0, "Name").Str() != "Columbus" {
+		t.Error("read back failed")
+	}
+}
+
+func TestTableAppendErrors(t *testing.T) {
+	tab := NewTable(citySchema(t))
+	if _, err := tab.Append([]Value{Int(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := tab.Append([]Value{String("x"), String("y"), Float(1)}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if _, err := tab.Append([]Value{Null(), Null(), Null()}); err != nil {
+		t.Errorf("NULLs rejected: %v", err)
+	}
+}
+
+func TestTableLookupAndIndexMaintenance(t *testing.T) {
+	tab := NewTable(citySchema(t))
+	tab.MustAppend(Int(1), String("Columbus"), Float(1))
+	// Force index construction, then append more: index must stay fresh.
+	if got := tab.Lookup("Name", String("Columbus")); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Lookup = %v", got)
+	}
+	tab.MustAppend(Int(2), String("Columbus"), Float(2))
+	tab.MustAppend(Int(3), String("Seattle"), Float(3))
+	if got := tab.Lookup("Name", String("Columbus")); len(got) != 2 {
+		t.Errorf("index not maintained on append: %v", got)
+	}
+	got := tab.LookupIn("Name", []Value{String("Seattle"), String("Columbus"), String("Columbus")})
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("LookupIn = %v", got)
+	}
+	if got := tab.Lookup("Name", String("Nowhere")); got != nil {
+		t.Errorf("missing key should return nil, got %v", got)
+	}
+}
+
+func TestTableScanFilterDistinct(t *testing.T) {
+	tab := NewTable(citySchema(t))
+	tab.MustAppend(Int(1), String("A"), Float(10))
+	tab.MustAppend(Int(2), String("B"), Float(20))
+	tab.MustAppend(Int(3), String("A"), Float(30))
+	tab.MustAppend(Int(4), Null(), Float(40))
+
+	var seen int
+	tab.Scan(func(id int, row []Value) bool { seen++; return seen < 2 })
+	if seen != 2 {
+		t.Errorf("Scan early stop: %d", seen)
+	}
+
+	ids := tab.Filter(func(row []Value) bool { return row[2].AsFloat() > 15 })
+	if !reflect.DeepEqual(ids, []int{1, 2, 3}) {
+		t.Errorf("Filter = %v", ids)
+	}
+
+	dv := tab.DistinctValues("Name")
+	if !reflect.DeepEqual(dv, []Value{String("A"), String("B")}) {
+		t.Errorf("DistinctValues = %#v (NULL must be skipped, order first-seen)", dv)
+	}
+}
+
+func TestTablePanicsOnUnknownColumn(t *testing.T) {
+	tab := NewTable(citySchema(t))
+	tab.MustAppend(Int(1), String("A"), Float(1))
+	for name, fn := range map[string]func(){
+		"Value":          func() { tab.Value(0, "nope") },
+		"Lookup":         func() { tab.Lookup("nope", Int(1)) },
+		"DistinctValues": func() { tab.DistinctValues("nope") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on unknown column", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Lookup agrees with a full scan for random data, regardless of
+// whether the index was built before or after the appends.
+func TestTableLookupMatchesScanProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := NewTable(MustSchema("T", []Column{
+			{Name: "K", Kind: KindInt},
+		}, "", nil))
+		if n%2 == 0 {
+			tab.Lookup("K", Int(0)) // build index early
+		}
+		for i := 0; i < int(n); i++ {
+			tab.MustAppend(Int(int64(rng.Intn(8))))
+		}
+		for k := int64(0); k < 8; k++ {
+			want := tab.Filter(func(row []Value) bool { return row[0].Equal(Int(k)) })
+			got := tab.Lookup("K", Int(k))
+			if len(want) != len(got) {
+				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedupSorted(t *testing.T) {
+	cases := []struct{ in, want []int }{
+		{nil, nil},
+		{[]int{1}, []int{1}},
+		{[]int{1, 1, 1}, []int{1}},
+		{[]int{1, 2, 2, 3, 3, 3}, []int{1, 2, 3}},
+	}
+	for _, c := range cases {
+		if got := dedupSorted(append([]int(nil), c.in...)); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("dedupSorted(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDatabaseValidate(t *testing.T) {
+	db := NewDatabase("test")
+	city := db.MustCreateTable(citySchema(t))
+	store := db.MustCreateTable(MustSchema("Store", []Column{
+		{Name: "StoreKey", Kind: KindInt},
+		{Name: "CityKey", Kind: KindInt},
+	}, "StoreKey", []ForeignKey{{Column: "CityKey", RefTable: "City", RefColumn: "CityKey"}}))
+
+	city.MustAppend(Int(1), String("Columbus"), Float(1))
+	store.MustAppend(Int(10), Int(1))
+	if err := db.Validate(true); err != nil {
+		t.Fatalf("valid db rejected: %v", err)
+	}
+
+	store.MustAppend(Int(11), Int(999)) // dangling FK
+	if err := db.Validate(false); err != nil {
+		t.Errorf("non-strict should pass: %v", err)
+	}
+	if err := db.Validate(true); err == nil {
+		t.Error("strict validation missed dangling foreign key")
+	}
+
+	store.MustAppend(Int(12), Null()) // NULL FK is fine
+}
+
+func TestDatabaseValidateMissingTargets(t *testing.T) {
+	db := NewDatabase("test")
+	db.MustCreateTable(MustSchema("A", []Column{
+		{Name: "X", Kind: KindInt},
+	}, "", []ForeignKey{{Column: "X", RefTable: "Missing", RefColumn: "Y"}}))
+	if err := db.Validate(false); err == nil {
+		t.Error("missing ref table accepted")
+	}
+
+	db2 := NewDatabase("test2")
+	db2.MustCreateTable(MustSchema("B", []Column{{Name: "Y", Kind: KindInt}}, "", nil))
+	db2.MustCreateTable(MustSchema("A", []Column{
+		{Name: "X", Kind: KindInt},
+	}, "", []ForeignKey{{Column: "X", RefTable: "B", RefColumn: "Z"}}))
+	if err := db2.Validate(false); err == nil {
+		t.Error("missing ref column accepted")
+	}
+}
+
+func TestDatabaseTablesAndStats(t *testing.T) {
+	db := NewDatabase("d")
+	a := db.MustCreateTable(MustSchema("A", []Column{{Name: "X", Kind: KindInt}}, "", nil))
+	db.MustCreateTable(MustSchema("B", []Column{{Name: "Y", Kind: KindString, FullText: true}}, "", nil))
+	a.MustAppend(Int(1))
+	a.MustAppend(Int(2))
+
+	if db.Table("A") != a || db.Table("missing") != nil {
+		t.Error("Table lookup wrong")
+	}
+	if !reflect.DeepEqual(db.TableNames(), []string{"A", "B"}) {
+		t.Error("TableNames order wrong")
+	}
+	if err := db.AddTable(NewTable(MustSchema("A", []Column{{Name: "X", Kind: KindInt}}, "", nil))); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	st := db.Stats()
+	if st.Tables != 2 || st.Rows != 2 || st.FullTextColumns != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestFreezeAllowsConcurrentReads(t *testing.T) {
+	db := NewDatabase("d")
+	tab := db.MustCreateTable(MustSchema("T", []Column{
+		{Name: "K", Kind: KindInt},
+	}, "K", nil))
+	for i := 0; i < 100; i++ {
+		tab.MustAppend(Int(int64(i % 10)))
+	}
+	db.Freeze()
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			ok := true
+			for i := int64(0); i < 10; i++ {
+				if len(tab.Lookup("K", Int(i))) != 10 {
+					ok = false
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent lookup returned wrong result")
+		}
+	}
+}

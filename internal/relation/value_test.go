@@ -1,0 +1,173 @@
+package relation
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		text string
+	}{
+		{Null(), KindNull, ""},
+		{String("abc"), KindString, "abc"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%#v: kind %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.Text(); got != c.text {
+			t.Errorf("%#v: Text %q, want %q", c.v, got, c.text)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if String("x").Str() != "x" {
+		t.Error("Str round trip failed")
+	}
+	if Int(9).IntVal() != 9 {
+		t.Error("IntVal round trip failed")
+	}
+	if Float(1.5).FloatVal() != 1.5 {
+		t.Error("FloatVal round trip failed")
+	}
+	if !Bool(true).BoolVal() {
+		t.Error("BoolVal round trip failed")
+	}
+	if !Null().IsNull() || String("").IsNull() {
+		t.Error("IsNull misreports")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Str on int", func() { Int(1).Str() })
+	mustPanic("IntVal on string", func() { String("x").IntVal() })
+	mustPanic("FloatVal on bool", func() { Bool(true).FloatVal() })
+	mustPanic("BoolVal on null", func() { Null().BoolVal() })
+	mustPanic("AsFloat on string", func() { String("x").AsFloat() })
+}
+
+func TestValueAsFloat(t *testing.T) {
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("int AsFloat")
+	}
+	if Float(0.25).AsFloat() != 0.25 {
+		t.Error("float AsFloat")
+	}
+	if !math.IsNaN(Null().AsFloat()) {
+		t.Error("null AsFloat should be NaN")
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !Int(3).Equal(Float(3)) || !Float(3).Equal(Int(3)) {
+		t.Error("3 == 3.0 expected")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("3 != 3.5 expected")
+	}
+	if String("3").Equal(Int(3)) {
+		t.Error("string/int must not compare equal")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("NULL equals NULL (value identity, not SQL ternary)")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	ordered := []Value{Null(), Int(-5), Float(-1.5), Int(0), Float(2.5), Int(10)}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%#v, %#v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+	if String("a").Compare(String("b")) != -1 || String("b").Compare(String("a")) != 1 {
+		t.Error("string ordering")
+	}
+	if Bool(false).Compare(Bool(true)) != -1 {
+		t.Error("bool ordering")
+	}
+}
+
+func TestValueCompareIsTotalOrderOverStrings(t *testing.T) {
+	// Property: sorting by Compare yields the same order as sort.Strings.
+	f := func(ss []string) bool {
+		vals := make([]Value, len(ss))
+		for i, s := range ss {
+			vals[i] = String(s)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+		sorted := append([]string(nil), ss...)
+		sort.Strings(sorted)
+		for i := range vals {
+			if vals[i].Str() != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueAsMapKey(t *testing.T) {
+	m := map[Value]int{}
+	m[String("x")] = 1
+	m[Int(1)] = 2
+	m[Float(1)] = 3
+	m[Null()] = 4
+	if len(m) != 4 {
+		t.Fatalf("distinct keys collapsed: %d entries", len(m))
+	}
+	if m[String("x")] != 1 || m[Int(1)] != 2 || m[Float(1)] != 3 || m[Null()] != 4 {
+		t.Error("map lookup by value failed")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindString.String() != "string" || KindNull.String() != "null" ||
+		KindInt.String() != "int" || KindFloat.String() != "float" || KindBool.String() != "bool" {
+		t.Error("Kind.String names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should render something")
+	}
+}

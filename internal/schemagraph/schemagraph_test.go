@@ -1,0 +1,412 @@
+package schemagraph
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kdap/internal/relation"
+)
+
+// miniEBiz builds a reduced version of the paper's Figure 2 schema with
+// exactly the features join-path enumeration must handle: a shared LOC
+// table, dual BuyerKey/SellerKey joins, a fact extension header table,
+// and two product hierarchies meeting at PRODUCT.
+func miniEBiz(t *testing.T) *Graph {
+	t.Helper()
+	db := relation.NewDatabase("mini")
+	add := func(name string, cols []relation.Column, key string, fks []relation.ForeignKey) {
+		db.MustCreateTable(relation.MustSchema(name, cols, key, fks))
+	}
+	ic := func(n string) relation.Column { return relation.Column{Name: n, Kind: relation.KindInt} }
+	sc := func(n string) relation.Column {
+		return relation.Column{Name: n, Kind: relation.KindString, FullText: true}
+	}
+	add("LOC", []relation.Column{ic("LocKey"), sc("City")}, "LocKey", nil)
+	add("STORE", []relation.Column{ic("StoreKey"), ic("LocKey")}, "StoreKey",
+		[]relation.ForeignKey{{Column: "LocKey", RefTable: "LOC", RefColumn: "LocKey"}})
+	add("CUSTOMER", []relation.Column{ic("CustKey"), ic("LocKey")}, "CustKey",
+		[]relation.ForeignKey{{Column: "LocKey", RefTable: "LOC", RefColumn: "LocKey"}})
+	add("ACCOUNT", []relation.Column{ic("AccountKey"), ic("CustKey")}, "AccountKey",
+		[]relation.ForeignKey{{Column: "CustKey", RefTable: "CUSTOMER", RefColumn: "CustKey"}})
+	add("UNSPSC", []relation.Column{ic("UnspscKey"), sc("FamilyTitle"), sc("ClassTitle")}, "UnspscKey", nil)
+	add("PLINE", []relation.Column{ic("LineKey"), sc("LineName")}, "LineKey", nil)
+	add("PGROUP", []relation.Column{ic("PGroupKey"), sc("GroupName"), ic("LineKey")}, "PGroupKey",
+		[]relation.ForeignKey{{Column: "LineKey", RefTable: "PLINE", RefColumn: "LineKey"}})
+	add("PRODUCT", []relation.Column{ic("ProductKey"), sc("ProductName"), ic("UnspscKey"), ic("PGroupKey")}, "ProductKey",
+		[]relation.ForeignKey{
+			{Column: "UnspscKey", RefTable: "UNSPSC", RefColumn: "UnspscKey"},
+			{Column: "PGroupKey", RefTable: "PGROUP", RefColumn: "PGroupKey"},
+		})
+	add("TRANS", []relation.Column{ic("TransKey"), ic("StoreKey"), ic("BuyerKey"), ic("SellerKey")}, "TransKey",
+		[]relation.ForeignKey{
+			{Column: "StoreKey", RefTable: "STORE", RefColumn: "StoreKey"},
+			{Column: "BuyerKey", RefTable: "ACCOUNT", RefColumn: "AccountKey"},
+			{Column: "SellerKey", RefTable: "ACCOUNT", RefColumn: "AccountKey"},
+		})
+	add("TRANSITEM", []relation.Column{ic("ItemKey"), ic("TransKey"), ic("ProductKey")}, "ItemKey",
+		[]relation.ForeignKey{
+			{Column: "TransKey", RefTable: "TRANS", RefColumn: "TransKey"},
+			{Column: "ProductKey", RefTable: "PRODUCT", RefColumn: "ProductKey"},
+		})
+
+	g := New(db, "TRANSITEM")
+	g.AddFactExtension("TRANS")
+	for _, d := range []*Dimension{
+		{Name: "Store", Tables: []string{"STORE", "LOC"}},
+		{Name: "Customer", Tables: []string{"CUSTOMER", "ACCOUNT", "LOC"}},
+		{Name: "Product", Tables: []string{"PRODUCT", "UNSPSC", "PGROUP", "PLINE"},
+			Hierarchies: []Hierarchy{
+				{Name: "UNSPSC", Levels: []AttrRef{
+					{Table: "UNSPSC", Attr: "FamilyTitle"},
+					{Table: "UNSPSC", Attr: "ClassTitle"},
+					{Table: "PRODUCT", Attr: "ProductName"},
+				}},
+				{Name: "Line", Levels: []AttrRef{
+					{Table: "PLINE", Attr: "LineName"},
+					{Table: "PGROUP", Attr: "GroupName"},
+					{Table: "PRODUCT", Attr: "ProductName"},
+				}},
+			},
+			GroupBy: []AttrRef{{Table: "PGROUP", Attr: "GroupName"}},
+		},
+	} {
+		if err := g.AddDimension(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Build(); err != nil {
+		t.Fatal(err)
+	}
+	g.LabelEdge("TRANS", "BuyerKey", "Buyer", "Customer")
+	g.LabelEdge("TRANS", "SellerKey", "Seller", "Customer")
+	return g
+}
+
+func pathStrings(ps []JoinPath) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// The paper's three-join-paths claim: LOC reaches the fact table through
+// Store, Buyer, and Seller, and through nothing else.
+func TestLocThreeJoinPaths(t *testing.T) {
+	g := miniEBiz(t)
+	paths := g.JoinPaths("LOC")
+	if len(paths) != 3 {
+		t.Fatalf("LOC paths = %v", pathStrings(paths))
+	}
+	roles := map[string]bool{}
+	for _, p := range paths {
+		roles[p.Role] = true
+		if p.Target() != "TRANSITEM" {
+			t.Errorf("path does not end at fact: %v", p)
+		}
+		if p.Source != "LOC" {
+			t.Errorf("path source: %v", p)
+		}
+	}
+	if !roles["Store"] || !roles["Buyer"] || !roles["Seller"] {
+		t.Errorf("roles = %v", roles)
+	}
+	for _, p := range paths {
+		switch p.Role {
+		case "Store":
+			if p.Dim != "Store" {
+				t.Errorf("store path dim = %q", p.Dim)
+			}
+		case "Buyer", "Seller":
+			if p.Dim != "Customer" {
+				t.Errorf("%s path dim = %q", p.Role, p.Dim)
+			}
+		}
+	}
+}
+
+func TestProductHierarchyPaths(t *testing.T) {
+	g := miniEBiz(t)
+	for table, wantLen := range map[string]int{
+		"PRODUCT": 2, "UNSPSC": 3, "PGROUP": 3, "PLINE": 4,
+	} {
+		paths := g.JoinPaths(table)
+		if len(paths) != 1 {
+			t.Errorf("%s: %d paths (%v), want 1", table, len(paths), pathStrings(paths))
+			continue
+		}
+		p := paths[0]
+		if len(p.Tables()) != wantLen {
+			t.Errorf("%s path length %d, want %d: %v", table, len(p.Tables()), wantLen, p)
+		}
+		if p.Dim != "Product" {
+			t.Errorf("%s dim = %q", table, p.Dim)
+		}
+	}
+}
+
+func TestJoinPathsFromFactItself(t *testing.T) {
+	g := miniEBiz(t)
+	paths := g.JoinPaths("TRANSITEM")
+	if len(paths) != 1 || len(paths[0].Hops) != 0 || paths[0].Role != "Fact" {
+		t.Errorf("fact self-path = %v", pathStrings(paths))
+	}
+}
+
+func TestJoinPathsDeterministic(t *testing.T) {
+	g := miniEBiz(t)
+	first := pathStrings(g.JoinPaths("LOC"))
+	for i := 0; i < 5; i++ {
+		if got := pathStrings(g.JoinPaths("LOC")); !reflect.DeepEqual(got, first) {
+			t.Fatalf("unstable enumeration: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestMaxHopsBound(t *testing.T) {
+	g := miniEBiz(t)
+	g.SetMaxHops(2)
+	if paths := g.JoinPaths("PLINE"); len(paths) != 0 {
+		t.Errorf("PLINE needs 3 hops; maxHops=2 should prune it: %v", pathStrings(paths))
+	}
+	if paths := g.JoinPaths("PRODUCT"); len(paths) != 1 {
+		t.Errorf("PRODUCT within bound should survive: %v", pathStrings(paths))
+	}
+}
+
+func TestHopReverseAndString(t *testing.T) {
+	h := Hop{FromTable: "A", FromCol: "x", ToTable: "B", ToCol: "y"}
+	r := h.Reverse()
+	if r.FromTable != "B" || r.FromCol != "y" || r.ToTable != "A" || r.ToCol != "x" {
+		t.Errorf("Reverse = %+v", r)
+	}
+	if h.String() != "A.x=B.y" {
+		t.Errorf("String = %q", h.String())
+	}
+	if r.Reverse() != h {
+		t.Error("double reverse must be identity")
+	}
+}
+
+func TestPathSignatureDistinguishesRoles(t *testing.T) {
+	g := miniEBiz(t)
+	paths := g.JoinPaths("LOC")
+	sigs := map[string]bool{}
+	for _, p := range paths {
+		if sigs[p.Signature()] {
+			t.Errorf("duplicate signature %q", p.Signature())
+		}
+		sigs[p.Signature()] = true
+	}
+}
+
+func TestHierarchyParent(t *testing.T) {
+	g := miniEBiz(t)
+	parent, dim, ok := g.HierarchyParent(AttrRef{Table: "UNSPSC", Attr: "ClassTitle"})
+	if !ok || parent != (AttrRef{Table: "UNSPSC", Attr: "FamilyTitle"}) || dim.Name != "Product" {
+		t.Errorf("parent of ClassTitle = %v, %v, %v", parent, dim, ok)
+	}
+	// GroupName's parent lives in another table.
+	parent, _, ok = g.HierarchyParent(AttrRef{Table: "PGROUP", Attr: "GroupName"})
+	if !ok || parent != (AttrRef{Table: "PLINE", Attr: "LineName"}) {
+		t.Errorf("parent of GroupName = %v, %v", parent, ok)
+	}
+	// Root level has no parent.
+	if _, _, ok := g.HierarchyParent(AttrRef{Table: "UNSPSC", Attr: "FamilyTitle"}); ok {
+		t.Error("root level must have no parent")
+	}
+	// ProductName appears in two hierarchies; the first (UNSPSC) wins.
+	parent, _, ok = g.HierarchyParent(AttrRef{Table: "PRODUCT", Attr: "ProductName"})
+	if !ok || parent != (AttrRef{Table: "UNSPSC", Attr: "ClassTitle"}) {
+		t.Errorf("parent of ProductName = %v, %v", parent, ok)
+	}
+}
+
+func TestPathFromFactRoleSelection(t *testing.T) {
+	g := miniEBiz(t)
+	p, ok := g.PathFromFact("LOC", "Buyer")
+	if !ok || p.Role != "Buyer" {
+		t.Fatalf("PathFromFact(LOC, Buyer) = %v, %v", p, ok)
+	}
+	if !strings.Contains(p.Signature(), "BuyerKey") {
+		t.Errorf("buyer path signature %q", p.Signature())
+	}
+	// Dimension-name fallback: role "Customer" matches dim, shortest wins.
+	p, ok = g.PathFromFact("LOC", "Customer")
+	if !ok || p.Dim != "Customer" {
+		t.Errorf("PathFromFact(LOC, Customer) = %v, %v", p, ok)
+	}
+	// Unknown role falls back to the shortest path.
+	p, ok = g.PathFromFact("LOC", "nonsense")
+	if !ok || len(p.Hops) != 3 {
+		t.Errorf("fallback path = %v (role %s)", p, p.Role)
+	}
+	// Unreachable table.
+	if _, ok := g.PathFromFact("NOPE", "Store"); ok {
+		t.Error("missing table should not resolve")
+	}
+}
+
+func TestInnerPathsAvoidFact(t *testing.T) {
+	g := miniEBiz(t)
+	// PGROUP → PLINE within the Product dimension.
+	paths := g.InnerPaths("PGROUP", "PLINE")
+	if len(paths) != 1 || len(paths[0].Hops) != 1 {
+		t.Fatalf("InnerPaths(PGROUP, PLINE) = %v", pathStrings(paths))
+	}
+	// UNSPSC → PGROUP must route through PRODUCT, not through the fact.
+	paths = g.InnerPaths("UNSPSC", "PGROUP")
+	if len(paths) != 1 {
+		t.Fatalf("InnerPaths(UNSPSC, PGROUP) = %v", pathStrings(paths))
+	}
+	for _, tb := range paths[0].Tables() {
+		if tb == "TRANS" || tb == "TRANSITEM" {
+			t.Errorf("inner path crosses fact complex: %v", paths[0])
+		}
+	}
+	// STORE → CUSTOMER connect through the shared LOC table (legitimate,
+	// avoids the fact complex) but through nothing else.
+	paths = g.InnerPaths("STORE", "CUSTOMER")
+	if len(paths) != 1 || len(paths[0].Hops) != 2 {
+		t.Errorf("InnerPaths(STORE, CUSTOMER) = %v", pathStrings(paths))
+	}
+	// Constrained to the Store dimension, that path is excluded.
+	if got := g.InnerPathsWithin("STORE", "CUSTOMER", g.Dimension("Store")); len(got) != 0 {
+		t.Errorf("InnerPathsWithin crossed dimensions: %v", pathStrings(got))
+	}
+	// Within the Product dimension, UNSPSC → PGROUP survives.
+	if got := g.InnerPathsWithin("UNSPSC", "PGROUP", g.Dimension("Product")); len(got) != 1 {
+		t.Errorf("InnerPathsWithin(Product) = %v", pathStrings(got))
+	}
+	// Same table → zero-hop path.
+	paths = g.InnerPaths("UNSPSC", "UNSPSC")
+	if len(paths) != 1 || len(paths[0].Hops) != 0 {
+		t.Errorf("self inner path = %v", pathStrings(paths))
+	}
+	// Fact endpoints are rejected.
+	if paths := g.InnerPaths("TRANS", "LOC"); paths != nil {
+		t.Errorf("factish endpoint accepted: %v", pathStrings(paths))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	db := relation.NewDatabase("v")
+	db.MustCreateTable(relation.MustSchema("F", []relation.Column{{Name: "K", Kind: relation.KindInt}}, "K", nil))
+
+	g := New(db, "MISSING")
+	if err := g.Build(); err == nil {
+		t.Error("missing fact table accepted")
+	}
+
+	g = New(db, "F")
+	g.AddFactExtension("NOPE")
+	if err := g.Build(); err == nil {
+		t.Error("missing fact extension accepted")
+	}
+
+	g = New(db, "F")
+	_ = g.AddDimension(&Dimension{Name: "D", Tables: []string{"GHOST"}})
+	if err := g.Build(); err == nil {
+		t.Error("dimension with missing table accepted")
+	}
+
+	g = New(db, "F")
+	_ = g.AddDimension(&Dimension{Name: "D", Hierarchies: []Hierarchy{
+		{Name: "H", Levels: []AttrRef{{Table: "F", Attr: "Ghost"}}},
+	}})
+	if err := g.Build(); err == nil {
+		t.Error("hierarchy with missing attribute accepted")
+	}
+
+	g = New(db, "F")
+	_ = g.AddDimension(&Dimension{Name: "D", GroupBy: []AttrRef{{Table: "F", Attr: "Ghost"}}})
+	if err := g.Build(); err == nil {
+		t.Error("group-by with missing attribute accepted")
+	}
+
+	g = New(db, "F")
+	if err := g.AddDimension(&Dimension{Name: "D"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDimension(&Dimension{Name: "D"}); err == nil {
+		t.Error("duplicate dimension accepted")
+	}
+}
+
+func TestJoinPathsBeforeBuildPanics(t *testing.T) {
+	db := relation.NewDatabase("v")
+	db.MustCreateTable(relation.MustSchema("F", []relation.Column{{Name: "K", Kind: relation.KindInt}}, "K", nil))
+	g := New(db, "F")
+	for name, fn := range map[string]func(){
+		"JoinPaths":  func() { g.JoinPaths("F") },
+		"InnerPaths": func() { g.InnerPaths("F", "F") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s before Build should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDimensionOfTable(t *testing.T) {
+	g := miniEBiz(t)
+	dims := g.DimensionOfTable("LOC")
+	if len(dims) != 2 {
+		t.Fatalf("LOC owners = %d", len(dims))
+	}
+	names := []string{dims[0].Name, dims[1].Name}
+	if !reflect.DeepEqual(names, []string{"Store", "Customer"}) {
+		t.Errorf("LOC owners = %v", names)
+	}
+	if len(g.DimensionOfTable("TRANS")) != 0 {
+		t.Error("fact extension owned by a dimension")
+	}
+	if g.Dimension("Product") == nil || g.Dimension("Nope") != nil {
+		t.Error("Dimension lookup wrong")
+	}
+	if len(g.Dimensions()) != 3 {
+		t.Error("Dimensions() count")
+	}
+}
+
+func TestAttrRefString(t *testing.T) {
+	if (AttrRef{Table: "T", Attr: "A"}).String() != "T.A" {
+		t.Error("AttrRef.String")
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := miniEBiz(t)
+	if g.FactTable() != "TRANSITEM" {
+		t.Error("FactTable")
+	}
+	if g.DB() == nil || g.DB().Table("LOC") == nil {
+		t.Error("DB accessor")
+	}
+	if g.MaxHops() != 8 {
+		t.Errorf("MaxHops = %d", g.MaxHops())
+	}
+	if got := g.FactExtensions(); len(got) != 1 || got[0] != "TRANS" {
+		t.Errorf("FactExtensions = %v", got)
+	}
+	labels := g.EdgeLabels()
+	if len(labels) != 2 {
+		t.Fatalf("EdgeLabels = %v", labels)
+	}
+	if labels[0].Column != "BuyerKey" || labels[0].Role != "Buyer" || labels[0].Dimension != "Customer" {
+		t.Errorf("first label = %+v", labels[0])
+	}
+	if labels[1].Column != "SellerKey" {
+		t.Errorf("second label = %+v", labels[1])
+	}
+	// Zero-hop path target.
+	p := JoinPath{Source: "LOC"}
+	if p.Target() != "LOC" {
+		t.Error("zero-hop Target")
+	}
+}

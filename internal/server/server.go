@@ -1,0 +1,388 @@
+// Package server exposes a KDAP engine over a JSON HTTP API, so that the
+// differentiate → pick → explore → drill loop can back a web front end
+// (the medium the paper's multi-faceted interfaces live in).
+//
+// Endpoints:
+//
+//	GET  /healthz                      liveness probe
+//	GET  /api/warehouses               list the served warehouses
+//	POST /api/query                    {"db","q"} → session + ranked interpretations
+//	POST /api/explore                  {"session","pick",...} → facets
+//	POST /api/drill                    {"session","pick","table","attr","role","value"} → new session
+//
+// Sessions hold the non-serializable star nets server-side; responses
+// carry opaque session IDs plus rendered interpretation summaries, which
+// is exactly the interaction contract of the paper's Figure 1.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"kdap/internal/dataset"
+	"kdap/internal/kdapcore"
+	"kdap/internal/olap"
+	"kdap/internal/relation"
+	"kdap/internal/schemagraph"
+)
+
+// Server is the HTTP handler set over one or more warehouses.
+type Server struct {
+	mux     *http.ServeMux
+	engines map[string]*kdapcore.Engine
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+	// sessionCap bounds the session store; the oldest arbitrary session
+	// is dropped past it.
+	sessionCap int
+}
+
+type session struct {
+	db   string
+	nets []*kdapcore.StarNet
+}
+
+// New creates a server over the named warehouses.
+func New(warehouses map[string]*dataset.Warehouse) *Server {
+	s := &Server{
+		mux:        http.NewServeMux(),
+		engines:    make(map[string]*kdapcore.Engine),
+		sessions:   make(map[string]*session),
+		sessionCap: 1024,
+	}
+	for name, wh := range warehouses {
+		fact := wh.DB.Table(wh.Graph.FactTable())
+		var m olap.Measure
+		switch {
+		case fact.Schema().HasColumn("OrderQuantity"):
+			m = olap.ProductMeasure(fact, "SalesRevenue", "UnitPrice", "OrderQuantity")
+		case fact.Schema().HasColumn("Quantity"):
+			m = olap.ProductMeasure(fact, "SalesRevenue", "UnitPrice", "Quantity")
+		default:
+			m = olap.CountMeasure()
+		}
+		s.engines[name] = kdapcore.NewEngine(wh.Graph, wh.Index, m, olap.Sum)
+	}
+	s.mux.HandleFunc("GET /{$}", s.handleUI)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/warehouses", s.handleWarehouses)
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/suggest", s.handleSuggest)
+	s.mux.HandleFunc("POST /api/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /api/drill", s.handleDrill)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- DTOs ---
+
+// InterpretationDTO is one ranked star net in a query response.
+type InterpretationDTO struct {
+	Rank      int           `json:"rank"`
+	Score     float64       `json:"score"`
+	Signature string        `json:"signature"`
+	Groups    []HitGroupDTO `json:"groups"`
+}
+
+// HitGroupDTO is one hit group of an interpretation.
+type HitGroupDTO struct {
+	Table  string   `json:"table"`
+	Attr   string   `json:"attr"`
+	Role   string   `json:"role"`
+	Alias  string   `json:"alias"`
+	Phrase string   `json:"phrase,omitempty"`
+	Values []string `json:"values"`
+}
+
+// QueryResponse answers /api/query.
+type QueryResponse struct {
+	Session         string              `json:"session"`
+	Query           string              `json:"query"`
+	Interpretations []InterpretationDTO `json:"interpretations"`
+}
+
+// FacetsDTO answers /api/explore.
+type FacetsDTO struct {
+	SubspaceSize   int                  `json:"subspaceSize"`
+	TotalAggregate float64              `json:"totalAggregate"`
+	Dimensions     []DimensionFacetsDTO `json:"dimensions"`
+}
+
+// DimensionFacetsDTO is one dimension's facets.
+type DimensionFacetsDTO struct {
+	Dimension  string         `json:"dimension"`
+	Hitted     bool           `json:"hitted"`
+	Attributes []AttrFacetDTO `json:"attributes"`
+}
+
+// AttrFacetDTO is one facet attribute.
+type AttrFacetDTO struct {
+	Table     string        `json:"table"`
+	Attr      string        `json:"attr"`
+	Role      string        `json:"role"`
+	Score     float64       `json:"score"`
+	Promoted  bool          `json:"promoted"`
+	Numeric   bool          `json:"numeric"`
+	Instances []InstanceDTO `json:"instances"`
+}
+
+// InstanceDTO is one facet entry.
+type InstanceDTO struct {
+	Label     string  `json:"label"`
+	Lo        float64 `json:"lo,omitempty"`
+	Hi        float64 `json:"hi,omitempty"`
+	Aggregate float64 `json:"aggregate"`
+	Score     float64 `json:"score"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleWarehouses(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.engines))
+	for name := range s.engines {
+		names = append(names, name)
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"warehouses": names})
+}
+
+type queryRequest struct {
+	DB    string `json:"db"`
+	Q     string `json:"q"`
+	Limit int    `json:"limit"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	e, ok := s.engines[req.DB]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown warehouse %q", req.DB))
+		return
+	}
+	nets, err := e.Differentiate(req.Q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > 50 {
+		limit = 20
+	}
+	if len(nets) > limit {
+		nets = nets[:limit]
+	}
+	id := s.putSession(&session{db: req.DB, nets: nets})
+	resp := QueryResponse{Session: id, Query: req.Q}
+	for i, sn := range nets {
+		dto := InterpretationDTO{Rank: i + 1, Score: sn.Score, Signature: sn.DomainSignature()}
+		for _, bg := range sn.Groups {
+			g := HitGroupDTO{
+				Table: bg.Group.Table, Attr: bg.Group.Attr,
+				Role: bg.Path.Role, Alias: bg.Alias(), Phrase: bg.Group.Phrase,
+			}
+			for _, h := range bg.Group.Hits {
+				g.Values = append(g.Values, h.Value.Text())
+			}
+			dto.Groups = append(dto.Groups, g)
+		}
+		resp.Interpretations = append(resp.Interpretations, dto)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSuggest returns "did you mean" corrections for the query's
+// unmatched keywords.
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	e, ok := s.engines[req.DB]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown warehouse %q", req.DB))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"suggestions": e.SuggestKeywords(req.Q, 3),
+	})
+}
+
+type exploreRequest struct {
+	Session       string `json:"session"`
+	Pick          int    `json:"pick"`
+	Mode          string `json:"mode"`
+	TopKAttrs     int    `json:"topKAttrs"`
+	TopKInstances int    `json:"topKInstances"`
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req exploreRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	e, sn, ok := s.resolve(w, req.Session, req.Pick)
+	if !ok {
+		return
+	}
+	opts := kdapcore.DefaultExploreOptions()
+	opts.Parallel = true
+	switch req.Mode {
+	case "", "surprise":
+	case "bellwether":
+		opts.Mode = kdapcore.Bellwether
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q", req.Mode))
+		return
+	}
+	if req.TopKAttrs > 0 {
+		opts.TopKAttrs = req.TopKAttrs
+	}
+	if req.TopKInstances > 0 {
+		opts.TopKInstances = req.TopKInstances
+	}
+	f, err := e.Explore(sn, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, facetsDTO(f))
+}
+
+type drillRequest struct {
+	Session string `json:"session"`
+	Pick    int    `json:"pick"`
+	Table   string `json:"table"`
+	Attr    string `json:"attr"`
+	Role    string `json:"role"`
+	// Value drills into a categorical instance…
+	Value string `json:"value"`
+	// …or Lo/Hi (with Numeric true) into a numeric range.
+	Numeric bool    `json:"numeric"`
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+}
+
+func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
+	var req drillRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	e, sn, ok := s.resolve(w, req.Session, req.Pick)
+	if !ok {
+		return
+	}
+	attr := schemagraph.AttrRef{Table: req.Table, Attr: req.Attr}
+	var drilled *kdapcore.StarNet
+	var err error
+	if req.Numeric {
+		drilled, err = e.DrillRange(sn, attr, req.Role, req.Lo, req.Hi)
+	} else {
+		drilled, err = e.Drill(sn, attr, req.Role, relation.String(req.Value))
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	db := s.sessions[req.Session].db
+	s.mu.Unlock()
+	id := s.putSession(&session{db: db, nets: []*kdapcore.StarNet{drilled}})
+	writeJSON(w, http.StatusOK, map[string]string{"session": id})
+}
+
+// resolve looks up a session and 1-based interpretation pick.
+func (s *Server) resolve(w http.ResponseWriter, sessionID string, pick int) (*kdapcore.Engine, *kdapcore.StarNet, bool) {
+	s.mu.Lock()
+	sess := s.sessions[sessionID]
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return nil, nil, false
+	}
+	if pick < 1 || pick > len(sess.nets) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("pick out of range 1..%d", len(sess.nets)))
+		return nil, nil, false
+	}
+	return s.engines[sess.db], sess.nets[pick-1], true
+}
+
+func (s *Server) putSession(sess *session) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := "s" + strconv.FormatUint(s.nextID, 36)
+	if len(s.sessions) >= s.sessionCap {
+		for k := range s.sessions {
+			delete(s.sessions, k)
+			break
+		}
+	}
+	s.sessions[id] = sess
+	return id
+}
+
+func facetsDTO(f *kdapcore.Facets) FacetsDTO {
+	out := FacetsDTO{SubspaceSize: f.SubspaceSize, TotalAggregate: f.TotalAggregate}
+	for _, d := range f.Dimensions {
+		dd := DimensionFacetsDTO{Dimension: d.Dimension, Hitted: d.Hitted}
+		for _, a := range d.Attributes {
+			score := a.Score
+			if math.IsInf(score, 0) || math.IsNaN(score) {
+				// JSON has no Inf; promoted facets carry their rank in
+				// the Promoted flag instead.
+				score = 0
+			}
+			ad := AttrFacetDTO{
+				Table: a.Attr.Table, Attr: a.Attr.Attr, Role: a.Role,
+				Score: score, Promoted: a.Promoted, Numeric: a.Numeric,
+			}
+			for _, inst := range a.Instances {
+				ad.Instances = append(ad.Instances, InstanceDTO{
+					Label: inst.Label, Lo: inst.Lo, Hi: inst.Hi,
+					Aggregate: inst.Aggregate, Score: inst.Score,
+				})
+			}
+			dd.Attributes = append(dd.Attributes, ad)
+		}
+		out.Dimensions = append(out.Dimensions, dd)
+	}
+	return out
+}
+
+// --- JSON plumbing ---
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kdap/internal/dataset"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := New(map[string]*dataset.Warehouse{"ebiz": dataset.EBiz()})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any, out any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthAndWarehouses(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	var whs map[string][]string
+	r2, err := http.Get(ts.URL + "/api/warehouses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&whs); err != nil {
+		t.Fatal(err)
+	}
+	if len(whs["warehouses"]) != 1 || whs["warehouses"][0] != "ebiz" {
+		t.Errorf("warehouses = %v", whs)
+	}
+}
+
+func TestQueryExploreDrillFlow(t *testing.T) {
+	ts := newTestServer(t)
+
+	var q QueryResponse
+	resp := post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "Columbus LCD"}, &q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if q.Session == "" || len(q.Interpretations) == 0 {
+		t.Fatalf("query response: %+v", q)
+	}
+	if q.Interpretations[0].Rank != 1 || len(q.Interpretations[0].Groups) == 0 {
+		t.Errorf("interpretation shape: %+v", q.Interpretations[0])
+	}
+
+	var f FacetsDTO
+	resp = post(t, ts, "/api/explore", map[string]any{"session": q.Session, "pick": 1}, &f)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore status %d", resp.StatusCode)
+	}
+	if f.SubspaceSize == 0 || len(f.Dimensions) == 0 {
+		t.Fatalf("facets: %+v", f)
+	}
+
+	// Find a categorical instance and drill into it.
+	var dr drillRequest
+	dr.Session = q.Session
+	dr.Pick = 1
+	for _, d := range f.Dimensions {
+		for _, a := range d.Attributes {
+			if !a.Numeric && len(a.Instances) > 0 {
+				dr.Table, dr.Attr, dr.Role, dr.Value = a.Table, a.Attr, a.Role, a.Instances[0].Label
+			}
+		}
+	}
+	if dr.Table == "" {
+		t.Fatal("nothing to drill")
+	}
+	var drilled map[string]string
+	resp = post(t, ts, "/api/drill", dr, &drilled)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drill status %d", resp.StatusCode)
+	}
+	if drilled["session"] == "" || drilled["session"] == q.Session {
+		t.Errorf("drill session: %v", drilled)
+	}
+	var f2 FacetsDTO
+	resp = post(t, ts, "/api/explore", map[string]any{"session": drilled["session"], "pick": 1}, &f2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore after drill: %d", resp.StatusCode)
+	}
+	if f2.SubspaceSize == 0 || f2.SubspaceSize > f.SubspaceSize {
+		t.Errorf("drill did not narrow: %d -> %d", f.SubspaceSize, f2.SubspaceSize)
+	}
+}
+
+func TestExploreBellwetherMode(t *testing.T) {
+	ts := newTestServer(t)
+	var q QueryResponse
+	post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "Projectors"}, &q)
+	var f FacetsDTO
+	resp := post(t, ts, "/api/explore", map[string]any{
+		"session": q.Session, "pick": 1, "mode": "bellwether", "topKAttrs": 2, "topKInstances": 3,
+	}, &f)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, d := range f.Dimensions {
+		nonPromoted := 0
+		for _, a := range d.Attributes {
+			if !a.Promoted {
+				nonPromoted++
+			}
+			if len(a.Instances) > 3 {
+				t.Errorf("instance cap ignored: %d", len(a.Instances))
+			}
+		}
+		if nonPromoted > 2 {
+			t.Errorf("attr cap ignored: %d", nonPromoted)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+
+	cases := []struct {
+		path   string
+		body   string
+		status int
+	}{
+		{"/api/query", `{"db":"nope","q":"x"}`, http.StatusNotFound},
+		{"/api/query", `{"db":"ebiz","q":"   "}`, http.StatusBadRequest},
+		{"/api/query", `{bad json`, http.StatusBadRequest},
+		{"/api/query", `{"db":"ebiz","q":"x","unknown":1}`, http.StatusBadRequest},
+		{"/api/explore", `{"session":"ghost","pick":1}`, http.StatusNotFound},
+		{"/api/drill", `{"session":"ghost","pick":1}`, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s %s: status %d, want %d", c.path, c.body, resp.StatusCode, c.status)
+		}
+	}
+
+	// Out-of-range pick on a real session.
+	var q QueryResponse
+	post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "Columbus"}, &q)
+	resp := post(t, ts, "/api/explore", map[string]any{"session": q.Session, "pick": 999}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad pick: status %d", resp.StatusCode)
+	}
+	// Unknown mode.
+	resp = post(t, ts, "/api/explore", map[string]any{"session": q.Session, "pick": 1, "mode": "zzz"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad mode: status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	r, err := http.Get(ts.URL + "/api/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET query: status %d", r.StatusCode)
+	}
+}
+
+func TestNoMatchQueryReturnsEmptyInterpretations(t *testing.T) {
+	ts := newTestServer(t)
+	var q QueryResponse
+	resp := post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "zzzz qqqq"}, &q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(q.Interpretations) != 0 {
+		t.Errorf("expected no interpretations, got %d", len(q.Interpretations))
+	}
+}
+
+func TestSessionEviction(t *testing.T) {
+	srv := New(map[string]*dataset.Warehouse{"ebiz": dataset.EBiz()})
+	srv.sessionCap = 3
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var first QueryResponse
+	post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "Columbus"}, &first)
+	for i := 0; i < 5; i++ {
+		post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "Projectors"}, &QueryResponse{})
+	}
+	srv.mu.Lock()
+	n := len(srv.sessions)
+	srv.mu.Unlock()
+	if n > 3 {
+		t.Errorf("session store grew past cap: %d", n)
+	}
+}
+
+func TestDrillRangeOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	var q QueryResponse
+	post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "Projectors"}, &q)
+	var f FacetsDTO
+	post(t, ts, "/api/explore", map[string]any{"session": q.Session, "pick": 1}, &f)
+
+	var dr drillRequest
+	dr.Session, dr.Pick = q.Session, 1
+	for _, d := range f.Dimensions {
+		for _, a := range d.Attributes {
+			if a.Numeric && len(a.Instances) > 1 {
+				dr.Table, dr.Attr, dr.Role = a.Table, a.Attr, a.Role
+				dr.Numeric = true
+				dr.Lo, dr.Hi = a.Instances[0].Lo, a.Instances[0].Hi
+			}
+		}
+	}
+	if !dr.Numeric {
+		t.Skip("no numeric facet")
+	}
+	var drilled map[string]string
+	resp := post(t, ts, "/api/drill", dr, &drilled)
+	if resp.StatusCode != http.StatusOK || drilled["session"] == "" {
+		t.Fatalf("range drill: %d %v", resp.StatusCode, drilled)
+	}
+	var f2 FacetsDTO
+	post(t, ts, "/api/explore", map[string]any{"session": drilled["session"], "pick": 1}, &f2)
+	if f2.SubspaceSize == 0 || f2.SubspaceSize >= f.SubspaceSize {
+		t.Errorf("range drill did not narrow: %d -> %d", f.SubspaceSize, f2.SubspaceSize)
+	}
+}
+
+func TestUIPage(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{"<title>KDAP</title>", "/api/query", "/api/explore", "/api/drill"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("UI missing %q", want)
+		}
+	}
+	// Unknown paths are not swallowed by the root handler.
+	r2, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status %d", r2.StatusCode)
+	}
+}
+
+func TestSuggestEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out struct {
+		Suggestions map[string][]string `json:"suggestions"`
+	}
+	resp := post(t, ts, "/api/suggest", map[string]any{"db": "ebiz", "q": "Colombus LCD"}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Suggestions["Colombus"]) == 0 {
+		t.Errorf("no suggestion for typo: %v", out.Suggestions)
+	}
+	if _, ok := out.Suggestions["LCD"]; ok {
+		t.Error("matched keyword suggested")
+	}
+	resp = post(t, ts, "/api/suggest", map[string]any{"db": "ghost", "q": "x"}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown db: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,155 @@
+package server
+
+import "net/http"
+
+// handleUI serves the embedded single-page front end: a minimal vanilla
+// JS client for the JSON API implementing the paper's Figure 1 loop in a
+// browser — search box, interpretation list, facet columns, drill-down.
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(uiHTML))
+}
+
+const uiHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>KDAP</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; max-width: 72rem; }
+h1 { font-size: 1.4rem; }
+input, select, button { font-size: 1rem; padding: .35rem .5rem; }
+#q { width: 28rem; }
+.net { cursor: pointer; padding: .3rem .5rem; border-radius: .3rem; }
+.net:hover { background: #eef; }
+.net.sel { background: #dde6ff; }
+.dims { display: flex; flex-wrap: wrap; gap: 1.2rem; margin-top: 1rem; }
+.dim { border: 1px solid #ccd; border-radius: .4rem; padding: .6rem .8rem; min-width: 16rem; }
+.dim h3 { margin: .1rem 0 .4rem; font-size: 1rem; }
+.attr { margin: .4rem 0; }
+.attr b { font-size: .92rem; }
+.inst { cursor: pointer; display: flex; justify-content: space-between; gap: 1rem;
+        font-size: .9rem; padding: .1rem .3rem; border-radius: .2rem; }
+.inst:hover { background: #eef; }
+.hit { color: #846; }
+#crumbs { margin: .6rem 0; color: #567; }
+#summary { font-weight: 600; margin-top: .8rem; }
+.err { color: #a33; }
+</style>
+</head>
+<body>
+<h1>Keyword-Driven Analytical Processing</h1>
+<div>
+  <select id="db"></select>
+  <input id="q" placeholder="Columbus LCD &mdash; or DealerPrice&gt;1000 Mountain Bikes" autofocus>
+  <select id="mode"><option>surprise</option><option>bellwether</option></select>
+  <button onclick="runQuery()">Search</button>
+</div>
+<div id="crumbs"></div>
+<div id="nets"></div>
+<div id="summary"></div>
+<div id="dims" class="dims"></div>
+<script>
+let session = null, pick = 0, stack = [];
+
+async function api(path, body) {
+  const resp = await fetch(path, body ? {method: 'POST', body: JSON.stringify(body)} : undefined);
+  const data = await resp.json();
+  if (!resp.ok) throw new Error(data.error || resp.status);
+  return data;
+}
+
+async function loadWarehouses() {
+  const data = await api('/api/warehouses');
+  const sel = document.getElementById('db');
+  for (const name of data.warehouses.sort()) {
+    const o = document.createElement('option');
+    o.textContent = name;
+    sel.appendChild(o);
+  }
+}
+
+async function runQuery() {
+  clear(['crumbs', 'nets', 'summary', 'dims']);
+  stack = [];
+  try {
+    const data = await api('/api/query', {db: el('db').value, q: el('q').value});
+    session = data.session;
+    const nets = el('nets');
+    if (!data.interpretations) { nets.textContent = 'no interpretations'; return; }
+    data.interpretations.forEach(it => {
+      const div = document.createElement('div');
+      div.className = 'net';
+      div.textContent = it.rank + '. [' + it.score.toFixed(4) + '] ' +
+        it.groups.map(g => g.alias + '/' + g.attr + ' {' + g.values.slice(0, 3).join(' | ') + '}').join('  +  ');
+      div.onclick = () => choose(it.rank, div);
+      nets.appendChild(div);
+    });
+  } catch (e) { el('nets').innerHTML = '<span class="err">' + e.message + '</span>'; }
+}
+
+async function choose(rank, div) {
+  document.querySelectorAll('.net').forEach(n => n.classList.remove('sel'));
+  if (div) div.classList.add('sel');
+  pick = rank;
+  await explore(session, rank);
+}
+
+async function explore(sess, rank) {
+  try {
+    const f = await api('/api/explore', {session: sess, pick: rank, mode: el('mode').value});
+    el('summary').textContent = f.subspaceSize + ' fact rows, aggregate ' + f.totalAggregate.toFixed(2);
+    const dims = el('dims');
+    dims.innerHTML = '';
+    for (const d of f.dimensions) {
+      const box = document.createElement('div');
+      box.className = 'dim';
+      box.innerHTML = '<h3>' + d.dimension + (d.hitted ? ' *' : '') + '</h3>';
+      for (const a of d.attributes) {
+        const attr = document.createElement('div');
+        attr.className = 'attr';
+        attr.innerHTML = '<b' + (a.promoted ? ' class="hit"' : '') + '>' + a.attr +
+          (a.promoted ? ' (hit)' : ' ' + a.score.toFixed(3)) + '</b>';
+        for (const inst of a.instances) {
+          const row = document.createElement('div');
+          row.className = 'inst';
+          row.innerHTML = '<span>' + inst.label + '</span><span>' + inst.aggregate.toFixed(2) + '</span>';
+          row.onclick = () => drill(a, inst);
+          attr.appendChild(row);
+        }
+        box.appendChild(attr);
+      }
+      dims.appendChild(box);
+    }
+  } catch (e) { el('summary').innerHTML = '<span class="err">' + e.message + '</span>'; }
+}
+
+async function drill(a, inst) {
+  const req = {session: session, pick: pick, table: a.table, attr: a.attr, role: a.role};
+  if (a.numeric) { req.numeric = true; req.lo = inst.lo; req.hi = inst.hi; }
+  else { req.value = inst.label; }
+  try {
+    const data = await api('/api/drill', req);
+    stack.push({session: session, pick: pick});
+    session = data.session;
+    pick = 1;
+    renderCrumbs(a.attr + ' = ' + inst.label);
+    await explore(session, 1);
+  } catch (e) { el('summary').innerHTML = '<span class="err">' + e.message + '</span>'; }
+}
+
+function renderCrumbs(label) {
+  const c = el('crumbs');
+  const span = document.createElement('span');
+  span.textContent = (c.textContent ? ' › ' : 'drilled: ') + label;
+  c.appendChild(span);
+}
+
+function el(id) { return document.getElementById(id); }
+function clear(ids) { ids.forEach(id => el(id).innerHTML = ''); }
+loadWarehouses();
+document.getElementById('q').addEventListener('keydown', e => { if (e.key === 'Enter') runQuery(); });
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,153 @@
+// Package stats provides the small statistical toolbox KDAP's ranking
+// layer needs: Pearson correlation between aggregate series, summary
+// statistics, and a seeded deterministic random source for the simulated
+// annealer.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or NaN for an
+// empty slice.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	mu := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Pearson returns the Pearson correlation coefficient between two series
+// of equal length:
+//
+//	corr(X, Y) = E[(X-μx)(Y-μy)] / (σx σy)
+//
+// This is Equation 1's core quantity in the paper (the group-by attribute
+// score is its negation for surprise mode). Degenerate inputs — fewer than
+// two points, or a zero-variance series — yield 0, which the ranking layer
+// treats as "no evidence of (dis)similarity". Pearson panics if the series
+// lengths differ, because that always indicates a partition-alignment bug
+// upstream.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Pearson on series of different length")
+	}
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Clamp floating-point drift so callers can rely on [-1, 1].
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// Spearman returns the Spearman rank correlation between two series: the
+// Pearson correlation of their rank vectors, with ties assigned average
+// ranks. It is an outlier-robust alternative to Pearson for Equation 1's
+// partition scoring (one huge category cannot dominate the comparison).
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Spearman on series of different length")
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Ranks converts a series to average ranks (1-based; ties share the mean
+// of the ranks they span).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// MinMax returns the smallest and largest element of xs. It panics on an
+// empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// AbsErrPct returns the relative error |got-want| / |want| as a
+// percentage. When want is 0, it returns 0 if got is also 0 and 100
+// otherwise; the experiment harness uses this to compare correlation
+// values against ground truth.
+func AbsErrPct(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 100
+	}
+	return math.Abs(got-want) / math.Abs(want) * 100
+}

@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "Mean", Mean(xs), 5, 1e-12)
+	approx(t, "StdDev", StdDev(xs), 2, 1e-12)
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty slice should give NaN")
+	}
+}
+
+func TestSumMinMax(t *testing.T) {
+	approx(t, "Sum", Sum([]float64{1, 2, 3.5}), 6.5, 1e-12)
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %g,%g", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(nil) should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestPearsonKnownValues(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	approx(t, "perfect positive", Pearson(x, []float64{2, 4, 6, 8, 10}), 1, 1e-12)
+	approx(t, "perfect negative", Pearson(x, []float64{10, 8, 6, 4, 2}), -1, 1e-12)
+	approx(t, "self", Pearson(x, x), 1, 1e-12)
+	// A hand-computed case: x = 1..5, y = {1,2,2,4,10}:
+	// sxy=20, sxx=10, syy=52.8 → corr = 20/sqrt(528).
+	approx(t, "hand case", Pearson(x, []float64{1, 2, 2, 4, 10}), 20/math.Sqrt(528), 1e-12)
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if Pearson([]float64{1}, []float64{2}) != 0 {
+		t.Error("single point should give 0")
+	}
+	if Pearson(nil, nil) != 0 {
+		t.Error("empty should give 0")
+	}
+	if Pearson([]float64{3, 3, 3}, []float64{1, 2, 3}) != 0 {
+		t.Error("constant series should give 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Pearson([]float64{1, 2}, []float64{1})
+}
+
+// Properties of Pearson: symmetry, range, invariance under positive affine
+// transforms, and sign flip under negation.
+func TestPearsonProperties(t *testing.T) {
+	gen := func(seed uint64, n int) ([]float64, []float64) {
+		r := NewRNG(seed)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()*100 - 50
+			y[i] = r.Float64()*100 - 50
+		}
+		return x, y
+	}
+	f := func(seed uint64) bool {
+		x, y := gen(seed, 16)
+		r1 := Pearson(x, y)
+		if r1 < -1 || r1 > 1 {
+			return false
+		}
+		if math.Abs(r1-Pearson(y, x)) > 1e-12 {
+			return false
+		}
+		// positive affine invariance: corr(a*x+b, y) == corr(x, y), a>0
+		ax := make([]float64, len(x))
+		for i := range x {
+			ax[i] = 3.5*x[i] + 7
+		}
+		if math.Abs(Pearson(ax, y)-r1) > 1e-9 {
+			return false
+		}
+		// negation flips sign
+		nx := make([]float64, len(x))
+		for i := range x {
+			nx[i] = -x[i]
+		}
+		return math.Abs(Pearson(nx, y)+r1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbsErrPct(t *testing.T) {
+	approx(t, "10% err", AbsErrPct(1.1, 1.0), 10, 1e-9)
+	approx(t, "exact", AbsErrPct(-0.5, -0.5), 0, 0)
+	approx(t, "zero/zero", AbsErrPct(0, 0), 0, 0)
+	approx(t, "nonzero/zero", AbsErrPct(0.3, 0), 100, 0)
+	approx(t, "negative want", AbsErrPct(-0.9, -1.0), 10, 1e-9)
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Error("different seeds produce suspiciously similar streams")
+	}
+}
+
+func TestRNGRangesAndPanics(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Intn(0) should panic")
+			}
+		}()
+		r.Intn(0)
+	}()
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n, buckets = 100000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for b, c := range counts {
+		if c < n/buckets*8/10 || c > n/buckets*12/10 {
+			t.Errorf("bucket %d count %d far from uniform %d", b, c, n/buckets)
+		}
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	approx(t, "normal mean", Mean(xs), 0, 0.02)
+	approx(t, "normal stddev", StdDev(xs), 1, 0.02)
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(1)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGPick(t *testing.T) {
+	r := NewRNG(11)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 2, 7})]++
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Errorf("Pick ignores weights: %v", counts)
+	}
+	approx(t, "heavy weight share", float64(counts[2])/30000, 0.7, 0.03)
+	for name, w := range map[string][]float64{"negative": {1, -1}, "zero": {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pick with %s weights should panic", name)
+				}
+			}()
+			r.Pick(w)
+		}()
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v", got)
+		}
+	}
+	// Ties share the average rank.
+	got = Ranks([]float64{5, 1, 5, 2})
+	want = []float64{3.5, 1, 3.5, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tied Ranks = %v", got)
+		}
+	}
+	if len(Ranks(nil)) != 0 {
+		t.Error("empty ranks")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	// Any monotone transform correlates perfectly under Spearman.
+	y := []float64{1, 8, 27, 1000, 100000}
+	approx(t, "monotone", Spearman(x, y), 1, 1e-12)
+	approx(t, "reversed", Spearman(x, []float64{5, 4, 3, 2, 1}), -1, 1e-12)
+	// Outlier robustness: one huge value barely moves Spearman but drags
+	// Pearson.
+	xo := []float64{1, 2, 3, 4, 100000}
+	yo := []float64{2, 1, 4, 3, 90000}
+	if p, s := Pearson(xo, yo), Spearman(xo, yo); s >= p {
+		// Pearson is ~1 here (outlier dominates); Spearman reflects the
+		// scrambled small ranks.
+		t.Errorf("expected Spearman (%g) below outlier-dominated Pearson (%g)", s, p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Spearman([]float64{1}, []float64{1, 2})
+}

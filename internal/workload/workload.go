@@ -1,0 +1,212 @@
+// Package workload defines the keyword-query workloads of the paper's
+// evaluation: the 50 AW_ONLINE queries of Table 3 together with encoded
+// ground-truth interpretations (the paper checked relevance manually; we
+// encode the intended star net as a set of acceptable domain signatures),
+// plus the AW_RESELLER replica workload of §6.3.
+//
+// Two queries are spelled slightly differently from Table 3 because our
+// tokenizer — like Lucene's standard analyzer the prototype used — splits
+// on punctuation: "Sport100" is written "Sport-100" (the actual product
+// model spelling) and "HalfPrice Pedal Sale" is written "Half-Price Pedal
+// Sale" (the actual promotion spelling). The intent is identical.
+package workload
+
+import (
+	"sort"
+	"strings"
+)
+
+// Query is one workload query with its ground truth.
+type Query struct {
+	ID   int
+	Text string
+	// Acceptable holds the domain signatures (see StarNet.DomainSignature)
+	// of star nets that a human judge would accept as the intended
+	// interpretation. Equivalent readings (product name vs. model name of
+	// the same product) are all listed.
+	Acceptable []string
+}
+
+// Relevant reports whether the given domain signature is an acceptable
+// interpretation of the query.
+func (q Query) Relevant(sig string) bool {
+	for _, a := range q.Acceptable {
+		if a == sig {
+			return true
+		}
+	}
+	return false
+}
+
+// sig builds a canonical domain signature from its parts (sorted, " & "
+// joined) — the same canonicalization StarNet.DomainSignature applies.
+func sig(parts ...string) string {
+	sort.Strings(parts)
+	return strings.Join(parts, " & ")
+}
+
+// Short names for the AW_ONLINE domains.
+const (
+	geoCity    = "DimGeography.City[Customer]"
+	geoState   = "DimGeography.StateProvinceName[Customer]"
+	geoCountry = "DimGeography.CountryRegionName[Customer]"
+	geoCode    = "DimGeography.CountryRegionCode[Customer]"
+	terrRegion = "DimSalesTerritory.Region[Customer]"
+	terrCtry   = "DimSalesTerritory.Country[Customer]"
+	terrGroup  = "DimSalesTerritory.TerritoryGroup[Customer]"
+	custFirst  = "DimCustomer.FirstName[Customer]"
+	custEmail  = "DimCustomer.EmailAddress[Customer]"
+	custPhone  = "DimCustomer.Phone[Customer]"
+	custAddr   = "DimCustomer.AddressLine1[Customer]"
+	custEdu    = "DimCustomer.Education[Customer]"
+	custOcc    = "DimCustomer.Occupation[Customer]"
+	prodName   = "DimProduct.EnglishProductName[Product]"
+	prodModel  = "DimProduct.ModelName[Product]"
+	prodColor  = "DimProduct.Color[Product]"
+	prodDesc   = "DimProduct.EnglishDescription[Product]"
+	subcatName = "DimProductSubcategory.SubcategoryName[Product]"
+	catName    = "DimProductCategory.CategoryName[Product]"
+	dateMonth  = "DimDate.MonthName[Date]"
+	dateYear   = "DimDate.CalendarYear[Date]"
+	dateDay    = "DimDate.DayName[Date]"
+	promoName  = "DimPromotion.EnglishPromotionName[Promotion]"
+	promoType  = "DimPromotion.EnglishPromotionType[Promotion]"
+	curName    = "DimCurrency.CurrencyName[Currency]"
+)
+
+// AWOnlineQueries returns the 50-query Table 3 workload.
+func AWOnlineQueries() []Query {
+	return []Query{
+		{1, "Overstock", []string{sig(promoName)}},
+		{2, "Tire", []string{sig(prodName), sig(prodModel), sig(subcatName), sig(promoName)}},
+		{3, "Sport-100", []string{sig(prodModel), sig(prodName)}},
+		{4, "October", []string{sig(dateMonth)}},
+		{5, "fernando35@adventure-works.com", []string{sig(custEmail)}},
+		{6, "Bolts", []string{sig(prodName), sig(prodModel)}},
+		{7, "Europe", []string{sig(terrGroup)}},
+		{8, "Australia", []string{sig(geoCountry), sig(terrCtry), sig(terrRegion)}},
+		{9, "Bachelors", []string{sig(custEdu)}},
+		{10, "Blade", []string{sig(prodName), sig(prodModel)}},
+		{11, "Mountain Tire", []string{sig(prodName), sig(prodModel)}},
+		{12, "Flat Washer", []string{sig(prodName), sig(prodModel)}},
+		{13, "Internal Lock", []string{sig(prodName), sig(prodModel)}},
+		{14, "California US", []string{sig(geoState, geoCode)}},
+		{15, "Brakes Chains", []string{sig(subcatName, subcatName)}},
+		{16, "Road Bikes", []string{sig(subcatName)}},
+		{17, "Blade California", []string{sig(prodName, geoState), sig(prodModel, geoState)}},
+		{18, "Chainring Bikes", []string{sig(prodName, catName), sig(prodModel, catName)}},
+		{19, "Keyed Washer", []string{sig(prodName), sig(prodModel)}},
+		{20, "Silver Hub", []string{sig(prodName), sig(prodModel)}},
+		{21, "2001 January US", []string{sig(dateYear, dateMonth, geoCode)}},
+		{22, "Caps Gloves Jerseys", []string{sig(subcatName, subcatName, subcatName)}},
+		{23, "Half-Price Pedal Sale", []string{sig(promoName)}},
+		{24, "Sydney Helmet Discount", []string{sig(geoCity, promoName)}},
+		{25, "Sydney California Promotion", []string{sig(geoCity, geoState, promoName)}},
+		{26, "Discount California December", []string{
+			sig(promoType, geoState, dateMonth), sig(promoName, geoState, dateMonth)}},
+		{27, "Mountain Bike Socks", []string{sig(prodName), sig(prodModel)}},
+		{28, "Cycling Cap Alexandria", []string{sig(prodModel, geoCity), sig(prodName, geoCity)}},
+		{29, "HL Road Frame", []string{sig(prodName), sig(prodModel)}},
+		{30, "Ithaca Accessories Clothing", []string{sig(geoCity, catName, catName)}},
+		{31, "New South Wales Professional", []string{sig(geoState, custOcc)}},
+		{32, "San Jose Metal Plate", []string{sig(geoCity, prodName), sig(geoCity, prodModel)}},
+		{33, "Washington Tires Tubes", []string{
+			sig(geoState, subcatName, subcatName), sig(geoState, subcatName)}},
+		{34, "Germany US Dollar 2000", []string{
+			sig(geoCountry, curName, dateYear), sig(terrCtry, curName, dateYear)}},
+		{35, "California Accessories 2001 September", []string{
+			sig(geoState, catName, dateYear, dateMonth)}},
+		{36, "Bikes Components Clothing Accessories", []string{
+			sig(catName, catName, catName, catName)}},
+		{37, "Central Valley Torrance Denver", []string{sig(geoCity, geoCity, geoCity)}},
+		{38, "Black Yellow handcrafted bumps", []string{
+			sig(prodColor, prodColor, prodDesc, prodDesc)}},
+		{39, "ML Fork North America", []string{
+			sig(prodName, terrGroup), sig(prodModel, terrGroup)}},
+		{40, "Central United States HeadSet", []string{
+			sig(terrRegion, terrCtry, subcatName),
+			sig(terrRegion, geoCountry, subcatName),
+			sig(terrRegion, terrCtry, prodName),
+			sig(terrRegion, terrCtry, prodModel)}},
+		{41, "Allpurpose bar for on or off-road", []string{sig(prodDesc)}},
+		{42, "December November Mountain Tire Sale", []string{
+			sig(dateMonth, dateMonth, promoName)}},
+		{43, "US 2001 2002 2003 2004", []string{
+			sig(geoCode, dateYear, dateYear, dateYear, dateYear)}},
+		{44, "Seattle Saddles 1245550139", []string{sig(geoCity, subcatName, custPhone)}},
+		{45, "San Francisco Palo Alto Santa Cruz", []string{sig(geoCity, geoCity, geoCity)}},
+		{46, "7800 Corrinne Court Sunday", []string{sig(custAddr, dateDay)}},
+		{47, "North America Europe Pacific Bikes 2003", []string{
+			sig(terrGroup, terrGroup, terrGroup, catName, dateYear)}},
+		{48, "Sealed cartridge Horquilla GM", []string{
+			sig(prodDesc, prodDesc, prodDesc), sig(prodDesc, prodDesc, prodDesc, prodDesc),
+			sig(prodDesc, prodDesc), sig(prodDesc)}},
+		{49, "LL Mountain Front Wheel US", []string{
+			sig(prodName, geoCode), sig(prodModel, geoCode)}},
+		{50, "Headlights Dual-Beam Weatherproof", []string{
+			sig(prodName, prodName), sig(prodModel, prodModel),
+			sig(prodName, prodModel), sig(prodModel, prodName),
+			sig(prodName, prodDesc), sig(prodModel, prodDesc)}},
+	}
+}
+
+// Short names for AW_RESELLER domains (keywords drawn from the Reseller
+// and Employee dimensions that AW_ONLINE does not have, per §6.3).
+const (
+	rsName     = "DimReseller.ResellerName[Reseller]"
+	rsType     = "DimReseller.BusinessType[Reseller]"
+	rsGeoCity  = "DimGeography.City[Reseller]"
+	rsGeoState = "DimGeography.StateProvinceName[Reseller]"
+	empTitle   = "DimEmployee.Title[Employee]"
+	empFirst   = "DimEmployee.FirstName[Employee]"
+	deptName   = "DimDepartment.DepartmentName[Employee]"
+	rsSubcat   = "DimProductSubcategory.SubcategoryName[Product]"
+	rsModel    = "DimProduct.ModelName[Product]"
+	rsProdName = "DimProduct.EnglishProductName[Product]"
+	rsCat      = "DimProductCategory.CategoryName[Product]"
+	rsLine     = "DimProductModel.ProductLine[Product]"
+	rsMonth    = "DimDate.MonthName[Date]"
+	rsPromo    = "DimPromotion.EnglishPromotionName[Promotion]"
+)
+
+// AWResellerQueries returns the reseller-side replica workload.
+func AWResellerQueries() []Query {
+	return []Query{
+		{1, "Warehouse", []string{sig(rsType)}},
+		{2, "Specialty Bike Shop", []string{sig(rsType)}},
+		{3, "Sales Representative", []string{sig(empTitle)}},
+		{4, "Design Engineer", []string{sig(empTitle)}},
+		{5, "Marketing", []string{sig(deptName)}},
+		{6, "Shipping and Receiving", []string{sig(deptName)}},
+		{7, "Pacific Bicycle Specialists", []string{sig(rsName)}},
+		// "Wheel Warehouse" legitimately reads as a reseller name or as
+		// "wheels sold by warehouse-type resellers"; both are accepted.
+		{8, "Wheel Warehouse", []string{sig(rsName), sig(rsSubcat, rsType)}},
+		{9, "British Columbia", []string{sig(rsGeoState)}},
+		{10, "Warehouse Mountain Bikes", []string{sig(rsType, rsSubcat)}},
+		{11, "Sales Manager Helmets", []string{sig(empTitle, rsSubcat)}},
+		{12, "Engineering October", []string{sig(deptName, rsMonth)}},
+		{13, "Vancouver Touring Bikes", []string{sig(rsGeoCity, rsSubcat)}},
+		{14, "Specialty Road", []string{
+			sig(rsType, rsLine), sig(rsType, rsSubcat), sig(rsType, rsModel), sig(rsType, rsProdName)}},
+		{15, "Production Technician Clothing", []string{sig(empTitle, rsCat)}},
+		{16, "Cycle Center Mountain Tire Sale", []string{sig(rsName, rsPromo)}},
+		{17, "Bike Works", []string{sig(rsName)}},
+		{18, "Sports Depot Helmets", []string{sig(rsName, rsSubcat)}},
+		{19, "Value Added Reseller", []string{sig(rsType)}},
+		{20, "Shipping Clerk", []string{sig(empTitle)}},
+		{21, "Production", []string{sig(deptName)}},
+		{22, "Premier Cycling Outlet", []string{sig(rsName)}},
+		{23, "Hamburg Warehouse", []string{sig(rsGeoCity, rsType)}},
+		{24, "Melbourne Mountain Frames", []string{sig(rsGeoCity, rsSubcat)}},
+		{25, "Sales Manager Mountain Bikes December", []string{sig(empTitle, rsSubcat, rsMonth)}},
+		{26, "Specialty Bike Shop Road Bikes", []string{sig(rsType, rsSubcat)}},
+		{27, "Ontario Tires Tubes", []string{
+			sig(rsGeoState, rsSubcat), sig(rsGeoState, rsSubcat, rsSubcat)}},
+		{28, "Design Engineer Touring", []string{
+			sig(empTitle, rsLine), sig(empTitle, rsSubcat), sig(empTitle, rsModel), sig(empTitle, rsProdName)}},
+		{29, "Marketing Specialist Gloves", []string{sig(empTitle, rsSubcat)}},
+		{30, "Premier Wheel Warehouse Mountain Tire", []string{
+			sig(rsName, rsProdName), sig(rsName, rsModel), sig(rsSubcat, rsType, rsProdName), sig(rsSubcat, rsType, rsModel)}},
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAWOnlineQueriesShape(t *testing.T) {
+	qs := AWOnlineQueries()
+	if len(qs) != 50 {
+		t.Fatalf("queries = %d, want 50 (Table 3)", len(qs))
+	}
+	seenText := map[string]bool{}
+	for i, q := range qs {
+		if q.ID != i+1 {
+			t.Errorf("query %d has ID %d", i, q.ID)
+		}
+		if strings.TrimSpace(q.Text) == "" {
+			t.Errorf("q%d has empty text", q.ID)
+		}
+		if seenText[q.Text] {
+			t.Errorf("duplicate query text %q", q.Text)
+		}
+		seenText[q.Text] = true
+		if len(q.Acceptable) == 0 {
+			t.Errorf("q%d has no ground truth", q.ID)
+		}
+		for _, a := range q.Acceptable {
+			if a == "" {
+				t.Errorf("q%d has empty signature", q.ID)
+			}
+		}
+	}
+}
+
+// The paper notes the 50 queries are "evenly distributed in terms of the
+// number of keywords contained" — ours must cover 1 through ≥5 keywords.
+func TestAWOnlineQueriesKeywordSpread(t *testing.T) {
+	counts := map[int]int{}
+	for _, q := range AWOnlineQueries() {
+		counts[len(strings.Fields(q.Text))]++
+	}
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		if counts[n] == 0 {
+			t.Errorf("no %d-keyword queries: %v", n, counts)
+		}
+	}
+}
+
+func TestSignaturesAreCanonical(t *testing.T) {
+	for _, q := range append(AWOnlineQueries(), AWResellerQueries()...) {
+		for _, a := range q.Acceptable {
+			parts := strings.Split(a, " & ")
+			for i := 1; i < len(parts); i++ {
+				if parts[i] < parts[i-1] {
+					t.Errorf("q%d %q: signature not sorted: %q", q.ID, q.Text, a)
+				}
+			}
+		}
+	}
+}
+
+func TestRelevant(t *testing.T) {
+	q := Query{ID: 1, Text: "x", Acceptable: []string{"A[r]", "B[r] & C[r]"}}
+	if !q.Relevant("A[r]") || !q.Relevant("B[r] & C[r]") {
+		t.Error("acceptable signature rejected")
+	}
+	if q.Relevant("A[r] & B[r]") || q.Relevant("") {
+		t.Error("unacceptable signature accepted")
+	}
+}
+
+func TestResellerQueriesUseResellerVocabulary(t *testing.T) {
+	// §6.3: the replica workload draws on dimensions AW_ONLINE lacks.
+	var resellerish int
+	qs := AWResellerQueries()
+	for _, q := range qs {
+		for _, a := range q.Acceptable {
+			if strings.Contains(a, "DimReseller") || strings.Contains(a, "DimEmployee") ||
+				strings.Contains(a, "DimDepartment") {
+				resellerish++
+				break
+			}
+		}
+	}
+	if resellerish*2 < len(qs) {
+		t.Errorf("only %d/%d reseller queries target reseller/employee dimensions", resellerish, len(qs))
+	}
+}

@@ -1,0 +1,90 @@
+package kdap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderStarNets renders ranked star nets as a numbered list, one
+// interpretation per line, the way the paper's Table 1 presents them.
+// Long attribute values are shortened to snippets (§6.2's content
+// summaries).
+func RenderStarNets(nets []*StarNet, limit int) string {
+	var b strings.Builder
+	for i, sn := range nets {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(&b, "... (%d more interpretations)\n", len(nets)-limit)
+			break
+		}
+		fmt.Fprintf(&b, "%2d. [%.6f] ", i+1, sn.Score)
+		for j, bg := range sn.Groups {
+			if j > 0 {
+				b.WriteString("  +  ")
+			}
+			vals := make([]string, 0, len(bg.Group.Hits))
+			for _, h := range bg.Group.Hits {
+				vals = append(vals, Snippet(h.Value.Text(), 40))
+				if len(vals) == 3 && len(bg.Group.Hits) > 3 {
+					vals = append(vals, fmt.Sprintf("…+%d", len(bg.Group.Hits)-3))
+					break
+				}
+			}
+			fmt.Fprintf(&b, "%s/%s{%s}", bg.Alias(), bg.Group.Attr, strings.Join(vals, " OR "))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFacets renders the explore phase's dynamic facets as an indented
+// text tree: dimensions, then ranked group-by attributes, then instances
+// with aggregates — the textual equivalent of the paper's multi-faceted
+// interface.
+func RenderFacets(f *Facets) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sub-dataspace: %d fact rows, total aggregate %.2f\n",
+		f.SubspaceSize, f.TotalAggregate)
+	for _, d := range f.Dimensions {
+		mark := ""
+		if d.Hitted {
+			mark = " *"
+		}
+		fmt.Fprintf(&b, "%s%s\n", d.Dimension, mark)
+		for _, a := range d.Attributes {
+			tag := ""
+			switch {
+			case a.Promoted:
+				tag = " (hit)"
+			case a.Numeric:
+				tag = " (numeric)"
+			}
+			fmt.Fprintf(&b, "  %s%s  score=%s\n", a.Attr.Attr, tag, scoreLabel(a))
+			for _, inst := range a.Instances {
+				fmt.Fprintf(&b, "    %-32s %14.2f  (%+.4f)\n",
+					Snippet(inst.Label, 32), inst.Aggregate, inst.Score)
+			}
+		}
+	}
+	return b.String()
+}
+
+func scoreLabel(a *AttrFacet) string {
+	if a.Promoted {
+		return "promoted"
+	}
+	return fmt.Sprintf("%.4f", a.Score)
+}
+
+// Snippet shortens a long attribute value for display, cutting at a word
+// boundary and appending an ellipsis — the paper's treatment of big
+// textual attributes such as product descriptions.
+func Snippet(s string, max int) string {
+	if max <= 1 || len(s) <= max {
+		return s
+	}
+	cut := s[:max-1]
+	if i := strings.LastIndexByte(cut, ' '); i > max/2 {
+		cut = cut[:i]
+	}
+	return cut + "…"
+}
