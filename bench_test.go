@@ -273,6 +273,66 @@ func BenchmarkGroupBy(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupByDict measures the same full-dataspace two-hop
+// group-by as BenchmarkGroupBy, but is pinned to the columnar kernel's
+// workload for the perf trajectory in BENCH.json: dictionary-encoded
+// attribute codes accumulated into a dense state slice. The /ref
+// variant runs the retained row-at-a-time reference path over the
+// identical inputs.
+func BenchmarkGroupByDict(b *testing.B) {
+	e := NewEngine(AWOnline())
+	ex := e.Executor()
+	path, ok := e.Graph().PathFromFact("DimProductSubcategory", "Product")
+	if !ok {
+		b.Fatal("no path")
+	}
+	rows := ex.FactRows(nil)
+	ex.GroupBy(rows, "SubcategoryName", path, e.Measure(), Sum) // warm the code-vector cache
+	b.Run("dict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			groups := ex.GroupBy(rows, "SubcategoryName", path, e.Measure(), Sum)
+			if len(groups) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			groups := ex.GroupByRef(rows, "SubcategoryName", path, e.Measure(), Sum)
+			if len(groups) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	})
+}
+
+// BenchmarkFusedAggregate measures the fused scan+aggregate kernel over
+// the full AW_ONLINE dataspace (parallel above the row threshold)
+// against the row-at-a-time reference.
+func BenchmarkFusedAggregate(b *testing.B) {
+	e := NewEngine(AWOnline())
+	ex := e.Executor()
+	rows := ex.FactRows(nil)
+	want := ex.Aggregate(rows, e.Measure(), Sum) // warm the measure vector
+	if want == 0 {
+		b.Fatal("zero aggregate")
+	}
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ex.Aggregate(rows, e.Measure(), Sum) == 0 {
+				b.Fatal("zero")
+			}
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ex.AggregateRef(rows, e.Measure(), Sum) == 0 {
+				b.Fatal("zero")
+			}
+		}
+	})
+}
+
 // BenchmarkWarehouseBuild measures constructing the full EBiz warehouse
 // (schema, data generation, indexing) from scratch.
 func BenchmarkWarehouseBuild(b *testing.B) {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"kdap/internal/dataset"
+	"kdap/internal/experiments"
+	"kdap/internal/kdapcore"
+	"kdap/internal/olap"
+)
+
+// The bench experiment times the columnar execution kernels against the
+// retained row-at-a-time reference paths on AW_ONLINE and writes the
+// numbers to BENCH.json, so future changes can track the perf
+// trajectory without re-deriving a baseline.
+
+// benchResult is one measured operation.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchFile is the BENCH.json schema.
+type benchFile struct {
+	GeneratedBy string        `json:"generated_by"`
+	Date        string        `json:"date"`
+	GoOS        string        `json:"goos"`
+	GoArch      string        `json:"goarch"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Dataset     string        `json:"dataset"`
+	Results     []benchResult `json:"results"`
+	// Baseline holds the pre-columnar seed numbers (go test -bench
+	// -benchtime=20x on the same machine), kept verbatim so the
+	// speedup this PR claims stays auditable.
+	Baseline map[string]benchResult `json:"baseline_pre_columnar"`
+}
+
+// measure times fn (≥ minIters iterations, ≥ 200ms of wall time) and
+// counts its steady-state allocations.
+func measure(name string, fn func()) benchResult {
+	fn() // warm caches out of the timed region
+	const minIters = 20
+	iters := 0
+	start := time.Now()
+	for elapsed := time.Duration(0); iters < minIters || elapsed < 200*time.Millisecond; elapsed = time.Since(start) {
+		fn()
+		iters++
+	}
+	ns := time.Since(start).Nanoseconds() / int64(iters)
+	allocs := testing.AllocsPerRun(5, fn)
+	return benchResult{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func benchJSON() error {
+	e := experiments.Engine(dataset.AWOnline())
+	ex := e.Executor()
+	m := e.Measure()
+	path, ok := e.Graph().PathFromFact("DimProductSubcategory", "Product")
+	if !ok {
+		return fmt.Errorf("bench: no path to DimProductSubcategory")
+	}
+	rows := ex.FactRows(nil)
+
+	nets, err := e.Differentiate(experiments.Table1Query)
+	if err != nil || len(nets) == 0 {
+		return fmt.Errorf("bench: differentiate: %v (%d nets)", err, len(nets))
+	}
+	opts := kdapcore.DefaultExploreOptions()
+	opts.DisplayIntervals = 3
+
+	out := benchFile{
+		GeneratedBy: "kdapbench -exp bench",
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Dataset:     "AW_ONLINE",
+		Results: []benchResult{
+			measure("GroupByDict", func() {
+				if len(ex.GroupBy(rows, "SubcategoryName", path, m, olap.Sum)) == 0 {
+					panic("no groups")
+				}
+			}),
+			measure("GroupByRef", func() {
+				if len(ex.GroupByRef(rows, "SubcategoryName", path, m, olap.Sum)) == 0 {
+					panic("no groups")
+				}
+			}),
+			measure("FusedAggregate", func() {
+				if ex.Aggregate(rows, m, olap.Sum) == 0 {
+					panic("zero aggregate")
+				}
+			}),
+			measure("AggregateRef", func() {
+				if ex.AggregateRef(rows, m, olap.Sum) == 0 {
+					panic("zero aggregate")
+				}
+			}),
+			measure("Table2Facets", func() {
+				if _, err := e.Explore(nets[0], opts); err != nil {
+					panic(err)
+				}
+			}),
+		},
+		Baseline: map[string]benchResult{
+			"Table2Facets": {Name: "BenchmarkTable2Facets", NsPerOp: 67288548, AllocsPerOp: 22094},
+			"GroupBy":      {Name: "BenchmarkGroupBy", NsPerOp: 3748548, AllocsPerOp: 61},
+		},
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range out.Results {
+		fmt.Printf("%-16s %12d ns/op %10.0f allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	fmt.Println("wrote BENCH.json")
+	return nil
+}

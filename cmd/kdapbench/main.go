@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kdapbench [-exp all|table1|table2|fig4|fig4r|fig5|fig6|fig7]
+//	kdapbench [-exp all|table1|table2|fig4|fig4r|fig5|fig6|fig7|bench]
 //
 // The output is what EXPERIMENTS.md records as "measured".
 package main
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, bench")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -49,6 +49,7 @@ func main() {
 	run("merge", mergeAblation)
 	run("latency", latency)
 	run("discover", discover)
+	run("bench", benchJSON)
 }
 
 func table1() error {

@@ -1,0 +1,93 @@
+// Package cache provides a small fixed-capacity concurrent cache with
+// CLOCK (second-chance) eviction. The OLAP executor and the KDAP engine
+// use it to bound their per-constraint and per-subspace memos: unlike
+// the previous evict-an-arbitrary-map-key policy, CLOCK approximates LRU
+// — a recently hit entry survives one sweep of the hand — without
+// serializing readers the way a linked-list LRU would. Cache hits take
+// only a read lock plus one atomic store of the reference bit, so
+// concurrent lookups scale.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// entry holds one cached value with its second-chance reference bit.
+// Values are immutable after insertion; replacing a key swaps the whole
+// entry pointer so readers never observe a partial write.
+type entry[V any] struct {
+	v   V
+	ref atomic.Bool
+}
+
+// Clock is a fixed-capacity map cache with CLOCK eviction. The zero
+// value is not usable; construct with NewClock. Safe for concurrent use.
+type Clock[K comparable, V any] struct {
+	mu   sync.RWMutex
+	cap  int
+	m    map[K]*entry[V]
+	ring []K // insertion ring the hand sweeps over; len(ring) == len(m)
+	hand int
+}
+
+// NewClock creates an empty cache holding at most capacity entries.
+func NewClock[K comparable, V any](capacity int) *Clock[K, V] {
+	if capacity <= 0 {
+		panic("cache: non-positive capacity")
+	}
+	return &Clock[K, V]{cap: capacity, m: make(map[K]*entry[V], capacity)}
+}
+
+// Get returns the value cached under k and marks the entry recently
+// used.
+func (c *Clock[K, V]) Get(k K) (V, bool) {
+	c.mu.RLock()
+	e := c.m[k]
+	c.mu.RUnlock()
+	if e == nil {
+		var zero V
+		return zero, false
+	}
+	e.ref.Store(true)
+	return e.v, true
+}
+
+// Put inserts or replaces the value under k, evicting the first entry
+// without a second chance when the cache is full.
+func (c *Clock[K, V]) Put(k K, v V) {
+	e := &entry[V]{v: v}
+	e.ref.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; ok {
+		c.m[k] = e // ring slot is unchanged, only the value rotates
+		return
+	}
+	if len(c.ring) < c.cap {
+		c.ring = append(c.ring, k)
+		c.m[k] = e
+		return
+	}
+	// Sweep: clear reference bits until an unreferenced victim appears.
+	// Terminates within two laps — the first lap clears every bit.
+	for {
+		victim := c.ring[c.hand]
+		if c.m[victim].ref.CompareAndSwap(true, false) {
+			c.hand = (c.hand + 1) % c.cap
+			continue
+		}
+		delete(c.m, victim)
+		c.ring[c.hand] = k
+		c.m[k] = e
+		c.hand = (c.hand + 1) % c.cap
+		return
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Clock[K, V]) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

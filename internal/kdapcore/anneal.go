@@ -50,25 +50,38 @@ type MergeResult struct {
 
 // mergeSeries sums x within each range defined by splits.
 func mergeSeries(x []float64, splits []int) []float64 {
-	out := make([]float64, 0, len(splits)+1)
+	out := make([]float64, len(splits)+1)
+	mergeSeriesInto(out, x, splits)
+	return out
+}
+
+// mergeSeriesInto is mergeSeries writing into a caller-owned buffer of
+// len(splits)+1 entries, so the annealing loop runs allocation-free.
+func mergeSeriesInto(out, x []float64, splits []int) {
 	prev := 0
-	bounds := append(append([]int(nil), splits...), len(x))
-	for _, b := range bounds {
+	for j := range out {
+		b := len(x)
+		if j < len(splits) {
+			b = splits[j]
+		}
 		var s float64
 		for i := prev; i < b; i++ {
 			s += x[i]
 		}
-		out = append(out, s)
+		out[j] = s
 		prev = b
 	}
-	return out
 }
 
 // validSplits checks ordering, bounds, and the L-skew constraint.
 func validSplits(splits []int, m int, l float64) bool {
 	prev := 0
 	minW, maxW := math.MaxInt, 0
-	for _, s := range append(append([]int(nil), splits...), m) {
+	for i := 0; i <= len(splits); i++ {
+		s := m
+		if i < len(splits) {
+			s = splits[i]
+		}
 		w := s - prev
 		if w < 1 {
 			return false
@@ -110,28 +123,38 @@ func MergeIntervals(x, y []float64, cfg AnnealConfig) MergeResult {
 	for j := 1; j < k; j++ {
 		start = append(start, j*m/k)
 	}
+	// Scratch merged series, reused across the whole search: the loop
+	// below runs allocation-free, which matters because every numeric
+	// facet in an Explore runs a full N-iteration merge.
+	mx := make([]float64, k)
+	my := make([]float64, k)
 	score := func(splits []int) float64 {
-		return stats.Pearson(mergeSeries(x, splits), mergeSeries(y, splits))
+		mergeSeriesInto(mx, x, splits)
+		mergeSeriesInto(my, y, splits)
+		return stats.Pearson(mx, my)
 	}
 	errOf := func(s float64) float64 { return math.Abs(s - basic) }
 
 	cur := append([]int(nil), start...)
 	best := append([]int(nil), start...)
-	bestErr := errOf(score(best))
+	bestScore := score(best)
+	bestErr := errOf(bestScore)
+	curErr := bestErr
 	history := make([]float64, 0, cfg.N+1)
 	record := func() {
-		history = append(history, stats.AbsErrPct(score(best), basic))
+		history = append(history, stats.AbsErrPct(bestScore, basic))
 	}
 	record()
 
 	rng := stats.NewRNG(cfg.Seed)
+	neighbor := make([]int, len(cur))
 	for i := 0; i < cfg.N; i++ {
 		if len(cur) == 0 {
 			record()
 			continue // K >= m: nothing to move
 		}
 		// Neighbor: move one random split by ±1 basic interval.
-		neighbor := append([]int(nil), cur...)
+		copy(neighbor, cur)
 		j := rng.Intn(len(neighbor))
 		if rng.Intn(2) == 0 {
 			neighbor[j]--
@@ -142,19 +165,23 @@ func MergeIntervals(x, y []float64, cfg AnnealConfig) MergeResult {
 			record()
 			continue
 		}
-		nErr := errOf(score(neighbor))
+		nScore := score(neighbor)
+		nErr := errOf(nScore)
 		if nErr < bestErr {
 			best = append(best[:0], neighbor...)
-			bestErr = nErr
+			bestScore, bestErr = nScore, nErr
 		}
 		// Accept improving neighbors always; others with AcceptProb, the
-		// pseudocode's deliberate acceptance of worse states.
-		if nErr <= errOf(score(cur)) || rng.Float64() < cfg.AcceptProb {
-			cur = neighbor
+		// pseudocode's deliberate acceptance of worse states. (The
+		// short-circuit keeps the RNG call sequence identical to the
+		// allocating implementation, so results are unchanged.)
+		if nErr <= curErr || rng.Float64() < cfg.AcceptProb {
+			cur, neighbor = neighbor, cur
+			curErr = nErr
 		}
 		record()
 	}
-	final := score(best)
+	final := bestScore
 	return MergeResult{
 		Splits:     best,
 		Score:      final,

@@ -3,8 +3,8 @@ package kdapcore
 import (
 	"fmt"
 	"strings"
-	"sync"
 
+	"kdap/internal/cache"
 	"kdap/internal/fulltext"
 	"kdap/internal/olap"
 	"kdap/internal/schemagraph"
@@ -30,13 +30,12 @@ type Engine struct {
 	// pattern of mode switches and back-navigation — skips the semijoin.
 	// The paper's §7 notes subspace aggregation as the cost to optimize;
 	// this is the simplest materialization that helps an interactive
-	// session.
-	cacheMu   sync.Mutex
-	rowsCache map[string][]int
+	// session. Second-chance eviction keeps the interpretations the
+	// session keeps returning to.
+	rowsCache *cache.Clock[string, []int]
 }
 
-// rowsCacheCap bounds the subspace cache; one arbitrary entry is evicted
-// per insert beyond the cap.
+// rowsCacheCap bounds the subspace cache.
 const rowsCacheCap = 128
 
 // NewEngine creates an engine. The measure and aggregation define the
@@ -50,7 +49,7 @@ func NewEngine(g *schemagraph.Graph, ix *fulltext.Index, m olap.Measure, agg ola
 		agg:       agg,
 		hitLim:    defaultHitLimits(),
 		netLim:    defaultNetLimits(),
-		rowsCache: make(map[string][]int),
+		rowsCache: cache.NewClock[string, []int](rowsCacheCap),
 	}
 }
 
@@ -141,25 +140,14 @@ func (e *Engine) SuggestKeywords(query string, max int) map[string][]string {
 // and must not be modified.
 func (e *Engine) SubspaceRows(sn *StarNet) []int {
 	sig := sn.Signature()
-	e.cacheMu.Lock()
-	if rows, ok := e.rowsCache[sig]; ok {
-		e.cacheMu.Unlock()
+	if rows, ok := e.rowsCache.Get(sig); ok {
 		return rows
 	}
-	e.cacheMu.Unlock()
 	rows := e.exec.FactRows(sn.Constraints())
 	if len(sn.Filters) > 0 {
 		rows = e.applyFilters(rows, sn.Filters)
 	}
-	e.cacheMu.Lock()
-	if len(e.rowsCache) >= rowsCacheCap {
-		for k := range e.rowsCache {
-			delete(e.rowsCache, k)
-			break
-		}
-	}
-	e.rowsCache[sig] = rows
-	e.cacheMu.Unlock()
+	e.rowsCache.Put(sig, rows)
 	return rows
 }
 

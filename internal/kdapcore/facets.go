@@ -432,6 +432,7 @@ func (e *Engine) scoreCategoricalAttr(attr schemagraph.AttrRef, path schemagraph
 
 	best := math.Inf(-1)
 	var bestRU *rollup
+	var bestBG map[relation.Value]float64
 	for i := range rollups {
 		ru := &rollups[i]
 		bg := e.exec.GroupBy(ru.rows, attr.Attr, path, e.measure, e.agg)
@@ -443,23 +444,24 @@ func (e *Engine) scoreCategoricalAttr(attr schemagraph.AttrRef, path schemagraph
 		if s > best {
 			best = s
 			bestRU = ru
+			bestBG = bg
 		}
 	}
 	if bestRU == nil {
 		return nil
 	}
 	af := &AttrFacet{Attr: attr, Role: path.Role, Score: best}
-	af.Instances = e.categoricalInstances(attr, path, cats, local, totalAgg, bestRU, opts)
+	af.Instances = e.categoricalInstances(cats, local, bestBG, totalAgg, bestRU, opts)
 	return af
 }
 
 // categoricalInstances scores every category with Equation 2 and ranks:
 // surprise mode by absolute deviation, bellwether mode by contribution.
-func (e *Engine) categoricalInstances(attr schemagraph.AttrRef, path schemagraph.JoinPath,
-	cats []relation.Value, local map[relation.Value]float64,
+// bg is the winning roll-up's background aggregate per category, passed
+// down from the scoring loop so the group-by is not run twice.
+func (e *Engine) categoricalInstances(cats []relation.Value, local, bg map[relation.Value]float64,
 	totalAgg float64, ru *rollup, opts ExploreOptions) []Instance {
 
-	bg := e.exec.GroupBy(ru.rows, attr.Attr, path, e.measure, e.agg)
 	out := make([]Instance, 0, len(cats))
 	for _, c := range cats {
 		var score float64

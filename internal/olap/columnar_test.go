@@ -1,0 +1,240 @@
+package olap
+
+import (
+	"math"
+	"testing"
+
+	"kdap/internal/relation"
+)
+
+// The columnar kernels are a pure execution-strategy change: every
+// result must match the retained row-at-a-time reference path exactly
+// (sequential) or to float-merge precision (parallel).
+
+// sampleRowSets returns row subsets of assorted sizes, including the
+// full dataspace and an empty set.
+func sampleRowSets(ex *Executor) [][]int {
+	all := ex.FactRows(nil)
+	var every3 []int
+	for i := 0; i < len(all); i += 3 {
+		every3 = append(every3, all[i])
+	}
+	return [][]int{nil, all[:1], all[:100], every3, all}
+}
+
+func TestGroupByMatchesReference(t *testing.T) {
+	ex := NewExecutor(ebiz.Graph)
+	m := revenue(t)
+	aggs := []Agg{Sum, Count, Avg, Min, Max}
+	for _, tc := range []struct{ attr, table, role string }{
+		{"GroupName", "PGROUP", "Product"},
+		{"State", "LOC", "Store"},
+		{"Income", "CUSTOMER", "Buyer"},
+	} {
+		path := pathTo(t, tc.table, tc.role)
+		for _, rows := range sampleRowSets(ex) {
+			for _, agg := range aggs {
+				got := ex.GroupBy(rows, tc.attr, path, m, agg)
+				want := ex.GroupByRef(rows, tc.attr, path, m, agg)
+				if len(got) != len(want) {
+					t.Fatalf("%s/%v: %d groups, want %d", tc.attr, agg, len(got), len(want))
+				}
+				for k, w := range want {
+					g, ok := got[k]
+					if !ok {
+						t.Fatalf("%s/%v: missing group %v", tc.attr, agg, k)
+					}
+					// Sequential kernel: identical accumulation order,
+					// so bit-for-bit equality (NaN == NaN for Avg of
+					// empty states).
+					if g != w && !(math.IsNaN(g) && math.IsNaN(w)) {
+						t.Fatalf("%s/%v group %v: %v, want %v", tc.attr, agg, k, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// CountMeasure has no vector; the dense-code kernel must still work
+// through the Eval fallback.
+func TestGroupByEvalFallbackMatchesReference(t *testing.T) {
+	ex := NewExecutor(ebiz.Graph)
+	path := pathTo(t, "PGROUP", "Product")
+	all := ex.FactRows(nil)
+	got := ex.GroupBy(all, "GroupName", path, CountMeasure(), Count)
+	want := ex.GroupByRef(all, "GroupName", path, CountMeasure(), Count)
+	if len(got) != len(want) {
+		t.Fatalf("%d groups, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("group %v: %v want %v", k, got[k], w)
+		}
+	}
+}
+
+// Force the chunked parallel kernel and check it against the reference
+// (values agree to merge precision; group sets agree exactly) and
+// against itself (deterministic across runs).
+func TestGroupByParallelKernel(t *testing.T) {
+	old := parallelRowThreshold
+	parallelRowThreshold = 64
+	defer func() { parallelRowThreshold = old }()
+
+	ex := NewExecutor(ebiz.Graph)
+	m := revenue(t)
+	all := ex.FactRows(nil)
+	path := pathTo(t, "PGROUP", "Product")
+	for _, agg := range []Agg{Sum, Count, Avg, Min, Max} {
+		got := ex.GroupBy(all, "GroupName", path, m, agg)
+		again := ex.GroupBy(all, "GroupName", path, m, agg)
+		want := ex.GroupByRef(all, "GroupName", path, m, agg)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d groups, want %d", agg, len(got), len(want))
+		}
+		for k, w := range want {
+			g, ok := got[k]
+			if !ok {
+				t.Fatalf("%v: missing group %v", agg, k)
+			}
+			if math.Abs(g-w) > 1e-9*(math.Abs(w)+1) {
+				t.Fatalf("%v group %v: %v, want %v", agg, k, g, w)
+			}
+			if got[k] != again[k] {
+				t.Fatalf("%v group %v: parallel kernel nondeterministic", agg, k)
+			}
+		}
+	}
+}
+
+func TestAggregateMatchesReference(t *testing.T) {
+	ex := NewExecutor(ebiz.Graph)
+	m := revenue(t)
+	for _, rows := range sampleRowSets(ex) {
+		for _, agg := range []Agg{Sum, Count, Avg, Min, Max} {
+			got := ex.Aggregate(rows, m, agg)
+			want := ex.AggregateRef(rows, m, agg)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("agg %v over %d rows: %v, want %v", agg, len(rows), got, want)
+			}
+		}
+	}
+	// Parallel path agrees to merge precision.
+	old := parallelRowThreshold
+	parallelRowThreshold = 64
+	defer func() { parallelRowThreshold = old }()
+	all := ex.FactRows(nil)
+	for _, agg := range []Agg{Sum, Count, Avg, Min, Max} {
+		got := ex.Aggregate(all, m, agg)
+		want := ex.AggregateRef(all, m, agg)
+		if math.Abs(got-want) > 1e-9*(math.Abs(want)+1) {
+			t.Fatalf("parallel agg %v: %v, want %v", agg, got, want)
+		}
+	}
+}
+
+// NumericSeries and FilterRowsNumeric through the fact-aligned float
+// column must match the boxed row walk.
+func TestNumericColumnsMatchRowWalk(t *testing.T) {
+	ex := NewExecutor(ebiz.Graph)
+	m := revenue(t)
+	path := pathTo(t, "CUSTOMER", "Buyer")
+	dimTable := ebiz.DB.Table("CUSTOMER")
+	ai := dimTable.Schema().ColumnIndex("Income")
+	f2d := ex.factToDim(path)
+	for _, rows := range sampleRowSets(ex) {
+		series := ex.NumericSeries(rows, "Income", path, m)
+		var want []ValueMeasure
+		for _, r := range rows {
+			d := f2d[r]
+			if d < 0 {
+				continue
+			}
+			v := dimTable.Row(int(d))[ai]
+			if v.IsNull() || !v.Numeric() {
+				continue
+			}
+			want = append(want, ValueMeasure{Value: v.AsFloat(), Measure: m.Eval(ebiz.DB.Table("TRANSITEM").Row(r))})
+		}
+		if len(series) != len(want) {
+			t.Fatalf("series %d entries, want %d", len(series), len(want))
+		}
+		for i := range want {
+			if series[i] != want[i] {
+				t.Fatalf("entry %d: %+v, want %+v", i, series[i], want[i])
+			}
+		}
+		pred := func(x float64) bool { return x > 80000 }
+		got := ex.FilterRowsNumeric(rows, "Income", path, pred)
+		var wantRows []int
+		for _, r := range rows {
+			d := f2d[r]
+			if d < 0 {
+				continue
+			}
+			v := dimTable.Row(int(d))[ai]
+			if v.IsNull() || !v.Numeric() || !pred(v.AsFloat()) {
+				continue
+			}
+			wantRows = append(wantRows, r)
+		}
+		if len(got) != len(wantRows) {
+			t.Fatalf("filter %d rows, want %d", len(got), len(wantRows))
+		}
+		for i := range wantRows {
+			if got[i] != wantRows[i] {
+				t.Fatalf("filter row %d: %d, want %d", i, got[i], wantRows[i])
+			}
+		}
+	}
+}
+
+// The dict path must drop dangling and NULL links exactly like the
+// reference on dirty data.
+func TestDirtyDataColumnarMatchesReference(t *testing.T) {
+	g, ex := dirtyWarehouse(t)
+	m := ColumnMeasure(g.DB().Table("Fact"), "Amount")
+	all := ex.FactRows(nil)
+	for _, tbl := range []string{"Prod", "Grp"} {
+		path, ok := g.PathFromFact(tbl, "Product")
+		if !ok {
+			t.Fatalf("no path from %s", tbl)
+		}
+		attr := map[string]string{"Prod": "Name", "Grp": "GrpName"}[tbl]
+		got := ex.GroupBy(all, attr, path, m, Sum)
+		want := ex.GroupByRef(all, attr, path, m, Sum)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %v, want %v", tbl, got, want)
+		}
+		for k, w := range want {
+			if got[k] != w {
+				t.Fatalf("%s group %v: %v, want %v", tbl, k, got[k], w)
+			}
+		}
+	}
+}
+
+// A group whose every measure value is NaN must still appear (with the
+// aggregation's empty-state value), matching the reference semantics of
+// creating the state before evaluating the measure.
+func TestGroupByKeepsAllNaNMeasureGroups(t *testing.T) {
+	g, ex := dirtyWarehouse(t)
+	// A measure that is NaN for Widget A's only linked fact (row 0).
+	m := Measure{Name: "picky", Eval: func(row []relation.Value) float64 {
+		if row[0].IntVal() == 1 {
+			return math.NaN()
+		}
+		return row[2].AsFloat()
+	}}
+	path, _ := g.PathFromFact("Prod", "Product")
+	all := ex.FactRows(nil)
+	got := ex.GroupBy(all, "Name", path, m, Sum)
+	want := ex.GroupByRef(all, "Name", path, m, Sum)
+	if len(got) != len(want) || len(got) != 2 {
+		t.Fatalf("got %v, want %v (both groups must appear)", got, want)
+	}
+	if got[relation.String("Widget A")] != 0 {
+		t.Errorf("all-NaN group sum = %v, want 0", got[relation.String("Widget A")])
+	}
+}

@@ -1,0 +1,264 @@
+package olap
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"kdap/internal/relation"
+	"kdap/internal/schemagraph"
+)
+
+// The columnar execution kernels: tight loops over pre-extracted
+// []int32 code vectors and []float64 measure columns, with a chunked
+// parallel variant engaged for large row sets. They are pure execution
+// strategy — every kernel produces results identical to the row-at-a-
+// time reference path (see GroupByRef), modulo the float summation
+// order of the parallel merge, which is deterministic for a fixed
+// GOMAXPROCS because rows are chunked and merged in index order.
+
+// parallelRowThreshold is the row count above which the fused
+// scan+aggregate kernels fan out across GOMAXPROCS workers. Below it
+// the goroutine and merge overhead outweighs the scan. Variable so
+// tests can force either path.
+var parallelRowThreshold = 16384
+
+// maxKernelWorkers caps the fan-out; past a point extra workers only
+// shred the cache.
+const maxKernelWorkers = 16
+
+// kernelWorkers returns how many chunks a parallel scan over n rows
+// should use (1 = run sequentially).
+func kernelWorkers(n int) int {
+	if n < parallelRowThreshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > maxKernelWorkers {
+		w = maxKernelWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// mergeInto folds src into dst. All five aggregation functions merge
+// associatively over (sum, n, min, max), which is what makes the
+// chunked parallel scan correct.
+func (s *aggState) mergeInto(src *aggState) {
+	s.sum += src.sum
+	s.n += src.n
+	if src.min < s.min {
+		s.min = src.min
+	}
+	if src.max > s.max {
+		s.max = src.max
+	}
+}
+
+// measureVec resolves the measure's fact-aligned column, or nil when
+// the measure only supports row-at-a-time evaluation (hand-built
+// Measure literals).
+func measureVec(m Measure) []float64 {
+	if m.Vec == nil {
+		return nil
+	}
+	return m.Vec()
+}
+
+// groupScan accumulates the measure over rows into one aggState per
+// dictionary code, returning the dense state slice and a touched mask
+// (a group is "touched" when any row carries its code, even if every
+// measure value was NaN — matching the reference path, which creates a
+// group state before evaluating the measure).
+func (ex *Executor) groupScan(rows []int, codes []int32, ngroups int, m Measure) ([]aggState, []bool) {
+	workers := kernelWorkers(len(rows))
+	if workers == 1 {
+		return ex.groupScanChunk(rows, codes, ngroups, m)
+	}
+	states := make([][]aggState, workers)
+	touched := make([][]bool, workers)
+	chunk := (len(rows) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			states[w], touched[w] = ex.groupScanChunk(rows[lo:hi], codes, ngroups, m)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Merge partials in chunk order so the result is deterministic.
+	out, outTouched := states[0], touched[0]
+	for w := 1; w < workers; w++ {
+		if states[w] == nil {
+			continue
+		}
+		for g := range out {
+			if touched[w][g] {
+				outTouched[g] = true
+				out[g].mergeInto(&states[w][g])
+			}
+		}
+	}
+	return out, outTouched
+}
+
+// groupScanChunk is the sequential fused scan+aggregate kernel over one
+// chunk of rows.
+func (ex *Executor) groupScanChunk(rows []int, codes []int32, ngroups int, m Measure) ([]aggState, []bool) {
+	states := make([]aggState, ngroups)
+	for g := range states {
+		states[g] = newAggState()
+	}
+	touched := make([]bool, ngroups)
+	if vec := measureVec(m); vec != nil {
+		for _, r := range rows {
+			c := codes[r]
+			if c < 0 {
+				continue
+			}
+			touched[c] = true
+			states[c].add(vec[r])
+		}
+		return states, touched
+	}
+	for _, r := range rows {
+		c := codes[r]
+		if c < 0 {
+			continue
+		}
+		touched[c] = true
+		states[c].add(m.Eval(ex.fact.Row(r)))
+	}
+	return states, touched
+}
+
+// scanAggregate is the fused single-group scan behind Aggregate.
+func (ex *Executor) scanAggregate(rows []int, m Measure) aggState {
+	workers := kernelWorkers(len(rows))
+	if workers == 1 {
+		return ex.scanAggregateChunk(rows, m)
+	}
+	partial := make([]aggState, workers)
+	chunk := (len(rows) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if lo >= hi {
+			partial[w] = newAggState()
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partial[w] = ex.scanAggregateChunk(rows[lo:hi], m)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	st := partial[0]
+	for w := 1; w < workers; w++ {
+		st.mergeInto(&partial[w])
+	}
+	return st
+}
+
+func (ex *Executor) scanAggregateChunk(rows []int, m Measure) aggState {
+	st := newAggState()
+	if vec := measureVec(m); vec != nil {
+		for _, r := range rows {
+			st.add(vec[r])
+		}
+		return st
+	}
+	for _, r := range rows {
+		st.add(m.Eval(ex.fact.Row(r)))
+	}
+	return st
+}
+
+// attrColKey identifies a fact-aligned attribute column in the
+// executor's memo: the join path (by signature) plus the attribute.
+type attrColKey struct {
+	path string
+	attr string
+}
+
+// codeColumn is a fact-aligned dictionary-encoded attribute column:
+// codes[factRow] indexes dict, or is -1 when the fact row has no linked
+// dimension row or the attribute value is NULL.
+type codeColumn struct {
+	codes []int32
+	dict  []relation.Value
+}
+
+// attrCodes returns, memoized, the fact-aligned code vector for the
+// attribute at the far end of path: the composition of factToDim with
+// the dimension table's dictionary-encoded column. This is what turns
+// GroupBy into a scan over int32 codes.
+func (ex *Executor) attrCodes(attr string, path schemagraph.JoinPath) ([]int32, []relation.Value) {
+	key := attrColKey{path.Signature(), attr}
+	ex.mu.RLock()
+	cc := ex.attrCode[key]
+	ex.mu.RUnlock()
+	if cc != nil {
+		return cc.codes, cc.dict
+	}
+	dimTable := ex.g.DB().Table(path.Source)
+	dimCodes, dict := dimTable.DictColumn(attr)
+	f2d := ex.factToDim(path)
+	codes := make([]int32, len(f2d))
+	for f, d := range f2d {
+		if d < 0 {
+			codes[f] = -1
+		} else {
+			codes[f] = dimCodes[d]
+		}
+	}
+	cc = &codeColumn{codes: codes, dict: dict}
+	ex.mu.Lock()
+	ex.attrCode[key] = cc
+	ex.mu.Unlock()
+	return cc.codes, cc.dict
+}
+
+// attrFloats returns, memoized, the fact-aligned numeric column for the
+// attribute at the far end of path: NaN where the fact row is unlinked
+// or the attribute value is NULL or non-numeric.
+func (ex *Executor) attrFloats(attr string, path schemagraph.JoinPath) []float64 {
+	key := attrColKey{path.Signature(), attr}
+	ex.mu.RLock()
+	fc := ex.attrFloat[key]
+	ex.mu.RUnlock()
+	if fc != nil {
+		return fc
+	}
+	dimTable := ex.g.DB().Table(path.Source)
+	dimFloats := dimTable.FloatColumn(attr)
+	f2d := ex.factToDim(path)
+	fc = make([]float64, len(f2d))
+	for f, d := range f2d {
+		if d < 0 {
+			fc[f] = math.NaN()
+		} else {
+			fc[f] = dimFloats[d]
+		}
+	}
+	ex.mu.Lock()
+	ex.attrFloat[key] = fc
+	ex.mu.Unlock()
+	return fc
+}

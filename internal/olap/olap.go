@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"kdap/internal/bitset"
+	"kdap/internal/cache"
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
 )
@@ -23,6 +24,12 @@ import (
 type Measure struct {
 	Name string
 	Eval func(row []relation.Value) float64
+	// Vec, when non-nil, returns the measure evaluated over every fact
+	// row as a dense fact-aligned column (NaN where undefined). The
+	// columnar kernels use it to skip per-row boxed evaluation; the
+	// constructors in this package populate it, hand-built Measure
+	// literals may leave it nil and fall back to Eval.
+	Vec func() []float64
 }
 
 // ColumnMeasure returns a measure that reads a single numeric fact column.
@@ -31,9 +38,11 @@ func ColumnMeasure(t *relation.Table, col string) Measure {
 	if ci < 0 {
 		panic(fmt.Sprintf("olap: fact table %s has no column %q", t.Name(), col))
 	}
-	return Measure{Name: col, Eval: func(row []relation.Value) float64 {
-		return row[ci].AsFloat()
-	}}
+	return Measure{
+		Name: col,
+		Eval: func(row []relation.Value) float64 { return row[ci].AsFloat() },
+		Vec:  func() []float64 { return t.FloatColumn(col) },
+	}
 }
 
 // ProductMeasure returns a measure multiplying two numeric fact columns,
@@ -44,9 +53,24 @@ func ProductMeasure(t *relation.Table, name, colA, colB string) Measure {
 	if a < 0 || b < 0 {
 		panic(fmt.Sprintf("olap: fact table %s lacks %q or %q", t.Name(), colA, colB))
 	}
-	return Measure{Name: name, Eval: func(row []relation.Value) float64 {
-		return row[a].AsFloat() * row[b].AsFloat()
-	}}
+	var once sync.Once
+	var vec []float64 // the product column, built once on first vectorized use
+	return Measure{
+		Name: name,
+		Eval: func(row []relation.Value) float64 {
+			return row[a].AsFloat() * row[b].AsFloat()
+		},
+		Vec: func() []float64 {
+			once.Do(func() {
+				ca, cb := t.FloatColumn(colA), t.FloatColumn(colB)
+				vec = make([]float64, len(ca))
+				for i := range vec {
+					vec[i] = ca[i] * cb[i]
+				}
+			})
+			return vec
+		},
+	}
 }
 
 // CountMeasure counts fact rows.
@@ -147,20 +171,24 @@ type Constraint struct {
 }
 
 // Executor runs star-net queries against one warehouse. It memoizes
-// fact-row→dimension-row mappings per join path and per-constraint
-// semijoin results (as bitsets over fact rows), so repeated facet
-// construction and the evaluation of many star nets sharing hit groups
-// are cheap. Safe for concurrent use.
+// fact-row→dimension-row mappings and fact-aligned attribute code/float
+// columns per join path, and per-constraint semijoin results (as
+// bitsets over fact rows), so repeated facet construction and the
+// evaluation of many star nets sharing hit groups are cheap. Safe for
+// concurrent use; cache hits take only a read lock, so the facet
+// scorer's fan-out does not serialize on the memos.
 type Executor struct {
 	g    *schemagraph.Graph
 	fact *relation.Table
 
-	mu      sync.Mutex
-	factMap map[string][]int32 // path signature -> fact row -> dim row (-1 when unlinked)
+	mu        sync.RWMutex
+	factMap   map[string][]int32 // path signature -> fact row -> dim row (-1 when unlinked)
+	attrCode  map[attrColKey]*codeColumn
+	attrFloat map[attrColKey][]float64
 	// constraintBits caches each constraint's fact-row set; candidate
 	// star nets combine a small vocabulary of hit groups, so hit rates
 	// are high during differentiation-heavy workloads.
-	constraintBits map[string]*bitset.Set
+	constraintBits *cache.Clock[string, *bitset.Set]
 }
 
 // constraintCacheCap bounds the per-constraint cache.
@@ -175,7 +203,9 @@ func NewExecutor(g *schemagraph.Graph) *Executor {
 	return &Executor{
 		g: g, fact: fact,
 		factMap:        make(map[string][]int32),
-		constraintBits: make(map[string]*bitset.Set),
+		attrCode:       make(map[attrColKey]*codeColumn),
+		attrFloat:      make(map[attrColKey][]float64),
+		constraintBits: cache.NewClock[string, *bitset.Set](constraintCacheCap),
 	}
 }
 
@@ -200,22 +230,19 @@ func (ex *Executor) MapRows(rows []int, path schemagraph.JoinPath) []int {
 		if fromIdx < 0 {
 			panic(fmt.Sprintf("olap: %s has no column %q", hop.FromTable, hop.FromCol))
 		}
-		var nextRows []int
-		seen := make(map[int]struct{})
+		// A bitset over the next table dedups and sorts in one pass —
+		// ToSlice emits ascending row IDs.
+		seen := bitset.New(next.Len())
 		for _, r := range cur {
 			v := curTable.Row(r)[fromIdx]
 			if v.IsNull() {
 				continue
 			}
 			for _, nr := range next.Lookup(hop.ToCol, v) {
-				if _, dup := seen[nr]; !dup {
-					seen[nr] = struct{}{}
-					nextRows = append(nextRows, nr)
-				}
+				seen.Add(nr)
 			}
 		}
-		sort.Ints(nextRows)
-		cur, curTable = nextRows, next
+		cur, curTable = seen.ToSlice(), next
 	}
 	return cur
 }
@@ -231,32 +258,20 @@ func constraintSig(c Constraint) string {
 }
 
 // constraintSet returns (cached) the bitset of fact rows satisfying one
-// constraint.
+// constraint. The cache evicts with second-chance/CLOCK so a hot hit
+// group survives churn from one-off candidate nets.
 func (ex *Executor) constraintSet(c Constraint) *bitset.Set {
 	sig := constraintSig(c)
-	ex.mu.Lock()
-	if s, ok := ex.constraintBits[sig]; ok {
-		ex.mu.Unlock()
+	if s, ok := ex.constraintBits.Get(sig); ok {
 		return s
 	}
-	ex.mu.Unlock()
-
 	t := ex.g.DB().Table(c.Table)
 	if t == nil {
 		panic(fmt.Sprintf("olap: constraint references missing table %q", c.Table))
 	}
 	dimRows := t.LookupIn(c.Attr, c.Values)
 	s := bitset.FromSorted(ex.fact.Len(), ex.MapRows(dimRows, c.Path))
-
-	ex.mu.Lock()
-	if len(ex.constraintBits) >= constraintCacheCap {
-		for k := range ex.constraintBits {
-			delete(ex.constraintBits, k)
-			break
-		}
-	}
-	ex.constraintBits[sig] = s
-	ex.mu.Unlock()
+	ex.constraintBits.Put(sig, s)
 	return s
 }
 
@@ -294,8 +309,18 @@ func (ex *Executor) FactRows(constraints []Constraint) []int {
 	return rows
 }
 
-// Aggregate applies the measure and aggregation function over fact rows.
+// Aggregate applies the measure and aggregation function over fact
+// rows. The scan is fused — measure column read and accumulation in one
+// loop — and fans out across GOMAXPROCS workers for large row sets.
 func (ex *Executor) Aggregate(rows []int, m Measure, agg Agg) float64 {
+	st := ex.scanAggregate(rows, m)
+	return st.final(agg)
+}
+
+// AggregateRef is the row-at-a-time reference implementation of
+// Aggregate, retained for correctness tests and as the perf-trajectory
+// baseline in cmd/kdapbench.
+func (ex *Executor) AggregateRef(rows []int, m Measure, agg Agg) float64 {
 	st := newAggState()
 	for _, r := range rows {
 		st.add(m.Eval(ex.fact.Row(r)))
@@ -309,12 +334,12 @@ func (ex *Executor) Aggregate(rows []int, m Measure, agg Agg) float64 {
 // at most one dimension row (-1 when a foreign key is NULL or dangling).
 func (ex *Executor) factToDim(path schemagraph.JoinPath) []int32 {
 	sig := path.Signature()
-	ex.mu.Lock()
-	if m, ok := ex.factMap[sig]; ok {
-		ex.mu.Unlock()
+	ex.mu.RLock()
+	m, ok := ex.factMap[sig]
+	ex.mu.RUnlock()
+	if ok {
 		return m
 	}
-	ex.mu.Unlock()
 
 	// Walk the reversed path fact → ... → dimension, column-at-a-time.
 	cur := make([]int32, ex.fact.Len())
@@ -357,7 +382,32 @@ func (ex *Executor) factToDim(path schemagraph.JoinPath) []int32 {
 // aggregates the measure within each group. The result maps each
 // attribute value to its aggregate; fact rows with no linked dimension
 // row are dropped.
+//
+// Execution is columnar: the attribute is read through a memoized
+// fact-aligned dictionary code vector and accumulated into a dense
+// per-code state slice — no map insert, no boxed Value per row — with
+// the chunked parallel kernel engaged for large row sets. The result is
+// identical to GroupByRef.
 func (ex *Executor) GroupBy(rows []int, attr string, path schemagraph.JoinPath, m Measure, agg Agg) map[relation.Value]float64 {
+	dimTable := ex.g.DB().Table(path.Source)
+	if dimTable.Schema().ColumnIndex(attr) < 0 {
+		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
+	}
+	codes, dict := ex.attrCodes(attr, path)
+	states, touched := ex.groupScan(rows, codes, len(dict), m)
+	out := make(map[relation.Value]float64, len(dict))
+	for c := range states {
+		if touched[c] {
+			out[dict[c]] = states[c].final(agg)
+		}
+	}
+	return out
+}
+
+// GroupByRef is the row-at-a-time, map-accumulating reference
+// implementation of GroupBy, retained for correctness tests and as the
+// perf-trajectory baseline in cmd/kdapbench.
+func (ex *Executor) GroupByRef(rows []int, attr string, path schemagraph.JoinPath, m Measure, agg Agg) map[relation.Value]float64 {
 	dimTable := ex.g.DB().Table(path.Source)
 	ai := dimTable.Schema().ColumnIndex(attr)
 	if ai < 0 {
@@ -398,25 +448,31 @@ type ValueMeasure struct {
 
 // NumericSeries extracts, for each fact row, the numeric value of the
 // attribute reached via path together with the row's measure value.
-// Rows with NULL or unlinked attributes are dropped.
+// Rows with NULL, non-numeric, or unlinked attributes are dropped. Both
+// sides read pre-extracted float columns: the memoized fact-aligned
+// attribute column (NaN marks absent) and the measure's vector.
 func (ex *Executor) NumericSeries(rows []int, attr string, path schemagraph.JoinPath, m Measure) []ValueMeasure {
-	dimTable := ex.g.DB().Table(path.Source)
-	ai := dimTable.Schema().ColumnIndex(attr)
-	if ai < 0 {
+	if ex.g.DB().Table(path.Source).Schema().ColumnIndex(attr) < 0 {
 		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
 	}
-	f2d := ex.factToDim(path)
+	vals := ex.attrFloats(attr, path)
 	out := make([]ValueMeasure, 0, len(rows))
+	if vec := measureVec(m); vec != nil {
+		for _, r := range rows {
+			v := vals[r]
+			if math.IsNaN(v) {
+				continue
+			}
+			out = append(out, ValueMeasure{Value: v, Measure: vec[r]})
+		}
+		return out
+	}
 	for _, r := range rows {
-		d := f2d[r]
-		if d < 0 {
+		v := vals[r]
+		if math.IsNaN(v) {
 			continue
 		}
-		v := dimTable.Row(int(d))[ai]
-		if v.IsNull() || !v.Numeric() {
-			continue
-		}
-		out = append(out, ValueMeasure{Value: v.AsFloat(), Measure: m.Eval(ex.fact.Row(r))})
+		out = append(out, ValueMeasure{Value: v, Measure: m.Eval(ex.fact.Row(r))})
 	}
 	return out
 }
@@ -426,23 +482,17 @@ func (ex *Executor) NumericSeries(rows []int, attr string, path schemagraph.Join
 // are dropped. The KDAP engine uses it for the numeric-predicate query
 // extension.
 func (ex *Executor) FilterRowsNumeric(rows []int, attr string, path schemagraph.JoinPath, pred func(float64) bool) []int {
-	dimTable := ex.g.DB().Table(path.Source)
-	ai := dimTable.Schema().ColumnIndex(attr)
-	if ai < 0 {
+	if ex.g.DB().Table(path.Source).Schema().ColumnIndex(attr) < 0 {
 		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
 	}
-	f2d := ex.factToDim(path)
+	vals := ex.attrFloats(attr, path)
 	var out []int
 	for _, r := range rows {
-		d := f2d[r]
-		if d < 0 {
+		v := vals[r]
+		if math.IsNaN(v) {
 			continue
 		}
-		v := dimTable.Row(int(d))[ai]
-		if v.IsNull() || !v.Numeric() {
-			continue
-		}
-		if pred(v.AsFloat()) {
+		if pred(v) {
 			out = append(out, r)
 		}
 	}

@@ -35,97 +35,88 @@ func (ex *Executor) Pivot(rows []int, rowAttr string, rowPath schemagraph.JoinPa
 
 	rowTable := ex.g.DB().Table(rowPath.Source)
 	colTable := ex.g.DB().Table(colPath.Source)
-	ri := rowTable.Schema().ColumnIndex(rowAttr)
-	ci := colTable.Schema().ColumnIndex(colAttr)
-	if ri < 0 || ci < 0 {
+	if rowTable.Schema().ColumnIndex(rowAttr) < 0 || colTable.Schema().ColumnIndex(colAttr) < 0 {
 		panic(fmt.Sprintf("olap: pivot attrs %q/%q missing", rowAttr, colAttr))
 	}
-	rf2d := ex.factToDim(rowPath)
-	cf2d := ex.factToDim(colPath)
+	// Columnar scan: both axes read fact-aligned dictionary codes, so
+	// the cell key is a pair of int32s instead of two boxed Values.
+	rCodes, rDict := ex.attrCodes(rowAttr, rowPath)
+	cCodes, cDict := ex.attrCodes(colAttr, colPath)
+	vec := measureVec(m)
 
-	type cellKey struct{ r, c relation.Value }
-	states := make(map[cellKey]*aggState)
-	rowSet := map[relation.Value]bool{}
-	colSet := map[relation.Value]bool{}
+	cellOf := func(rc, cc int32) int64 { return int64(rc)<<32 | int64(uint32(cc)) }
+	states := make(map[int64]*aggState)
+	rowSeen := make([]bool, len(rDict))
+	colSeen := make([]bool, len(cDict))
 	for _, fr := range rows {
-		rd, cd := rf2d[fr], cf2d[fr]
-		if rd < 0 || cd < 0 {
+		rc, cc := rCodes[fr], cCodes[fr]
+		if rc < 0 || cc < 0 {
 			continue
 		}
-		rv := rowTable.Row(int(rd))[ri]
-		cv := colTable.Row(int(cd))[ci]
-		if rv.IsNull() || cv.IsNull() {
-			continue
-		}
-		rowSet[rv] = true
-		colSet[cv] = true
-		k := cellKey{rv, cv}
+		rowSeen[rc] = true
+		colSeen[cc] = true
+		k := cellOf(rc, cc)
 		st := states[k]
 		if st == nil {
 			s := newAggState()
 			st = &s
 			states[k] = st
 		}
-		st.add(m.Eval(ex.fact.Row(fr)))
+		if vec != nil {
+			st.add(vec[fr])
+		} else {
+			st.add(m.Eval(ex.fact.Row(fr)))
+		}
 	}
 
-	sortVals := func(set map[relation.Value]bool) []relation.Value {
-		out := make([]relation.Value, 0, len(set))
-		for v := range set {
-			out = append(out, v)
+	// Order both axes by attribute value; keep the codes alongside so
+	// cell lookups stay integer-keyed.
+	sortCodes := func(seen []bool, dict []relation.Value) ([]relation.Value, []int32) {
+		codes := make([]int32, 0, len(seen))
+		for c, ok := range seen {
+			if ok {
+				codes = append(codes, int32(c))
+			}
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-		return out
+		sort.Slice(codes, func(i, j int) bool {
+			return dict[codes[i]].Compare(dict[codes[j]]) < 0
+		})
+		vals := make([]relation.Value, len(codes))
+		for i, c := range codes {
+			vals[i] = dict[c]
+		}
+		return vals, codes
 	}
+	rowKeys, rowCodes := sortCodes(rowSeen, rDict)
+	colKeys, colCodes := sortCodes(colSeen, cDict)
 	pt := &PivotTable{
 		RowAttr: rowAttr, ColAttr: colAttr,
-		RowKeys: sortVals(rowSet), ColKeys: sortVals(colSet),
+		RowKeys: rowKeys, ColKeys: colKeys,
 	}
 	pt.Cells = make([][]float64, len(pt.RowKeys))
 	pt.Present = make([][]bool, len(pt.RowKeys))
 	pt.RowTotals = make([]float64, len(pt.RowKeys))
 	pt.ColTotals = make([]float64, len(pt.ColKeys))
 	grand := newAggState()
-	for i, rv := range pt.RowKeys {
+	for i, rc := range rowCodes {
 		pt.Cells[i] = make([]float64, len(pt.ColKeys))
 		pt.Present[i] = make([]bool, len(pt.ColKeys))
 		rowState := newAggState()
-		for j, cv := range pt.ColKeys {
-			if st, ok := states[cellKey{rv, cv}]; ok {
+		for j, cc := range colCodes {
+			if st, ok := states[cellOf(rc, cc)]; ok {
 				pt.Cells[i][j] = st.final(agg)
 				pt.Present[i][j] = true
-				rowState.sum += st.sum
-				rowState.n += st.n
-				if st.min < rowState.min {
-					rowState.min = st.min
-				}
-				if st.max > rowState.max {
-					rowState.max = st.max
-				}
+				rowState.mergeInto(st)
 			}
 		}
 		pt.RowTotals[i] = rowState.final(agg)
-		grand.sum += rowState.sum
-		grand.n += rowState.n
-		if rowState.min < grand.min {
-			grand.min = rowState.min
-		}
-		if rowState.max > grand.max {
-			grand.max = rowState.max
-		}
+		grand.mergeInto(&rowState)
 	}
-	for j, cv := range pt.ColKeys {
+	for j, cc := range colCodes {
 		colState := newAggState()
-		for _, rv := range pt.RowKeys {
-			if st, ok := states[cellKey{rv, cv}]; ok {
-				colState.sum += st.sum
-				colState.n += st.n
-				if st.min < colState.min {
-					colState.min = st.min
-				}
-				if st.max > colState.max {
-					colState.max = st.max
-				}
+		for _, rc := range rowCodes {
+			if st, ok := states[cellOf(rc, cc)]; ok {
+				colState.mergeInto(st)
 			}
 		}
 		pt.ColTotals[j] = colState.final(agg)

@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Table is an append-only in-memory relation. Rows are identified by dense
@@ -17,6 +18,22 @@ type Table struct {
 	schema  *Schema
 	rows    [][]Value
 	indexes map[string]map[Value][]int
+
+	// Columnar views, built on demand (numeric ones also at Freeze) and
+	// dropped on Append. Unlike the hash indexes these are guarded by a
+	// lock, so a cold column may be materialized safely mid-read by the
+	// executor's concurrent kernels.
+	colMu     sync.RWMutex
+	floatCols map[int][]float64
+	dictCols  map[int]*dictColumn
+}
+
+// dictColumn is a dictionary-encoded column view: codes[row] indexes
+// dict, or is -1 where the stored value is NULL. The dictionary holds
+// distinct values in first-seen row order.
+type dictColumn struct {
+	codes []int32
+	dict  []Value
 }
 
 // NewTable creates an empty table with the given schema.
@@ -64,7 +81,17 @@ func (t *Table) Append(row []Value) (int, error) {
 		v := stored[ci]
 		idx[v] = append(idx[v], id)
 	}
+	t.invalidateColumns()
 	return id, nil
+}
+
+// invalidateColumns drops the columnar views; they no longer cover the
+// table after an append.
+func (t *Table) invalidateColumns() {
+	t.colMu.Lock()
+	t.floatCols = nil
+	t.dictCols = nil
+	t.colMu.Unlock()
 }
 
 // MustAppend is Append that panics on error; for statically known rows.
@@ -110,7 +137,11 @@ func (t *Table) index(col string) map[Value][]int {
 }
 
 // Freeze pre-builds hash indexes on the primary key and every foreign-key
-// column so that subsequent concurrent lookups never mutate the table.
+// column so that subsequent concurrent lookups never mutate the table,
+// and materializes the float view of every numeric column for the
+// columnar kernels. Dictionary views stay lazy (their own lock makes a
+// cold build safe mid-read) since most string columns are never grouped
+// by.
 func (t *Table) Freeze() {
 	if t.schema.Key != "" {
 		t.index(t.schema.Key)
@@ -118,6 +149,79 @@ func (t *Table) Freeze() {
 	for _, fk := range t.schema.ForeignKeys {
 		t.index(fk.Column)
 	}
+	for _, c := range t.schema.Columns {
+		if c.Kind == KindInt || c.Kind == KindFloat {
+			t.FloatColumn(c.Name)
+		}
+	}
+}
+
+// FloatColumn returns the dense float64 view of col: one entry per row,
+// with NULL (and any non-numeric value) represented as NaN. The view is
+// built once and cached; the returned slice is shared and must not be
+// modified.
+func (t *Table) FloatColumn(col string) []float64 {
+	ci := t.schema.ColumnIndex(col)
+	if ci < 0 {
+		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
+	}
+	t.colMu.RLock()
+	c := t.floatCols[ci]
+	t.colMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	c = make([]float64, len(t.rows))
+	for i, row := range t.rows {
+		c[i] = row[ci].FloatOrNaN()
+	}
+	t.colMu.Lock()
+	if t.floatCols == nil {
+		t.floatCols = make(map[int][]float64)
+	}
+	t.floatCols[ci] = c
+	t.colMu.Unlock()
+	return c
+}
+
+// DictColumn returns the dictionary-encoded view of col: codes[row]
+// indexes dict (distinct non-NULL values in first-seen order), or is -1
+// where the value is NULL. The view is built once and cached; the
+// returned slices are shared and must not be modified.
+func (t *Table) DictColumn(col string) (codes []int32, dict []Value) {
+	ci := t.schema.ColumnIndex(col)
+	if ci < 0 {
+		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
+	}
+	t.colMu.RLock()
+	dc := t.dictCols[ci]
+	t.colMu.RUnlock()
+	if dc != nil {
+		return dc.codes, dc.dict
+	}
+	dc = &dictColumn{codes: make([]int32, len(t.rows))}
+	code := make(map[Value]int32)
+	for i, row := range t.rows {
+		v := row[ci]
+		if v.IsNull() {
+			dc.codes[i] = -1
+			continue
+		}
+		c, ok := code[v]
+		if !ok {
+			c = int32(len(dc.dict))
+			code[v] = c
+			dc.dict = append(dc.dict, v)
+		}
+		dc.codes[i] = c
+	}
+	t.colMu.Lock()
+	if t.dictCols == nil {
+		t.dictCols = make(map[int]*dictColumn)
+	}
+	t.dictCols[ci] = dc
+	t.colMu.Unlock()
+	return dc.codes, dc.dict
 }
 
 // Lookup returns the IDs of rows whose col equals v, using (and caching) a

@@ -1,8 +1,10 @@
 package relation
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -302,4 +304,116 @@ func TestFreezeAllowsConcurrentReads(t *testing.T) {
 			t.Fatal("concurrent lookup returned wrong result")
 		}
 	}
+}
+
+func columnarTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable(citySchema(t))
+	tbl.MustAppend(Int(1), String("Columbus"), Float(900000))
+	tbl.MustAppend(Int(2), String("Seattle"), Null())
+	tbl.MustAppend(Int(3), String("Columbus"), Float(120000))
+	tbl.MustAppend(Int(4), Null(), Float(42)) // ints widen into float columns too
+	return tbl
+}
+
+func TestFloatColumn(t *testing.T) {
+	tbl := columnarTable(t)
+	pop := tbl.FloatColumn("Population")
+	if len(pop) != 4 {
+		t.Fatalf("len = %d", len(pop))
+	}
+	if pop[0] != 900000 || pop[2] != 120000 || pop[3] != 42 {
+		t.Errorf("pop = %v", pop)
+	}
+	if !math.IsNaN(pop[1]) {
+		t.Errorf("NULL should read as NaN, got %g", pop[1])
+	}
+	// String columns yield all-NaN rather than panicking: the columnar
+	// kernels probe attribute columns whose kind they don't know.
+	name := tbl.FloatColumn("Name")
+	for i, v := range name {
+		if !math.IsNaN(v) {
+			t.Errorf("string column row %d = %g", i, v)
+		}
+	}
+	// The view is cached...
+	if &pop[0] != &tbl.FloatColumn("Population")[0] {
+		t.Error("FloatColumn not cached")
+	}
+	// ...and invalidated by Append.
+	tbl.MustAppend(Int(5), String("Austin"), Float(7))
+	pop2 := tbl.FloatColumn("Population")
+	if len(pop2) != 5 || pop2[4] != 7 {
+		t.Errorf("post-append pop = %v", pop2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown column should panic")
+		}
+	}()
+	tbl.FloatColumn("Nope")
+}
+
+func TestDictColumn(t *testing.T) {
+	tbl := columnarTable(t)
+	codes, dict := tbl.DictColumn("Name")
+	if len(codes) != 4 {
+		t.Fatalf("codes = %v", codes)
+	}
+	// First-seen order: Columbus=0, Seattle=1; NULL is -1.
+	want := []int32{0, 1, 0, -1}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	if len(dict) != 2 || dict[0].Str() != "Columbus" || dict[1].Str() != "Seattle" {
+		t.Fatalf("dict = %v", dict)
+	}
+	// Decoding must reproduce the stored column exactly.
+	for i := 0; i < tbl.Len(); i++ {
+		v := tbl.Value(i, "Name")
+		if codes[i] < 0 {
+			if !v.IsNull() {
+				t.Errorf("row %d: code -1 for non-NULL %v", i, v)
+			}
+			continue
+		}
+		if dict[codes[i]] != v {
+			t.Errorf("row %d decodes to %v, want %v", i, dict[codes[i]], v)
+		}
+	}
+	// Cached, then invalidated by Append.
+	c2, _ := tbl.DictColumn("Name")
+	if &codes[0] != &c2[0] {
+		t.Error("DictColumn not cached")
+	}
+	tbl.MustAppend(Int(5), String("Austin"), Float(7))
+	c3, d3 := tbl.DictColumn("Name")
+	if len(c3) != 5 || c3[4] != 2 || len(d3) != 3 {
+		t.Errorf("post-append codes = %v dict = %v", c3, d3)
+	}
+}
+
+// Freeze pre-builds numeric float views; concurrent readers of frozen
+// tables then share them without taking the build path.
+func TestFreezeBuildsFloatColumns(t *testing.T) {
+	tbl := columnarTable(t)
+	tbl.Freeze()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pop := tbl.FloatColumn("Population")
+			if pop[0] != 900000 {
+				t.Error("bad column read")
+			}
+			codes, _ := tbl.DictColumn("Name")
+			if codes[0] != 0 {
+				t.Error("bad dict read")
+			}
+		}()
+	}
+	wg.Wait()
 }

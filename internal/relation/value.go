@@ -128,6 +128,21 @@ func (v Value) AsFloat() float64 {
 	}
 }
 
+// FloatOrNaN converts a numeric value to float64 and every other kind —
+// NULL, string, bool — to NaN. It is the non-panicking sibling of
+// AsFloat; the columnar kernels use NaN as the single absent-value
+// sentinel so that a []float64 column needs no side validity mask.
+func (v Value) FloatOrNaN() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	default:
+		return math.NaN()
+	}
+}
+
 // Text renders any value as a string: strings verbatim, numbers in decimal
 // notation, booleans as true/false, NULL as the empty string. Text is what
 // the full-text indexer feeds to the tokenizer.

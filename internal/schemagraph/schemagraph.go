@@ -128,10 +128,24 @@ func (p JoinPath) Tables() []string {
 // Signature is a canonical string identifying the path, used for
 // deduplication and for comparing interpretations in tests.
 func (p JoinPath) Signature() string {
+	// Hot path: the OLAP executor keys its per-path memos by signature,
+	// so this runs on every group-by/aggregate call. One allocation.
+	n := len(p.Source)
+	for _, h := range p.Hops {
+		n += 4 + len(h.FromTable) + len(h.FromCol) + len(h.ToTable) + len(h.ToCol)
+	}
 	var b strings.Builder
+	b.Grow(n)
 	b.WriteString(p.Source)
 	for _, h := range p.Hops {
-		fmt.Fprintf(&b, "|%s.%s>%s.%s", h.FromTable, h.FromCol, h.ToTable, h.ToCol)
+		b.WriteByte('|')
+		b.WriteString(h.FromTable)
+		b.WriteByte('.')
+		b.WriteString(h.FromCol)
+		b.WriteByte('>')
+		b.WriteString(h.ToTable)
+		b.WriteByte('.')
+		b.WriteString(h.ToCol)
 	}
 	return b.String()
 }
