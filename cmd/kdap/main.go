@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	kdap [-db ebiz|online|reseller] [-snapshot file] [-csv dir] [-mode surprise|bellwether]
+//	kdap [-db ebiz|online|reseller] [-snapshot file] [-csv dir] [-mode surprise|bellwether] [-trace]
+//
+// With -trace, every query / pick / drill prints an indented per-stage
+// timing tree (the same span tree the HTTP API returns behind
+// ?trace=1) after its output.
 //
 // Commands inside the session:
 //
@@ -41,6 +45,7 @@ func main() {
 	snapshot := flag.String("snapshot", "", "load a warehouse snapshot written by kdapgen instead of -db")
 	csvDir := flag.String("csv", "", "load a CSV directory with manifest.json instead of -db")
 	mode := flag.String("mode", "surprise", "interestingness: surprise, bellwether")
+	trace := flag.Bool("trace", false, "print a per-stage timing tree after each query/pick/drill")
 	flag.Parse()
 
 	var wh *kdap.Warehouse
@@ -77,6 +82,7 @@ func main() {
 
 	opts := kdap.DefaultExploreOptions()
 	r := &repl{s: kdap.NewSession(kdap.NewEngine(wh), opts)}
+	r.s.SetTracing(*trace)
 	if err := r.setMode(*mode); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -110,6 +116,16 @@ func (r *repl) setMode(m string) error {
 }
 
 func (r *repl) handle(line string) {
+	before := r.s.LastTrace()
+	r.dispatch(line)
+	// A fresh trace means the command ran a traced engine operation;
+	// print its stage breakdown under the command's own output.
+	if tr := r.s.LastTrace(); r.s.Tracing() && tr != nil && tr != before {
+		fmt.Print(tr.Tree())
+	}
+}
+
+func (r *repl) dispatch(line string) {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "help":

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"kdap/internal/cache"
 	"kdap/internal/dataset"
 	"kdap/internal/experiments"
 	"kdap/internal/kdapcore"
@@ -39,6 +40,33 @@ type benchFile struct {
 	// -benchtime=20x on the same machine), kept verbatim so the
 	// speedup this PR claims stays auditable.
 	Baseline map[string]benchResult `json:"baseline_pre_columnar"`
+	// Telemetry snapshots the engine's own counters after the timed
+	// runs: cache hit rates and kernel-path counts explain the numbers
+	// above (e.g. a warm constraint cache or an all-columnar run).
+	Telemetry benchTelemetry `json:"telemetry"`
+}
+
+// benchTelemetry is the post-run engine counter snapshot.
+type benchTelemetry struct {
+	SubspaceRowsCache cacheSnapshot  `json:"subspace_rows_cache"`
+	ConstraintCache   cacheSnapshot  `json:"constraint_cache"`
+	Kernels           olap.ExecStats `json:"kernels"`
+	FulltextProbes    int64          `json:"fulltext_probes"`
+}
+
+// cacheSnapshot is cache.Stats plus the derived hit rate.
+type cacheSnapshot struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func snapshotCache(s cache.Stats) cacheSnapshot {
+	return cacheSnapshot{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		HitRate: s.HitRate(),
+	}
 }
 
 // measure times fn (≥ minIters iterations, ≥ 200ms of wall time) and
@@ -112,6 +140,12 @@ func benchJSON() error {
 			"Table2Facets": {Name: "BenchmarkTable2Facets", NsPerOp: 67288548, AllocsPerOp: 22094},
 			"GroupBy":      {Name: "BenchmarkGroupBy", NsPerOp: 3748548, AllocsPerOp: 61},
 		},
+	}
+	out.Telemetry = benchTelemetry{
+		SubspaceRowsCache: snapshotCache(e.RowsCacheStats()),
+		ConstraintCache:   snapshotCache(ex.ConstraintCacheStats()),
+		Kernels:           ex.Stats(),
+		FulltextProbes:    e.Index().ProbeCount(),
 	}
 
 	buf, err := json.MarshalIndent(out, "", "  ")

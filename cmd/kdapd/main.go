@@ -2,9 +2,12 @@
 //
 // Usage:
 //
-//	kdapd [-addr :8080] [-db ebiz,online,reseller]
+//	kdapd [-addr :8080] [-db ebiz,online,reseller] [-log text|json]
 //
 // A minimal web UI is served at /; the JSON endpoints live under /api.
+// Prometheus metrics are exposed at /metrics, pprof profiles under
+// /debug/pprof/, and access logs go to stderr via log/slog (-log json
+// for machine-readable lines).
 // See internal/server for the endpoint contract. Example session:
 //
 //	curl -s localhost:8080/api/query -d '{"db":"ebiz","q":"Columbus LCD"}'
@@ -19,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,7 +37,19 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dbs := flag.String("db", "ebiz,online,reseller", "comma-separated warehouses to serve")
+	logFormat := flag.String("log", "text", "access log format: text or json")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		log.Fatalf("unknown log format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	warehouses := make(map[string]*dataset.Warehouse)
 	for _, name := range strings.Split(*dbs, ",") {
@@ -53,9 +69,11 @@ func main() {
 		log.Fatal("no warehouses selected")
 	}
 
+	api := server.New(warehouses)
+	api.SetLogger(logger)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(warehouses),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -29,6 +29,44 @@ type Clock[K comparable, V any] struct {
 	m    map[K]*entry[V]
 	ring []K // insertion ring the hand sweeps over; len(ring) == len(m)
 	hand int
+
+	// Lifetime telemetry: lock-free monotonic counters the owner can
+	// export (the server surfaces them as kdap_cache_*_total series).
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of a cache's lifetime counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Len       int
+	Cap       int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache's counters.
+func (c *Clock[K, V]) Stats() Stats {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Len:       n,
+		Cap:       c.cap,
+	}
 }
 
 // NewClock creates an empty cache holding at most capacity entries.
@@ -46,9 +84,11 @@ func (c *Clock[K, V]) Get(k K) (V, bool) {
 	e := c.m[k]
 	c.mu.RUnlock()
 	if e == nil {
+		c.misses.Add(1)
 		var zero V
 		return zero, false
 	}
+	c.hits.Add(1)
 	e.ref.Store(true)
 	return e.v, true
 }
@@ -78,6 +118,7 @@ func (c *Clock[K, V]) Put(k K, v V) {
 			continue
 		}
 		delete(c.m, victim)
+		c.evictions.Add(1)
 		c.ring[c.hand] = k
 		c.m[k] = e
 		c.hand = (c.hand + 1) % c.cap

@@ -99,3 +99,30 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("len = %d", c.Len())
 	}
 }
+
+// Stats must count hits, misses, and evictions so the telemetry layer
+// can expose cache efficiency (the hit rate PR 1's caches were blind to).
+func TestStats(t *testing.T) {
+	c := NewClock[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("phantom hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")
+	c.Get("a")
+	c.Put("c", 3) // capacity 2: must evict
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Evictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Len != 2 || st.Cap != 2 {
+		t.Errorf("len/cap = %d/%d", st.Len, st.Cap)
+	}
+	if r := st.HitRate(); r < 0.66 || r > 0.67 {
+		t.Errorf("hit rate = %g", r)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty hit rate != 0")
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"kdap/internal/relation"
+	"kdap/internal/telemetry"
 )
 
 // Doc identifies one virtual document: a distinct attribute instance. This
@@ -53,15 +55,30 @@ type Index struct {
 
 	sortedTerms []string // lazily rebuilt for prefix expansion
 	termsDirty  bool
+
+	// probeHist records Search/SearchPhrase wall time in seconds; the
+	// differentiate phase is probe-bound, so this is the latency window
+	// the §7 responsiveness concern cares about. Lock-free to observe,
+	// safe alongside concurrent readers.
+	probeHist *telemetry.Histogram
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
 	return &Index{
-		byKey: make(map[Doc]int),
-		terms: make(map[string]*termInfo),
+		byKey:     make(map[Doc]int),
+		terms:     make(map[string]*termInfo),
+		probeHist: telemetry.NewHistogram(nil),
 	}
 }
+
+// ProbeHistogram exposes the index's probe-latency histogram so owners
+// can register it with a telemetry registry.
+func (ix *Index) ProbeHistogram() *telemetry.Histogram { return ix.probeHist }
+
+// ProbeCount returns the number of probes recorded (Search and
+// SearchPhrase calls).
+func (ix *Index) ProbeCount() int64 { return ix.probeHist.Count() }
 
 // DocCount returns the number of indexed attribute instances.
 func (ix *Index) DocCount() int { return len(ix.docs) }
@@ -189,8 +206,16 @@ const prefixWeight = 0.5
 // coord = (matched query terms)/(total query terms). Results are sorted by
 // descending score with a deterministic tie-break on the doc identity.
 func (ix *Index) Search(query string, opts Options) []Hit {
+	defer ix.observeProbe(time.Now())
 	qterms := Terms(query)
 	return ix.searchTerms(qterms, opts)
+}
+
+// observeProbe records one probe's latency from its start time.
+func (ix *Index) observeProbe(start time.Time) {
+	if ix.probeHist != nil { // zero-value Index in tests
+		ix.probeHist.Observe(time.Since(start).Seconds())
+	}
 }
 
 // SearchPhrase returns only the attribute instances in which the query
@@ -198,6 +223,7 @@ func (ix *Index) Search(query string, opts Options) []Hit {
 // to phrase-containing documents. A single-term phrase degenerates to
 // Search without prefix expansion.
 func (ix *Index) SearchPhrase(query string, opts Options) []Hit {
+	defer ix.observeProbe(time.Now())
 	qterms := Terms(query)
 	if len(qterms) == 0 {
 		return nil

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"kdap/internal/fulltext"
 )
 
 // Many goroutines exploring through one shared Engine/Executor must
@@ -80,6 +82,49 @@ func TestConcurrentExplore(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+}
+
+// SetTextSimilarity is documented safe to call while queries are in
+// flight: writers flip the relevance model while readers run the full
+// differentiate pipeline. Run under go test -race — the old plain-field
+// write was a data race against buildHitSets.
+func TestConcurrentSetTextSimilarity(t *testing.T) {
+	e := ebizEngine()
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		sims := []fulltext.Similarity{fulltext.BM25, fulltext.ClassicTFIDF}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.SetTextSimilarity(sims[i%len(sims)])
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 25; i++ {
+				nets, err := e.Differentiate("Columbus LCD")
+				if err != nil {
+					t.Errorf("differentiate: %v", err)
+					return
+				}
+				if len(nets) == 0 {
+					t.Error("no nets")
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
 }
 
 // Concurrent SubspaceRows on distinct nets churns the clock-evicting

@@ -1,13 +1,16 @@
 package kdapcore
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"kdap/internal/cache"
 	"kdap/internal/fulltext"
 	"kdap/internal/olap"
 	"kdap/internal/schemagraph"
+	"kdap/internal/telemetry"
 )
 
 // Engine is a KDAP session over one warehouse: it answers keyword queries
@@ -23,7 +26,11 @@ type Engine struct {
 
 	hitLim hitLimits
 	netLim netLimits
-	sim    fulltext.Similarity
+	// sim holds the text-relevance model behind an atomic pointer: the
+	// Engine is documented safe for concurrent use, and SetTextSimilarity
+	// may race with in-flight Differentiate calls (a nil pointer means
+	// the default TF-IDF model).
+	sim atomic.Pointer[fulltext.Similarity]
 
 	// Materialized sub-dataspaces, keyed by star-net signature. Repeated
 	// exploration of the same interpretation — the common interactive
@@ -56,7 +63,18 @@ func NewEngine(g *schemagraph.Graph, ix *fulltext.Index, m olap.Measure, agg ola
 // SetTextSimilarity switches the text-relevance model used when probing
 // the full-text index (default: the classic TF-IDF the paper's prototype
 // used). The Figure 4 ablation compares ranking quality across models.
-func (e *Engine) SetTextSimilarity(s fulltext.Similarity) { e.sim = s }
+// Safe to call while queries are in flight: an in-flight Differentiate
+// sees either the old or the new model, never a torn write.
+func (e *Engine) SetTextSimilarity(s fulltext.Similarity) { e.sim.Store(&s) }
+
+// textSimilarity loads the current text-relevance model (defaults to
+// classic TF-IDF when SetTextSimilarity has never been called).
+func (e *Engine) textSimilarity() fulltext.Similarity {
+	if p := e.sim.Load(); p != nil {
+		return *p
+	}
+	return fulltext.ClassicTFIDF
+}
 
 // Graph returns the engine's schema graph.
 func (e *Engine) Graph() *schemagraph.Graph { return e.graph }
@@ -73,17 +91,35 @@ func (e *Engine) Agg() olap.Agg { return e.agg }
 // Differentiate runs the first KDAP phase with the paper's standard
 // ranking: keyword query in, ranked candidate star nets out.
 func (e *Engine) Differentiate(query string) ([]*StarNet, error) {
-	return e.DifferentiateRanked(query, Standard)
+	return e.DifferentiateRankedCtx(context.Background(), query, Standard)
+}
+
+// DifferentiateCtx is Differentiate under a context; when a
+// telemetry.Trace is attached, each pipeline stage is recorded as a
+// span (filter_extract → hit_probe → phrase_merge → seed_enum →
+// starnet_gen → rank).
+func (e *Engine) DifferentiateCtx(ctx context.Context, query string) ([]*StarNet, error) {
+	return e.DifferentiateRankedCtx(ctx, query, Standard)
 }
 
 // DifferentiateRanked is Differentiate with an explicit ranking method
 // (the Figure 4 evaluation sweeps all four).
 func (e *Engine) DifferentiateRanked(query string, method RankMethod) ([]*StarNet, error) {
+	return e.DifferentiateRankedCtx(context.Background(), query, method)
+}
+
+// DifferentiateRankedCtx is the traced differentiate pipeline.
+func (e *Engine) DifferentiateRankedCtx(ctx context.Context, query string, method RankMethod) ([]*StarNet, error) {
+	ctx, root := telemetry.StartSpan(ctx, "differentiate")
+	defer root.End()
+
 	tokens := splitKeywords(query)
 	if len(tokens) == 0 {
 		return nil, fmt.Errorf("kdap: empty keyword query")
 	}
+	_, sp := telemetry.StartSpan(ctx, "filter_extract")
 	filters, keywords, err := e.extractFilters(tokens)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -95,17 +131,33 @@ func (e *Engine) DifferentiateRanked(query string, method RankMethod) ([]*StarNe
 		}
 		return []*StarNet{{Query: query, Filters: filters, Score: 1}}, nil
 	}
-	sets := buildHitSets(e.index, keywords, e.hitLim, e.sim)
-	merged := mergePhrases(e.index, sets, keywords, e.sim)
+	sim := e.textSimilarity()
+
+	_, sp = telemetry.StartSpan(ctx, "hit_probe")
+	sets := buildHitSets(e.index, keywords, e.hitLim, sim)
+	sp.End()
+
+	_, sp = telemetry.StartSpan(ctx, "phrase_merge")
+	merged := mergePhrases(e.index, sets, keywords, sim)
+	sp.End()
+
+	_, sp = telemetry.StartSpan(ctx, "seed_enum")
 	seeds := enumerateSeeds(sets, merged, e.netLim.maxSeeds)
+	sp.End()
 	if len(seeds) == 0 {
 		return nil, nil
 	}
+
+	_, sp = telemetry.StartSpan(ctx, "starnet_gen")
 	nets := generateStarNets(e.graph, query, seeds, e.netLim)
 	for _, sn := range nets {
 		sn.Filters = filters
 	}
+	sp.End()
+
+	_, sp = telemetry.StartSpan(ctx, "rank")
 	rankStarNets(nets, method)
+	sp.End()
 	return nets, nil
 }
 
@@ -139,10 +191,19 @@ func (e *Engine) SuggestKeywords(query string, max int) map[string][]string {
 // DS', caching by interpretation signature. The returned slice is shared
 // and must not be modified.
 func (e *Engine) SubspaceRows(sn *StarNet) []int {
+	return e.subspaceRowsCtx(context.Background(), sn)
+}
+
+// subspaceRowsCtx is SubspaceRows with the semijoin recorded as a
+// subspace_semijoin span (cache hits are effectively free and show up
+// as near-zero spans).
+func (e *Engine) subspaceRowsCtx(ctx context.Context, sn *StarNet) []int {
 	sig := sn.Signature()
 	if rows, ok := e.rowsCache.Get(sig); ok {
 		return rows
 	}
+	_, sp := telemetry.StartSpan(ctx, "subspace_semijoin")
+	defer sp.End()
 	rows := e.exec.FactRows(sn.Constraints())
 	if len(sn.Filters) > 0 {
 		rows = e.applyFilters(rows, sn.Filters)
@@ -150,6 +211,12 @@ func (e *Engine) SubspaceRows(sn *StarNet) []int {
 	e.rowsCache.Put(sig, rows)
 	return rows
 }
+
+// RowsCacheStats snapshots the materialized-subspace cache counters.
+func (e *Engine) RowsCacheStats() cache.Stats { return e.rowsCache.Stats() }
+
+// Index returns the engine's full-text index (telemetry wiring).
+func (e *Engine) Index() *fulltext.Index { return e.index }
 
 // SubspaceAggregate computes the engine's measure aggregate over DS'.
 func (e *Engine) SubspaceAggregate(sn *StarNet) float64 {

@@ -1,6 +1,7 @@
 package kdapcore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
 	"kdap/internal/stats"
+	"kdap/internal/telemetry"
 )
 
 // InterestMode selects the application-specific interestingness measure
@@ -160,10 +162,21 @@ type rollup struct {
 // Explore runs the second KDAP phase: build the dynamic facets of the
 // star net's sub-dataspace.
 func (e *Engine) Explore(sn *StarNet, opts ExploreOptions) (*Facets, error) {
+	return e.ExploreCtx(context.Background(), sn, opts)
+}
+
+// ExploreCtx is Explore under a context; when a telemetry.Trace is
+// attached, the stages of §5's facet construction are recorded as spans
+// (subspace_semijoin → rollup_build → facet_score with per-attribute
+// children → groupby_kernel / numeric_series / interval_anneal leaves).
+// Stages attach directly under the caller's current span — traced
+// callers name their trace root "explore", so no wrapper span is added
+// here.
+func (e *Engine) ExploreCtx(ctx context.Context, sn *StarNet, opts ExploreOptions) (*Facets, error) {
 	if opts.TopKAttrs <= 0 || opts.TopKInstances <= 0 || opts.Buckets <= 0 {
 		return nil, fmt.Errorf("kdap: non-positive explore options")
 	}
-	rows := e.SubspaceRows(sn)
+	rows := e.subspaceRowsCtx(ctx, sn)
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("kdap: empty sub-dataspace for %q", sn.Query)
 	}
@@ -172,7 +185,9 @@ func (e *Engine) Explore(sn *StarNet, opts ExploreOptions) (*Facets, error) {
 		SubspaceSize:   len(rows),
 		TotalAggregate: e.exec.Aggregate(rows, e.measure, e.agg),
 	}
+	_, rsp := telemetry.StartSpan(ctx, "rollup_build")
 	rollups := e.buildRollups(sn)
+	rsp.End()
 
 	hitDims := map[string]bool{}
 	for i := range sn.Groups {
@@ -224,8 +239,11 @@ func (e *Engine) Explore(sn *StarNet, opts ExploreOptions) (*Facets, error) {
 			jobs = append(jobs, &job{dim: di, attr: attr, role: role})
 		}
 	}
+	sctx, ssp := telemetry.StartSpan(ctx, "facet_score")
 	runJob := func(j *job) {
-		j.out = e.scoreAttr(j.attr, j.role, rows, f.TotalAggregate, rollups, opts)
+		jctx, jsp := telemetry.StartSpan(sctx, "score "+j.attr.String())
+		j.out = e.scoreAttr(jctx, j.attr, j.role, rows, f.TotalAggregate, rollups, opts)
+		jsp.End()
 	}
 	if opts.Parallel && len(jobs) > 1 {
 		var wg sync.WaitGroup
@@ -245,6 +263,7 @@ func (e *Engine) Explore(sn *StarNet, opts ExploreOptions) (*Facets, error) {
 			runJob(j)
 		}
 	}
+	ssp.End()
 
 	pinned := make(map[schemagraph.AttrRef]bool, len(opts.Pinned))
 	for _, p := range opts.Pinned {
@@ -392,7 +411,7 @@ func evidenceScore(x, y []float64, opts ExploreOptions) float64 {
 
 // scoreAttr ranks one candidate group-by attribute by roll-up
 // partitioning and, if it survives, organizes its instances.
-func (e *Engine) scoreAttr(attr schemagraph.AttrRef, role string, rows []int,
+func (e *Engine) scoreAttr(ctx context.Context, attr schemagraph.AttrRef, role string, rows []int,
 	totalAgg float64, rollups []rollup, opts ExploreOptions) *AttrFacet {
 
 	path, ok := e.graph.PathFromFact(attr.Table, role)
@@ -405,18 +424,20 @@ func (e *Engine) scoreAttr(attr schemagraph.AttrRef, role string, rows []int,
 	}
 	numeric := col.Kind == relation.KindInt || col.Kind == relation.KindFloat
 	if numeric {
-		return e.scoreNumericAttr(attr, path, rows, totalAgg, rollups, opts)
+		return e.scoreNumericAttr(ctx, attr, path, rows, totalAgg, rollups, opts)
 	}
-	return e.scoreCategoricalAttr(attr, path, rows, totalAgg, rollups, opts)
+	return e.scoreCategoricalAttr(ctx, attr, path, rows, totalAgg, rollups, opts)
 }
 
 // scoreCategoricalAttr applies Equation 1 over a categorical partition:
 // correlate the DS' aggregate series with each roll-up's series over the
 // categories present in DS', keep the worst (most interesting) score.
-func (e *Engine) scoreCategoricalAttr(attr schemagraph.AttrRef, path schemagraph.JoinPath,
+func (e *Engine) scoreCategoricalAttr(ctx context.Context, attr schemagraph.AttrRef, path schemagraph.JoinPath,
 	rows []int, totalAgg float64, rollups []rollup, opts ExploreOptions) *AttrFacet {
 
+	_, gsp := telemetry.StartSpan(ctx, "groupby_kernel")
 	local := e.exec.GroupBy(rows, attr.Attr, path, e.measure, e.agg)
+	gsp.End()
 	if len(local) == 0 {
 		return nil
 	}
@@ -430,6 +451,8 @@ func (e *Engine) scoreCategoricalAttr(attr schemagraph.AttrRef, path schemagraph
 		x[i] = local[c]
 	}
 
+	_, csp := telemetry.StartSpan(ctx, "rollup_correlate")
+	defer csp.End()
 	best := math.Inf(-1)
 	var bestRU *rollup
 	var bestBG map[relation.Value]float64
@@ -496,10 +519,12 @@ func (e *Engine) categoricalInstances(cats []relation.Value, local, bg map[relat
 // scoreNumericAttr bucketizes the numeric domain into basic intervals
 // (§5.2.2), applies Equation 1 over the bucket series, then merges the
 // basic intervals into display ranges with Algorithm 2.
-func (e *Engine) scoreNumericAttr(attr schemagraph.AttrRef, path schemagraph.JoinPath,
+func (e *Engine) scoreNumericAttr(ctx context.Context, attr schemagraph.AttrRef, path schemagraph.JoinPath,
 	rows []int, totalAgg float64, rollups []rollup, opts ExploreOptions) *AttrFacet {
 
+	_, nsp := telemetry.StartSpan(ctx, "numeric_series")
 	localVals := e.exec.NumericSeries(rows, attr.Attr, path, e.measure)
+	nsp.End()
 	if len(localVals) == 0 {
 		return nil
 	}
@@ -514,11 +539,12 @@ func (e *Engine) scoreNumericAttr(attr schemagraph.AttrRef, path schemagraph.Joi
 		}
 	}
 	if len(distinct) <= opts.DisplayIntervals {
-		return e.scoreCategoricalAttr(attr, path, rows, totalAgg, rollups, opts)
+		return e.scoreCategoricalAttr(ctx, attr, path, rows, totalAgg, rollups, opts)
 	}
 	iv := MakeIntervals(localVals, opts.Buckets)
 	x := iv.AggregateSeries(localVals)
 
+	_, csp := telemetry.StartSpan(ctx, "rollup_correlate")
 	best := math.Inf(-1)
 	var bestY []float64
 	var bestRU *rollup
@@ -534,24 +560,27 @@ func (e *Engine) scoreNumericAttr(attr schemagraph.AttrRef, path schemagraph.Joi
 			bestRU = ru
 		}
 	}
+	csp.End()
 	if bestRU == nil {
 		return nil
 	}
 	af := &AttrFacet{Attr: attr, Role: path.Role, Score: best, Numeric: true}
-	af.Instances = e.numericInstances(iv, x, bestY, totalAgg, bestRU.agg, opts)
+	af.Instances = e.numericInstances(ctx, iv, x, bestY, totalAgg, bestRU.agg, opts)
 	return af
 }
 
 // numericInstances merges basic intervals into K display ranges and
 // renders them as instances with Equation 2 scores over range sums.
-func (e *Engine) numericInstances(iv Intervals, x, y []float64,
+func (e *Engine) numericInstances(ctx context.Context, iv Intervals, x, y []float64,
 	totalAgg, ruAgg float64, opts ExploreOptions) []Instance {
 
 	cfg := AnnealConfig{
 		K: opts.DisplayIntervals, L: opts.SkewLimit,
 		N: opts.AnnealIters, AcceptProb: 0.25, Seed: opts.Seed,
 	}
+	_, asp := telemetry.StartSpan(ctx, "interval_anneal")
 	res := MergeIntervals(x, y, cfg)
+	asp.End()
 	bounds := append(append([]int(nil), res.Splits...), len(x))
 	prev := 0
 	out := make([]Instance, 0, len(bounds))

@@ -1,10 +1,12 @@
 package kdapcore
 
 import (
+	"context"
 	"fmt"
 
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
+	"kdap/internal/telemetry"
 )
 
 // Session is the interactive state machine of the paper's Figure 1 loop:
@@ -22,6 +24,9 @@ type Session struct {
 	nets   []*StarNet
 	stack  []*StarNet // drill history; top = current subspace
 	facets *Facets
+
+	tracing   bool
+	lastTrace *telemetry.Trace
 }
 
 // NewSession creates a session over an engine with the given explore
@@ -36,6 +41,29 @@ func (s *Session) Engine() *Engine { return s.engine }
 // Options returns the current explore options.
 func (s *Session) Options() ExploreOptions { return s.opts }
 
+// SetTracing toggles per-operation span recording. While enabled, every
+// Query/Pick/Drill/Back records a span tree retrievable via LastTrace.
+func (s *Session) SetTracing(on bool) { s.tracing = on }
+
+// Tracing reports whether span recording is enabled.
+func (s *Session) Tracing() bool { return s.tracing }
+
+// LastTrace returns the span tree of the most recent traced operation,
+// or nil when tracing is off or nothing has run yet.
+func (s *Session) LastTrace() *telemetry.Trace { return s.lastTrace }
+
+// traceCtx returns a context carrying a fresh trace when tracing is on;
+// the returned finish func finalizes the root span and publishes the
+// trace to LastTrace.
+func (s *Session) traceCtx(op string) (context.Context, func()) {
+	if !s.tracing {
+		return context.Background(), func() {}
+	}
+	tr := telemetry.NewTrace(op)
+	s.lastTrace = tr
+	return tr.Context(context.Background()), tr.Finish
+}
+
 // SetMode switches the interestingness measure; if an interpretation is
 // active, its facets are rebuilt under the new mode.
 func (s *Session) SetMode(mode InterestMode) error {
@@ -48,7 +76,9 @@ func (s *Session) SetMode(mode InterestMode) error {
 
 // Query runs the differentiate phase and resets the navigation state.
 func (s *Session) Query(query string) ([]*StarNet, error) {
-	nets, err := s.engine.Differentiate(query)
+	ctx, finish := s.traceCtx("query")
+	nets, err := s.engine.DifferentiateCtx(ctx, query)
+	finish()
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +177,9 @@ func (s *Session) push(next *StarNet) (*Facets, error) {
 }
 
 func (s *Session) refresh() error {
-	f, err := s.engine.Explore(s.Current(), s.opts)
+	ctx, finish := s.traceCtx("explore")
+	f, err := s.engine.ExploreCtx(ctx, s.Current(), s.opts)
+	finish()
 	if err != nil {
 		return err
 	}

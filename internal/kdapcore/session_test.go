@@ -108,3 +108,42 @@ func TestSessionErrors(t *testing.T) {
 		t.Error("failed drill corrupted the session")
 	}
 }
+
+// With tracing on, every query and explore-refreshing navigation step
+// publishes a span tree through LastTrace; with it off (the default),
+// nothing is recorded.
+func TestSessionTracing(t *testing.T) {
+	s := newSession(t)
+	if s.Tracing() || s.LastTrace() != nil {
+		t.Fatal("tracing on by default")
+	}
+	if _, err := s.Query("Columbus LCD"); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastTrace() != nil {
+		t.Error("untraced query recorded a trace")
+	}
+
+	s.SetTracing(true)
+	if _, err := s.Query("Columbus LCD"); err != nil {
+		t.Fatal(err)
+	}
+	qt := s.LastTrace()
+	if qt == nil || qt.Root().Name() != "query" {
+		t.Fatalf("query trace: %+v", qt)
+	}
+	if st := qt.Stages(); st["differentiate"] == 0 || st["hit_probe"] == 0 {
+		t.Errorf("query stages missing: %v", qt.StageNames())
+	}
+
+	if _, err := s.Pick(1); err != nil {
+		t.Fatal(err)
+	}
+	et := s.LastTrace()
+	if et == qt || et.Root().Name() != "explore" {
+		t.Fatalf("pick did not publish an explore trace")
+	}
+	if st := et.Stages(); st["subspace_semijoin"] == 0 || st["facet_score"] == 0 {
+		t.Errorf("explore stages missing: %v", et.StageNames())
+	}
+}

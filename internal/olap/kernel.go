@@ -75,8 +75,11 @@ func measureVec(m Measure) []float64 {
 func (ex *Executor) groupScan(rows []int, codes []int32, ngroups int, m Measure) ([]aggState, []bool) {
 	workers := kernelWorkers(len(rows))
 	if workers == 1 {
+		ex.stats.serialScans.Add(1)
 		return ex.groupScanChunk(rows, codes, ngroups, m)
 	}
+	ex.stats.parallelScans.Add(1)
+	ex.stats.kernelChunks.Add(int64(workers))
 	states := make([][]aggState, workers)
 	touched := make([][]bool, workers)
 	chunk := (len(rows) + workers - 1) / workers
@@ -147,8 +150,11 @@ func (ex *Executor) groupScanChunk(rows []int, codes []int32, ngroups int, m Mea
 func (ex *Executor) scanAggregate(rows []int, m Measure) aggState {
 	workers := kernelWorkers(len(rows))
 	if workers == 1 {
+		ex.stats.serialScans.Add(1)
 		return ex.scanAggregateChunk(rows, m)
 	}
+	ex.stats.parallelScans.Add(1)
+	ex.stats.kernelChunks.Add(int64(workers))
 	partial := make([]aggState, workers)
 	chunk := (len(rows) + workers - 1) / workers
 	var wg sync.WaitGroup
@@ -217,6 +223,7 @@ func (ex *Executor) attrCodes(attr string, path schemagraph.JoinPath) ([]int32, 
 	if cc != nil {
 		return cc.codes, cc.dict
 	}
+	ex.stats.codeVecBuilds.Add(1)
 	dimTable := ex.g.DB().Table(path.Source)
 	dimCodes, dict := dimTable.DictColumn(attr)
 	f2d := ex.factToDim(path)
@@ -246,6 +253,7 @@ func (ex *Executor) attrFloats(attr string, path schemagraph.JoinPath) []float64
 	if fc != nil {
 		return fc
 	}
+	ex.stats.floatColBuilds.Add(1)
 	dimTable := ex.g.DB().Table(path.Source)
 	dimFloats := dimTable.FloatColumn(attr)
 	f2d := ex.factToDim(path)

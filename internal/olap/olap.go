@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"kdap/internal/bitset"
 	"kdap/internal/cache"
@@ -189,6 +190,67 @@ type Executor struct {
 	// star nets combine a small vocabulary of hit groups, so hit rates
 	// are high during differentiation-heavy workloads.
 	constraintBits *cache.Clock[string, *bitset.Set]
+
+	stats execCounters
+}
+
+// execCounters are the executor's lifetime kernel counters: which
+// execution path each call took (columnar vector vs row-at-a-time
+// measure eval vs the retained reference implementations) and how the
+// parallel kernels fanned out. All lock-free; one atomic add per call,
+// never per row, so the hot kernels stay within the telemetry overhead
+// budget.
+type execCounters struct {
+	groupByVec    atomic.Int64
+	groupByEval   atomic.Int64
+	groupByRef    atomic.Int64
+	aggregateVec  atomic.Int64
+	aggregateEval atomic.Int64
+	aggregateRef  atomic.Int64
+	parallelScans atomic.Int64
+	serialScans   atomic.Int64
+	kernelChunks  atomic.Int64
+	codeVecBuilds atomic.Int64
+	floatColBuilds atomic.Int64
+}
+
+// ExecStats is a point-in-time snapshot of the executor's kernel
+// counters, exported at /metrics and recorded into BENCH.json.
+type ExecStats struct {
+	// GroupBy calls by path: the columnar kernel over a measure vector,
+	// the columnar kernel falling back to per-row measure eval, and the
+	// row-at-a-time reference implementation.
+	GroupByVec, GroupByEval, GroupByRef int64
+	// Aggregate calls by the same three paths.
+	AggregateVec, AggregateEval, AggregateRef int64
+	// ParallelScans fan out over KernelChunks worker chunks in total;
+	// SerialScans stayed under the parallel row threshold.
+	ParallelScans, SerialScans, KernelChunks int64
+	// CodeVecBuilds / FloatColBuilds count cold fact-aligned column
+	// materializations (cache misses in the executor's memos).
+	CodeVecBuilds, FloatColBuilds int64
+}
+
+// Stats snapshots the executor's kernel counters.
+func (ex *Executor) Stats() ExecStats {
+	return ExecStats{
+		GroupByVec:    ex.stats.groupByVec.Load(),
+		GroupByEval:   ex.stats.groupByEval.Load(),
+		GroupByRef:    ex.stats.groupByRef.Load(),
+		AggregateVec:  ex.stats.aggregateVec.Load(),
+		AggregateEval: ex.stats.aggregateEval.Load(),
+		AggregateRef:  ex.stats.aggregateRef.Load(),
+		ParallelScans: ex.stats.parallelScans.Load(),
+		SerialScans:   ex.stats.serialScans.Load(),
+		KernelChunks:  ex.stats.kernelChunks.Load(),
+		CodeVecBuilds: ex.stats.codeVecBuilds.Load(),
+		FloatColBuilds: ex.stats.floatColBuilds.Load(),
+	}
+}
+
+// ConstraintCacheStats snapshots the per-constraint semijoin cache.
+func (ex *Executor) ConstraintCacheStats() cache.Stats {
+	return ex.constraintBits.Stats()
 }
 
 // constraintCacheCap bounds the per-constraint cache.
@@ -313,6 +375,11 @@ func (ex *Executor) FactRows(constraints []Constraint) []int {
 // rows. The scan is fused — measure column read and accumulation in one
 // loop — and fans out across GOMAXPROCS workers for large row sets.
 func (ex *Executor) Aggregate(rows []int, m Measure, agg Agg) float64 {
+	if measureVec(m) != nil {
+		ex.stats.aggregateVec.Add(1)
+	} else {
+		ex.stats.aggregateEval.Add(1)
+	}
 	st := ex.scanAggregate(rows, m)
 	return st.final(agg)
 }
@@ -321,6 +388,7 @@ func (ex *Executor) Aggregate(rows []int, m Measure, agg Agg) float64 {
 // Aggregate, retained for correctness tests and as the perf-trajectory
 // baseline in cmd/kdapbench.
 func (ex *Executor) AggregateRef(rows []int, m Measure, agg Agg) float64 {
+	ex.stats.aggregateRef.Add(1)
 	st := newAggState()
 	for _, r := range rows {
 		st.add(m.Eval(ex.fact.Row(r)))
@@ -393,6 +461,11 @@ func (ex *Executor) GroupBy(rows []int, attr string, path schemagraph.JoinPath, 
 	if dimTable.Schema().ColumnIndex(attr) < 0 {
 		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
 	}
+	if measureVec(m) != nil {
+		ex.stats.groupByVec.Add(1)
+	} else {
+		ex.stats.groupByEval.Add(1)
+	}
 	codes, dict := ex.attrCodes(attr, path)
 	states, touched := ex.groupScan(rows, codes, len(dict), m)
 	out := make(map[relation.Value]float64, len(dict))
@@ -408,6 +481,7 @@ func (ex *Executor) GroupBy(rows []int, attr string, path schemagraph.JoinPath, 
 // implementation of GroupBy, retained for correctness tests and as the
 // perf-trajectory baseline in cmd/kdapbench.
 func (ex *Executor) GroupByRef(rows []int, attr string, path schemagraph.JoinPath, m Measure, agg Agg) map[relation.Value]float64 {
+	ex.stats.groupByRef.Add(1)
 	dimTable := ex.g.DB().Table(path.Source)
 	ai := dimTable.Schema().ColumnIndex(attr)
 	if ai < 0 {

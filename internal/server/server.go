@@ -17,23 +17,32 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"kdap/internal/dataset"
 	"kdap/internal/kdapcore"
 	"kdap/internal/olap"
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
+	"kdap/internal/telemetry"
 )
 
 // Server is the HTTP handler set over one or more warehouses.
 type Server struct {
 	mux     *http.ServeMux
 	engines map[string]*kdapcore.Engine
+
+	reg      *telemetry.Registry
+	logger   *slog.Logger
+	start    time.Time
+	factRows map[string]int
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -53,6 +62,10 @@ func New(warehouses map[string]*dataset.Warehouse) *Server {
 	s := &Server{
 		mux:        http.NewServeMux(),
 		engines:    make(map[string]*kdapcore.Engine),
+		reg:        telemetry.NewRegistry(),
+		logger:     slog.Default(),
+		start:      time.Now(),
+		factRows:   make(map[string]int),
 		sessions:   make(map[string]*session),
 		sessionCap: 1024,
 	}
@@ -67,17 +80,28 @@ func New(warehouses map[string]*dataset.Warehouse) *Server {
 		default:
 			m = olap.CountMeasure()
 		}
-		s.engines[name] = kdapcore.NewEngine(wh.Graph, wh.Index, m, olap.Sum)
+		e := kdapcore.NewEngine(wh.Graph, wh.Index, m, olap.Sum)
+		s.engines[name] = e
+		s.factRows[name] = fact.Len()
+		s.wireEngineMetrics(name, e)
 	}
-	s.mux.HandleFunc("GET /{$}", s.handleUI)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /api/warehouses", s.handleWarehouses)
-	s.mux.HandleFunc("POST /api/query", s.handleQuery)
-	s.mux.HandleFunc("POST /api/suggest", s.handleSuggest)
-	s.mux.HandleFunc("POST /api/explore", s.handleExplore)
-	s.mux.HandleFunc("POST /api/drill", s.handleDrill)
+	s.handle("GET /{$}", "/", s.handleUI)
+	s.handle("GET /healthz", "/healthz", s.handleHealth)
+	s.handle("GET /api/warehouses", "/api/warehouses", s.handleWarehouses)
+	s.handle("POST /api/query", "/api/query", s.handleQuery)
+	s.handle("POST /api/suggest", "/api/suggest", s.handleSuggest)
+	s.handle("POST /api/explore", "/api/explore", s.handleExplore)
+	s.handle("POST /api/drill", "/api/drill", s.handleDrill)
+	s.registerDebugEndpoints()
 	return s
 }
+
+// SetLogger replaces the access logger (default slog.Default()).
+func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
+
+// Registry returns the server's metrics registry, for callers that
+// want to register process-level series alongside the engine metrics.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -104,18 +128,22 @@ type HitGroupDTO struct {
 	Values []string `json:"values"`
 }
 
-// QueryResponse answers /api/query.
+// QueryResponse answers /api/query. Trace is present only when the
+// request carried ?trace=1.
 type QueryResponse struct {
 	Session         string              `json:"session"`
 	Query           string              `json:"query"`
 	Interpretations []InterpretationDTO `json:"interpretations"`
+	Trace           *telemetry.SpanJSON `json:"trace,omitempty"`
 }
 
-// FacetsDTO answers /api/explore.
+// FacetsDTO answers /api/explore. Trace is present only when the
+// request carried ?trace=1.
 type FacetsDTO struct {
 	SubspaceSize   int                  `json:"subspaceSize"`
 	TotalAggregate float64              `json:"totalAggregate"`
 	Dimensions     []DimensionFacetsDTO `json:"dimensions"`
+	Trace          *telemetry.SpanJSON  `json:"trace,omitempty"`
 }
 
 // DimensionFacetsDTO is one dimension's facets.
@@ -147,10 +175,6 @@ type InstanceDTO struct {
 
 // --- handlers ---
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
 func (s *Server) handleWarehouses(w http.ResponseWriter, r *http.Request) {
 	names := make([]string, 0, len(s.engines))
 	for name := range s.engines {
@@ -175,7 +199,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown warehouse %q", req.DB))
 		return
 	}
-	nets, err := e.Differentiate(req.Q)
+	// Every query is traced so /metrics carries per-stage latency; the
+	// tree is serialized into the response only behind ?trace=1.
+	tr := telemetry.NewTrace("query")
+	nets, err := e.DifferentiateCtx(tr.Context(r.Context()), req.Q)
+	tr.Finish()
+	s.observeStages(tr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -189,6 +218,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	id := s.putSession(&session{db: req.DB, nets: nets})
 	resp := QueryResponse{Session: id, Query: req.Q}
+	if wantTrace(r) {
+		resp.Trace = tr.JSON()
+	}
 	for i, sn := range nets {
 		dto := InterpretationDTO{Rank: i + 1, Score: sn.Score, Signature: sn.DomainSignature()}
 		for _, bg := range sn.Groups {
@@ -256,12 +288,29 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if req.TopKInstances > 0 {
 		opts.TopKInstances = req.TopKInstances
 	}
-	f, err := e.Explore(sn, opts)
+	tr := telemetry.NewTrace("explore")
+	f, err := e.ExploreCtx(tr.Context(r.Context()), sn, opts)
+	tr.Finish()
+	s.observeStages(tr)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, facetsDTO(f))
+	dto := facetsDTO(f)
+	if wantTrace(r) {
+		dto.Trace = tr.JSON()
+	}
+	writeJSON(w, http.StatusOK, dto)
+}
+
+// wantTrace reports whether the request asked for its span tree
+// (?trace=1).
+func wantTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
 }
 
 type drillRequest struct {
@@ -371,6 +420,12 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return false
 	}

@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,11 +14,18 @@ import (
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
+	ts, _ := newTestServerAndHandler(t)
+	return ts
+}
+
+func newTestServerAndHandler(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
 	srv := New(map[string]*dataset.Warehouse{"ebiz": dataset.EBiz()})
+	// Keep access logs out of the test output.
+	srv.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, srv
 }
 
 func post(t *testing.T, ts *httptest.Server, path string, body any, out any) *http.Response {
@@ -44,7 +53,20 @@ func TestHealthAndWarehouses(t *testing.T) {
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %v %v", err, resp)
 	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
+	if h.Status != "ok" || h.Version == "" || h.GoVersion == "" {
+		t.Errorf("health shape: %+v", h)
+	}
+	if h.UptimeSecs < 0 {
+		t.Errorf("negative uptime: %v", h.UptimeSecs)
+	}
+	if h.Warehouses["ebiz"] <= 0 {
+		t.Errorf("fact rows missing: %+v", h.Warehouses)
+	}
 
 	var whs map[string][]string
 	r2, err := http.Get(ts.URL + "/api/warehouses")
@@ -206,6 +228,7 @@ func TestNoMatchQueryReturnsEmptyInterpretations(t *testing.T) {
 
 func TestSessionEviction(t *testing.T) {
 	srv := New(map[string]*dataset.Warehouse{"ebiz": dataset.EBiz()})
+	srv.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
 	srv.sessionCap = 3
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

@@ -1,0 +1,203 @@
+package server
+
+// HTTP observability: the request middleware (counters, latency
+// histograms, structured access logs), the /metrics · /debug/pprof ·
+// /debug/vars endpoints, and the wiring that bridges engine-side
+// counters (caches, kernels, full-text probes) into the per-server
+// metrics registry. Everything reads from instruments the hot paths
+// already maintain; exposition cost is paid only when /metrics is
+// scraped.
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"kdap/internal/cache"
+	"kdap/internal/kdapcore"
+	"kdap/internal/telemetry"
+)
+
+// statusRecorder captures the response status code for the request
+// counters and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// handle registers h under pattern, wrapped in the telemetry
+// middleware: per-route request counters by status code, a request
+// latency histogram, an error counter, and a structured access log
+// line per request.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sr, r)
+		dur := time.Since(start)
+		s.reg.Counter("kdap_http_requests_total",
+			"HTTP requests by route and status code.",
+			"route", route, "code", fmt.Sprint(sr.status)).Inc()
+		s.reg.Histogram("kdap_http_request_seconds",
+			"HTTP request latency by route.", nil,
+			"route", route).Observe(dur.Seconds())
+		if sr.status >= 400 {
+			s.reg.Counter("kdap_http_errors_total",
+				"HTTP error responses (status >= 400) by route.",
+				"route", route).Inc()
+		}
+		s.logger.Info("request",
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", sr.status,
+			"duration_ms", float64(dur.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// observeStages folds a finished trace's per-stage durations into the
+// kdap_stage_seconds histograms, so /metrics carries pipeline-stage
+// latency whether or not the client asked for the span tree.
+func (s *Server) observeStages(tr *telemetry.Trace) {
+	for stage, d := range tr.Stages() {
+		s.reg.Histogram("kdap_stage_seconds",
+			"KDAP pipeline stage latency (differentiate and explore sub-stages).",
+			nil, "stage", stage).Observe(d.Seconds())
+	}
+}
+
+// wireEngineMetrics bridges one warehouse engine's self-maintained
+// counters into the registry as func-backed series labeled by db.
+func (s *Server) wireEngineMetrics(db string, e *kdapcore.Engine) {
+	for _, c := range []struct {
+		name string
+		fn   func() cache.Stats
+	}{
+		{"subspace_rows", e.RowsCacheStats},
+		{"constraint", e.Executor().ConstraintCacheStats},
+	} {
+		fn := c.fn
+		s.reg.CounterFunc("kdap_cache_hits_total",
+			"Clock cache hits by cache and warehouse.",
+			func() float64 { return float64(fn().Hits) }, "cache", c.name, "db", db)
+		s.reg.CounterFunc("kdap_cache_misses_total",
+			"Clock cache misses by cache and warehouse.",
+			func() float64 { return float64(fn().Misses) }, "cache", c.name, "db", db)
+		s.reg.CounterFunc("kdap_cache_evictions_total",
+			"Clock cache evictions by cache and warehouse.",
+			func() float64 { return float64(fn().Evictions) }, "cache", c.name, "db", db)
+	}
+
+	st := e.Executor().Stats
+	for _, k := range []struct {
+		op, path string
+		fn       func() float64
+	}{
+		{"groupby", "vector", func() float64 { return float64(st().GroupByVec) }},
+		{"groupby", "eval", func() float64 { return float64(st().GroupByEval) }},
+		{"groupby", "reference", func() float64 { return float64(st().GroupByRef) }},
+		{"aggregate", "vector", func() float64 { return float64(st().AggregateVec) }},
+		{"aggregate", "eval", func() float64 { return float64(st().AggregateEval) }},
+		{"aggregate", "reference", func() float64 { return float64(st().AggregateRef) }},
+	} {
+		s.reg.CounterFunc("kdap_olap_"+k.op+"_total",
+			"OLAP "+k.op+" calls by execution path (columnar vector, per-row eval, row-at-a-time reference).",
+			k.fn, "path", k.path, "db", db)
+	}
+	s.reg.CounterFunc("kdap_olap_scans_total",
+		"Fused scan+aggregate kernel invocations by mode.",
+		func() float64 { return float64(st().ParallelScans) }, "mode", "parallel", "db", db)
+	s.reg.CounterFunc("kdap_olap_scans_total",
+		"Fused scan+aggregate kernel invocations by mode.",
+		func() float64 { return float64(st().SerialScans) }, "mode", "serial", "db", db)
+	s.reg.CounterFunc("kdap_olap_kernel_chunks_total",
+		"Worker chunks fanned out by parallel kernels.",
+		func() float64 { return float64(st().KernelChunks) }, "db", db)
+	s.reg.CounterFunc("kdap_olap_column_builds_total",
+		"Cold fact-aligned column materializations by kind.",
+		func() float64 { return float64(st().CodeVecBuilds) }, "kind", "code", "db", db)
+	s.reg.CounterFunc("kdap_olap_column_builds_total",
+		"Cold fact-aligned column materializations by kind.",
+		func() float64 { return float64(st().FloatColBuilds) }, "kind", "float", "db", db)
+
+	s.reg.RegisterHistogram("kdap_fulltext_probe_seconds",
+		"Full-text index probe latency (Search and SearchPhrase).",
+		e.Index().ProbeHistogram(), "db", db)
+
+	s.reg.GaugeFunc("kdap_warehouse_fact_rows",
+		"Fact table row count per warehouse.",
+		func() float64 { return float64(s.factRows[db]) }, "db", db)
+}
+
+// registerDebugEndpoints mounts /metrics, the pprof profile handlers,
+// and the expvar dump. These bypass the access-log middleware on
+// purpose — scrapes every few seconds would drown the log.
+func (s *Server) registerDebugEndpoints() {
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+}
+
+// buildVersion reports the module version and VCS revision baked into
+// the binary, "devel" under plain go test.
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" && len(kv.Value) >= 7 {
+			return version + "+" + kv.Value[:7]
+		}
+	}
+	return version
+}
+
+// HealthResponse answers GET /healthz: liveness plus enough build and
+// warehouse detail to identify what is running.
+type HealthResponse struct {
+	Status     string         `json:"status"`
+	Version    string         `json:"version"`
+	GoVersion  string         `json:"goVersion"`
+	UptimeSecs float64        `json:"uptimeSecs"`
+	Warehouses map[string]int `json:"warehouses"` // name → fact rows
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:     "ok",
+		Version:    buildVersion(),
+		GoVersion:  runtime.Version(),
+		UptimeSecs: time.Since(s.start).Seconds(),
+		Warehouses: s.factRows,
+	})
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"kdap/internal/telemetry"
+)
+
+// scrape fetches /metrics, validates the exposition format, and returns
+// the body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Drive a query+explore so the pipeline, cache, and kernel series
+	// all carry data.
+	var q QueryResponse
+	post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "Columbus LCD"}, &q)
+	post(t, ts, "/api/explore", map[string]any{"session": q.Session, "pick": 1}, &FacetsDTO{})
+
+	body := scrape(t, ts.URL)
+	for _, want := range []string{
+		`kdap_http_requests_total{code="200",route="/api/query"}`,
+		`kdap_http_request_seconds_bucket{`,
+		`kdap_stage_seconds_bucket{stage="differentiate",le="+Inf"}`,
+		`kdap_stage_seconds_bucket{stage="subspace_semijoin",le="+Inf"}`,
+		`kdap_cache_misses_total{cache="subspace_rows",db="ebiz"}`,
+		`kdap_olap_groupby_total{db="ebiz",path="vector"}`,
+		`kdap_olap_scans_total{db="ebiz",mode="serial"}`,
+		`kdap_fulltext_probe_seconds_count{db="ebiz"}`,
+		`kdap_warehouse_fact_rows{db="ebiz"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+// spanNames flattens a span tree into its set of stage names.
+func spanNames(sp *telemetry.SpanJSON, into map[string]bool) {
+	if sp == nil {
+		return
+	}
+	into[sp.Name] = true
+	for _, c := range sp.Children {
+		spanNames(c, into)
+	}
+}
+
+func TestQueryAndExploreTraces(t *testing.T) {
+	ts := newTestServer(t)
+
+	var q QueryResponse
+	resp := post(t, ts, "/api/query?trace=1", map[string]any{"db": "ebiz", "q": "Columbus LCD"}, &q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if q.Trace == nil {
+		t.Fatal("no trace in ?trace=1 query response")
+	}
+	got := map[string]bool{}
+	spanNames(q.Trace, got)
+	for _, stage := range []string{
+		"query", "differentiate", "filter_extract", "hit_probe",
+		"phrase_merge", "seed_enum", "starnet_gen", "rank",
+	} {
+		if !got[stage] {
+			t.Errorf("query trace missing stage %q (got %v)", stage, got)
+		}
+	}
+
+	var f FacetsDTO
+	resp = post(t, ts, "/api/explore?trace=1", map[string]any{"session": q.Session, "pick": 1}, &f)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore status %d", resp.StatusCode)
+	}
+	if f.Trace == nil {
+		t.Fatal("no trace in ?trace=1 explore response")
+	}
+	got = map[string]bool{}
+	spanNames(f.Trace, got)
+	for _, stage := range []string{
+		"explore", "subspace_semijoin", "rollup_build", "facet_score",
+		"groupby_kernel", "rollup_correlate",
+	} {
+		if !got[stage] {
+			t.Errorf("explore trace missing stage %q (got %v)", stage, got)
+		}
+	}
+
+	// Without ?trace=1 the tree stays server-side.
+	var plain QueryResponse
+	post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "Columbus"}, &plain)
+	if plain.Trace != nil {
+		t.Error("trace leaked into untraced response")
+	}
+}
+
+func TestErrorPathsIncrementCounters(t *testing.T) {
+	ts := newTestServer(t)
+
+	oversized := `{"db":"ebiz","q":"` + strings.Repeat("x", 1<<20) + `"}`
+	cases := []struct {
+		path   string
+		body   string
+		status int
+	}{
+		{"/api/query", `{bad json`, http.StatusBadRequest},
+		{"/api/query", `{"db":"ghost","q":"x"}`, http.StatusNotFound},
+		{"/api/query", `{"db":"ebiz","q":"   "}`, http.StatusBadRequest},
+		{"/api/query", oversized, http.StatusRequestEntityTooLarge},
+		{"/api/explore", `{bad json`, http.StatusBadRequest},
+		{"/api/explore", `{"session":"ghost","pick":1}`, http.StatusNotFound},
+		{"/api/explore", oversized, http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.path, resp.StatusCode, c.status)
+		}
+	}
+
+	body := scrape(t, ts.URL)
+	for _, want := range []string{
+		`kdap_http_errors_total{route="/api/query"} 4`,
+		`kdap_http_errors_total{route="/api/explore"} 3`,
+		`kdap_http_requests_total{code="400",route="/api/query"} 2`,
+		`kdap_http_requests_total{code="404",route="/api/query"} 1`,
+		`kdap_http_requests_total{code="413",route="/api/query"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("expvar status %d", resp.StatusCode)
+	}
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("expvar missing memstats")
+	}
+}

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// histSeriesState tracks one histogram series' invariants as its lines
+// stream by (series lines are contiguous in sorted exposition).
+type histSeriesState struct {
+	lastCum  float64
+	sawInf   bool
+	infCum   float64
+	sawCount bool
+}
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition format (version 0.0.4): every sample line parses, every
+// sample belongs to a family declared by a preceding # TYPE line, and
+// histogram series satisfy their invariants (cumulative non-decreasing
+// buckets ending in +Inf, a _count matching the +Inf bucket). CI runs
+// this over GET /metrics so format regressions cannot land silently.
+func ValidateExposition(r io.Reader) error {
+	types := map[string]string{} // family name -> type
+	hists := map[string]*histSeriesState{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	sawSample := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		sawSample = true
+		fam, suffix := familyOf(name, types)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		if types[fam] == "histogram" {
+			if err := checkHistogramSample(fam, suffix, labels, value, hists); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawSample {
+		return fmt.Errorf("telemetry: exposition contains no samples")
+	}
+	for series, st := range hists {
+		if !st.sawInf {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", series)
+		}
+		if !st.sawCount {
+			return fmt.Errorf("histogram %s: missing _count", series)
+		}
+	}
+	return nil
+}
+
+var (
+	helpRe = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	typeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+)
+
+func validateComment(line string, types map[string]string) error {
+	switch {
+	case strings.HasPrefix(line, "# HELP "):
+		if !helpRe.MatchString(line) {
+			return fmt.Errorf("malformed HELP: %q", line)
+		}
+	case strings.HasPrefix(line, "# TYPE "):
+		m := typeRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("malformed TYPE: %q", line)
+		}
+		if _, dup := types[m[1]]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", m[1])
+		}
+		types[m[1]] = m[2]
+	}
+	// Other comments are allowed free-form.
+	return nil
+}
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( [0-9]+)?$`)
+
+// parseSample splits a sample line into name, label map, and value.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	m := sampleRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", nil, 0, fmt.Errorf("malformed sample: %q", line)
+	}
+	name, labelStr, valStr := m[1], m[2], m[3]
+	var value float64
+	switch valStr {
+	case "+Inf", "Inf":
+		value = math.Inf(1)
+	case "-Inf":
+		value = math.Inf(-1)
+	case "NaN":
+		value = math.NaN()
+	default:
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("bad value %q: %v", valStr, err)
+		}
+		value = v
+	}
+	labels := map[string]string{}
+	if labelStr != "" {
+		body := labelStr[1 : len(labelStr)-1]
+		if body != "" {
+			if err := parseLabels(body, labels); err != nil {
+				return "", nil, 0, err
+			}
+		}
+	}
+	return name, labels, value, nil
+}
+
+var labelRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(,|$)`)
+
+func parseLabels(body string, out map[string]string) error {
+	for body != "" {
+		m := labelRe.FindStringSubmatch(body)
+		if m == nil {
+			return fmt.Errorf("malformed labels near %q", body)
+		}
+		if _, dup := out[m[1]]; dup {
+			return fmt.Errorf("duplicate label %q", m[1])
+		}
+		out[m[1]] = m[2]
+		body = body[len(m[0]):]
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its declared family, handling the
+// histogram/summary suffixes.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+// checkHistogramSample enforces per-series histogram invariants.
+func checkHistogramSample(fam, suffix string, labels map[string]string, value float64, hists map[string]*histSeriesState) error {
+	le := labels["le"]
+	delete(labels, "le")
+	keys := make([]string, 0, len(labels))
+	for k, v := range labels {
+		keys = append(keys, k+"="+v)
+	}
+	sort.Strings(keys)
+	series := fam + "{" + strings.Join(keys, ",") + "}"
+	st := hists[series]
+	if st == nil {
+		st = &histSeriesState{}
+		hists[series] = st
+	}
+	switch suffix {
+	case "_bucket":
+		if le == "" {
+			return fmt.Errorf("histogram %s: bucket without le", series)
+		}
+		if value < st.lastCum {
+			return fmt.Errorf("histogram %s: bucket counts not cumulative (%g < %g)", series, value, st.lastCum)
+		}
+		st.lastCum = value
+		if le == "+Inf" {
+			st.sawInf = true
+			st.infCum = value
+		}
+	case "_count":
+		st.sawCount = true
+		if st.sawInf && value != st.infCum {
+			return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", series, value, st.infCum)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("kdap_requests_total", "Requests served.", "route", "/api/query", "code", "200")
+	c.Inc()
+	c.Add(2)
+	if got := r.Counter("kdap_requests_total", "Requests served.", "code", "200", "route", "/api/query"); got != c {
+		t.Fatal("label order changed the series identity")
+	}
+	g := r.Gauge("kdap_sessions", "Live sessions.")
+	g.Set(4)
+	g.Add(-1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE kdap_requests_total counter",
+		`kdap_requests_total{code="200",route="/api/query"} 3`,
+		"# TYPE kdap_sessions gauge",
+		"kdap_sessions 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("exposition invalid: %v", err)
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("kdap_stage_seconds", "Stage latency.", []float64{0.001, 0.01, 0.1}, "stage", "hit_probe")
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-0.5555) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE kdap_stage_seconds histogram",
+		`kdap_stage_seconds_bucket{stage="hit_probe",le="0.001"} 1`,
+		`kdap_stage_seconds_bucket{stage="hit_probe",le="0.01"} 2`,
+		`kdap_stage_seconds_bucket{stage="hit_probe",le="0.1"} 3`,
+		`kdap_stage_seconds_bucket{stage="hit_probe",le="+Inf"} 4`,
+		`kdap_stage_seconds_count{stage="hit_probe"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("exposition invalid: %v", err)
+	}
+}
+
+// A value landing exactly on a bound belongs to that bound's bucket
+// (Prometheus le semantics).
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1)
+	if h.counts[0].Load() != 1 {
+		t.Error("observation equal to a bound must land in that bound's bucket")
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.CounterFunc("kdap_cache_hits_total", "Cache hits.", func() float64 { return n }, "cache", "rows")
+	r.GaugeFunc("kdap_uptime_seconds", "Uptime.", func() float64 { return 7.5 })
+	n++
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `kdap_cache_hits_total{cache="rows"} 42`) {
+		t.Errorf("counter func not read at exposition time:\n%s", out)
+	}
+	if !strings.Contains(out, "kdap_uptime_seconds 7.5") {
+		t.Errorf("gauge func missing:\n%s", out)
+	}
+}
+
+func TestRegisterHistogramAdoptsExternal(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram(nil)
+	h.Observe(0.002)
+	r.RegisterHistogram("kdap_fulltext_probe_seconds", "Probe latency.", h, "db", "ebiz")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `kdap_fulltext_probe_seconds_count{db="ebiz"} 1`) {
+		t.Errorf("adopted histogram missing:\n%s", b.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kdap_x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("kdap_x_total", "x")
+}
+
+// Concurrent get-or-create plus updates plus exposition must be
+// race-free (run under -race in CI).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("kdap_ops_total", "Ops.", "worker", string(rune('a'+g%4))).Inc()
+				r.Histogram("kdap_op_seconds", "Op latency.", nil).Observe(0.001)
+				if i%50 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, w := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("kdap_ops_total", "Ops.", "worker", w).Value()
+	}
+	if total != 8*200 {
+		t.Errorf("lost increments: %d", total)
+	}
+}
+
+func TestValidateExpositionRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"kdap_untyped_sample 1\n",                            // no TYPE
+		"# TYPE kdap_a counter\nkdap_a{unclosed=\"x} 1\n",    // bad labels
+		"# TYPE kdap_a counter\nkdap_a one\n",                // bad value
+		"# TYPE kdap_h histogram\nkdap_h_sum 1\nkdap_h_count 1\n", // no +Inf bucket
+	}
+	for _, in := range bad {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted invalid exposition %q", in)
+		}
+	}
+}
