@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kdap [-db ebiz|online|reseller] [-snapshot file] [-csv dir] [-mode surprise|bellwether] [-trace]
+//	kdap [-db ebiz|online|reseller] [-snapshot file] [-csv dir] [-mode surprise|bellwether] [-trace] [-timeout 0]
 //
 // With -trace, every query / pick / drill prints an indented per-stage
 // timing tree (the same span tree the HTTP API returns behind
@@ -46,6 +46,8 @@ func main() {
 	csvDir := flag.String("csv", "", "load a CSV directory with manifest.json instead of -db")
 	mode := flag.String("mode", "surprise", "interestingness: surprise, bellwether")
 	trace := flag.Bool("trace", false, "print a per-stage timing tree after each query/pick/drill")
+	timeout := flag.Duration("timeout", 0,
+		"per-operation deadline for query/pick/drill (0 disables); overruns abort with a deadline error")
 	flag.Parse()
 
 	var wh *kdap.Warehouse
@@ -83,6 +85,9 @@ func main() {
 	opts := kdap.DefaultExploreOptions()
 	r := &repl{s: kdap.NewSession(kdap.NewEngine(wh), opts)}
 	r.s.SetTracing(*trace)
+	if *timeout > 0 {
+		r.s.SetTimeout(*timeout)
+	}
 	if err := r.setMode(*mode); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

@@ -40,6 +40,12 @@ type benchFile struct {
 	// -benchtime=20x on the same machine), kept verbatim so the
 	// speedup this PR claims stays auditable.
 	Baseline map[string]benchResult `json:"baseline_pre_columnar"`
+	// BaselinePreCancellation pins the kernel numbers from just before
+	// the context-first refactor threaded cancellation checks through
+	// the hot loops (go test -bench -benchtime=100x, same machine), so
+	// the refactor's zero-overhead claim — a nil Done channel costs
+	// nothing — stays auditable against the Results above.
+	BaselinePreCancellation map[string]benchResult `json:"baseline_pre_cancellation"`
 	// Telemetry snapshots the engine's own counters after the timed
 	// runs: cache hit rates and kernel-path counts explain the numbers
 	// above (e.g. a warm constraint cache or an all-columnar run).
@@ -139,6 +145,10 @@ func benchJSON() error {
 		Baseline: map[string]benchResult{
 			"Table2Facets": {Name: "BenchmarkTable2Facets", NsPerOp: 67288548, AllocsPerOp: 22094},
 			"GroupBy":      {Name: "BenchmarkGroupBy", NsPerOp: 3748548, AllocsPerOp: 61},
+		},
+		BaselinePreCancellation: map[string]benchResult{
+			"GroupByDict":    {Name: "BenchmarkGroupByDict/dict", NsPerOp: 177768, AllocsPerOp: 7},
+			"FusedAggregate": {Name: "BenchmarkFusedAggregate/fused", NsPerOp: 183794, AllocsPerOp: 0},
 		},
 	}
 	out.Telemetry = benchTelemetry{

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	kdapd [-addr :8080] [-db ebiz,online,reseller] [-log text|json]
+//	      [-query-timeout 10s] [-max-inflight 0]
 //
 // A minimal web UI is served at /; the JSON endpoints live under /api.
 // Prometheus metrics are exposed at /metrics, pprof profiles under
@@ -38,6 +39,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dbs := flag.String("db", "ebiz,online,reseller", "comma-separated warehouses to serve")
 	logFormat := flag.String("log", "text", "access log format: text or json")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second,
+		"per-request pipeline deadline (0 disables); overruns return 504")
+	maxInflight := flag.Int("max-inflight", 0,
+		"max concurrently executing API requests (0 = unlimited); excess is queued briefly then shed with 503")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -69,7 +74,10 @@ func main() {
 		log.Fatal("no warehouses selected")
 	}
 
-	api := server.New(warehouses)
+	srvOpts := server.DefaultOptions()
+	srvOpts.QueryTimeout = *queryTimeout
+	srvOpts.MaxInflight = *maxInflight
+	api := server.NewWithOptions(warehouses, srvOpts)
 	api.SetLogger(logger)
 	srv := &http.Server{
 		Addr:              *addr,

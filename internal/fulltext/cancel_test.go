@@ -1,0 +1,40 @@
+package fulltext
+
+// Cancellation coverage for the probe loops: a cancelled context
+// surfaces context.Canceled from SearchCtx and SearchPhraseCtx, and
+// the Background wrappers still return full results.
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSearchCtxCancel(t *testing.T) {
+	ix := smallIndex()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.SearchCtx(ctx, "Columbus", Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SearchCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := ix.SearchPhraseCtx(ctx, "LCD Projectors", Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SearchPhraseCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchCtxMatchesWrapper(t *testing.T) {
+	ix := smallIndex()
+	want := ix.Search("Columbus", Options{})
+	got, err := ix.SearchCtx(context.Background(), "Columbus", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SearchCtx returned %d hits, wrapper %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Doc.Value != want[i].Doc.Value || got[i].Score != want[i].Score {
+			t.Errorf("hit %d: ctx %+v, wrapper %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package fulltext
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -206,9 +207,19 @@ const prefixWeight = 0.5
 // coord = (matched query terms)/(total query terms). Results are sorted by
 // descending score with a deterministic tie-break on the doc identity.
 func (ix *Index) Search(query string, opts Options) []Hit {
+	hits, _ := ix.SearchCtx(context.Background(), query, opts)
+	return hits
+}
+
+// SearchCtx is Search under a context: the scoring loop checks for
+// cancellation between query terms and every cancelCheckPostings
+// postings inside a term's posting list, so probes against very common
+// terms stop promptly when the caller's deadline fires. Returns
+// ctx.Err() on cancellation.
+func (ix *Index) SearchCtx(ctx context.Context, query string, opts Options) ([]Hit, error) {
 	defer ix.observeProbe(time.Now())
 	qterms := Terms(query)
-	return ix.searchTerms(qterms, opts)
+	return ix.searchTerms(ctx, qterms, opts)
 }
 
 // observeProbe records one probe's latency from its start time.
@@ -223,21 +234,34 @@ func (ix *Index) observeProbe(start time.Time) {
 // to phrase-containing documents. A single-term phrase degenerates to
 // Search without prefix expansion.
 func (ix *Index) SearchPhrase(query string, opts Options) []Hit {
+	hits, _ := ix.SearchPhraseCtx(context.Background(), query, opts)
+	return hits
+}
+
+// SearchPhraseCtx is SearchPhrase under a context, with the same
+// cancellation points as SearchCtx plus a check per phrase candidate.
+func (ix *Index) SearchPhraseCtx(ctx context.Context, query string, opts Options) ([]Hit, error) {
 	defer ix.observeProbe(time.Now())
 	qterms := Terms(query)
 	if len(qterms) == 0 {
-		return nil
+		return nil, nil
 	}
 	if len(qterms) == 1 {
 		opts.Prefix = false
-		return ix.searchTerms(qterms, opts)
+		return ix.searchTerms(ctx, qterms, opts)
 	}
-	candidates := ix.phraseDocs(qterms)
+	candidates, err := ix.phraseDocs(ctx, qterms)
+	if err != nil {
+		return nil, err
+	}
 	if len(candidates) == 0 {
-		return nil
+		return nil, nil
 	}
 	opts.Prefix = false
-	all := ix.searchTerms(qterms, Options{Similarity: opts.Similarity})
+	all, err := ix.searchTerms(ctx, qterms, Options{Similarity: opts.Similarity})
+	if err != nil {
+		return nil, err
+	}
 	var out []Hit
 	for _, h := range all {
 		if _, ok := candidates[ix.byKey[h.Doc]]; ok {
@@ -250,14 +274,21 @@ func (ix *Index) SearchPhrase(query string, opts Options) []Hit {
 	if opts.Limit > 0 && len(out) > opts.Limit {
 		out = out[:opts.Limit]
 	}
-	return out
+	return out, nil
 }
 
+// cancelCheckPostings is the stride between ctx.Err() checks inside a
+// posting-list scoring loop: common terms in a large warehouse can
+// carry tens of thousands of postings, and the differentiate phase is
+// probe-bound.
+const cancelCheckPostings = 4096
+
 // searchTerms is the shared scoring core of Search and SearchPhrase.
-func (ix *Index) searchTerms(qterms []string, opts Options) []Hit {
+func (ix *Index) searchTerms(ctx context.Context, qterms []string, opts Options) ([]Hit, error) {
 	if len(qterms) == 0 || len(ix.docs) == 0 {
-		return nil
+		return nil, nil
 	}
+	done := ctx.Done()
 	type acc struct {
 		score   float64
 		matched int
@@ -266,6 +297,11 @@ func (ix *Index) searchTerms(qterms []string, opts Options) []Hit {
 	var queryNormSq float64
 
 	for _, qt := range qterms {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Expand the query term to the indexed terms it matches.
 		type match struct {
 			ti     *termInfo
@@ -297,19 +333,27 @@ func (ix *Index) searchTerms(qterms []string, opts Options) []Hit {
 			switch opts.Similarity {
 			case BM25:
 				idf := ix.idfBM25(df)
-				for _, p := range m.ti.postings {
-					a := accs[p.doc]
-					if a == nil {
-						a = &acc{}
-						accs[p.doc] = a
+				for base := 0; base < len(m.ti.postings); base += cancelCheckPostings {
+					if done != nil {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
 					}
-					tf := float64(len(p.positions))
-					dl := float64(ix.docLens[p.doc])
-					tfn := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgdl))
-					a.score += idf * tfn * m.weight
-					if !seen[p.doc] {
-						seen[p.doc] = true
-						a.matched++
+					end := min(base+cancelCheckPostings, len(m.ti.postings))
+					for _, p := range m.ti.postings[base:end] {
+						a := accs[p.doc]
+						if a == nil {
+							a = &acc{}
+							accs[p.doc] = a
+						}
+						tf := float64(len(p.positions))
+						dl := float64(ix.docLens[p.doc])
+						tfn := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgdl))
+						a.score += idf * tfn * m.weight
+						if !seen[p.doc] {
+							seen[p.doc] = true
+							a.matched++
+						}
 					}
 				}
 			default: // ClassicTFIDF
@@ -318,17 +362,25 @@ func (ix *Index) searchTerms(qterms []string, opts Options) []Hit {
 					bestIDF = idf
 				}
 				w := idf * idf * m.weight
-				for _, p := range m.ti.postings {
-					a := accs[p.doc]
-					if a == nil {
-						a = &acc{}
-						accs[p.doc] = a
+				for base := 0; base < len(m.ti.postings); base += cancelCheckPostings {
+					if done != nil {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
 					}
-					tf := math.Sqrt(float64(len(p.positions)))
-					a.score += tf * w / math.Sqrt(float64(ix.docLens[p.doc]))
-					if !seen[p.doc] {
-						seen[p.doc] = true
-						a.matched++
+					end := min(base+cancelCheckPostings, len(m.ti.postings))
+					for _, p := range m.ti.postings[base:end] {
+						a := accs[p.doc]
+						if a == nil {
+							a = &acc{}
+							accs[p.doc] = a
+						}
+						tf := math.Sqrt(float64(len(p.positions)))
+						a.score += tf * w / math.Sqrt(float64(ix.docLens[p.doc]))
+						if !seen[p.doc] {
+							seen[p.doc] = true
+							a.matched++
+						}
 					}
 				}
 			}
@@ -336,7 +388,7 @@ func (ix *Index) searchTerms(qterms []string, opts Options) []Hit {
 		queryNormSq += bestIDF * bestIDF
 	}
 	if len(accs) == 0 {
-		return nil
+		return nil, nil
 	}
 	queryNorm := 1.0
 	if queryNormSq > 0 {
@@ -355,16 +407,16 @@ func (ix *Index) searchTerms(qterms []string, opts Options) []Hit {
 	if opts.Limit > 0 && len(hits) > opts.Limit {
 		hits = hits[:opts.Limit]
 	}
-	return hits
+	return hits, nil
 }
 
 // phraseDocs returns the set of doc IDs containing qterms consecutively.
-func (ix *Index) phraseDocs(qterms []string) map[int]struct{} {
+func (ix *Index) phraseDocs(ctx context.Context, qterms []string) (map[int]struct{}, error) {
 	infos := make([]*termInfo, len(qterms))
 	for i, qt := range qterms {
 		infos[i] = ix.terms[qt]
 		if infos[i] == nil {
-			return nil
+			return nil, nil
 		}
 	}
 	// Intersect postings on the rarest term first for efficiency.
@@ -374,13 +426,23 @@ func (ix *Index) phraseDocs(qterms []string) map[int]struct{} {
 			rarest = i
 		}
 	}
+	done := ctx.Done()
 	out := make(map[int]struct{})
-	for _, p := range infos[rarest].postings {
-		if ix.docHasPhrase(p.doc, qterms, infos) {
-			out[p.doc] = struct{}{}
+	postings := infos[rarest].postings
+	for base := 0; base < len(postings); base += cancelCheckPostings {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		end := min(base+cancelCheckPostings, len(postings))
+		for _, p := range postings[base:end] {
+			if ix.docHasPhrase(p.doc, qterms, infos) {
+				out[p.doc] = struct{}{}
+			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // docHasPhrase reports whether doc contains the terms at consecutive

@@ -1,6 +1,7 @@
 package kdapcore
 
 import (
+	"context"
 	"math"
 
 	"kdap/internal/stats"
@@ -105,6 +106,21 @@ func validSplits(splits []int, m int, l float64) bool {
 // equal-width splits; it runs entirely in memory with no store access, as
 // §5.3.2 emphasizes.
 func MergeIntervals(x, y []float64, cfg AnnealConfig) MergeResult {
+	res, _ := MergeIntervalsCtx(context.Background(), x, y, cfg)
+	return res
+}
+
+// annealCheckIters is the stride between ctx.Err() checks in the anneal
+// loop. One iteration is a handful of O(K) scans, so 64 iterations keep
+// cancellation latency in the microseconds.
+const annealCheckIters = 64
+
+// MergeIntervalsCtx is MergeIntervals under a cancellable context: the
+// N-iteration annealing loop checks ctx every annealCheckIters
+// iterations and abandons the search (the default 500-iteration merge is
+// fast, but an Explore runs one merge per numeric facet and the
+// iteration count is configurable).
+func MergeIntervalsCtx(ctx context.Context, x, y []float64, cfg AnnealConfig) (MergeResult, error) {
 	if len(x) != len(y) {
 		panic("kdapcore: MergeIntervals series length mismatch")
 	}
@@ -148,7 +164,13 @@ func MergeIntervals(x, y []float64, cfg AnnealConfig) MergeResult {
 
 	rng := stats.NewRNG(cfg.Seed)
 	neighbor := make([]int, len(cur))
+	done := ctx.Done()
 	for i := 0; i < cfg.N; i++ {
+		if done != nil && i%annealCheckIters == 0 {
+			if err := ctx.Err(); err != nil {
+				return MergeResult{}, err
+			}
+		}
 		if len(cur) == 0 {
 			record()
 			continue // K >= m: nothing to move
@@ -188,5 +210,5 @@ func MergeIntervals(x, y []float64, cfg AnnealConfig) MergeResult {
 		BasicScore: basic,
 		ErrPct:     stats.AbsErrPct(final, basic),
 		History:    history,
-	}
+	}, nil
 }

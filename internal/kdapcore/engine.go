@@ -134,18 +134,27 @@ func (e *Engine) DifferentiateRankedCtx(ctx context.Context, query string, metho
 	sim := e.textSimilarity()
 
 	_, sp = telemetry.StartSpan(ctx, "hit_probe")
-	sets := buildHitSets(e.index, keywords, e.hitLim, sim)
+	sets, err := buildHitSets(ctx, e.index, keywords, e.hitLim, sim)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	_, sp = telemetry.StartSpan(ctx, "phrase_merge")
-	merged := mergePhrases(e.index, sets, keywords, sim)
+	merged, err := mergePhrases(ctx, e.index, sets, keywords, sim)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	_, sp = telemetry.StartSpan(ctx, "seed_enum")
 	seeds := enumerateSeeds(sets, merged, e.netLim.maxSeeds)
 	sp.End()
 	if len(seeds) == 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	_, sp = telemetry.StartSpan(ctx, "starnet_gen")
@@ -154,6 +163,9 @@ func (e *Engine) DifferentiateRankedCtx(ctx context.Context, query string, metho
 		sn.Filters = filters
 	}
 	sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	_, sp = telemetry.StartSpan(ctx, "rank")
 	rankStarNets(nets, method)
@@ -191,25 +203,33 @@ func (e *Engine) SuggestKeywords(query string, max int) map[string][]string {
 // DS', caching by interpretation signature. The returned slice is shared
 // and must not be modified.
 func (e *Engine) SubspaceRows(sn *StarNet) []int {
-	return e.subspaceRowsCtx(context.Background(), sn)
+	rows, _ := e.subspaceRowsCtx(context.Background(), sn)
+	return rows
 }
 
 // subspaceRowsCtx is SubspaceRows with the semijoin recorded as a
 // subspace_semijoin span (cache hits are effectively free and show up
-// as near-zero spans).
-func (e *Engine) subspaceRowsCtx(ctx context.Context, sn *StarNet) []int {
+// as near-zero spans). A cancelled semijoin is never cached: partial
+// row sets must not masquerade as the materialized subspace.
+func (e *Engine) subspaceRowsCtx(ctx context.Context, sn *StarNet) ([]int, error) {
 	sig := sn.Signature()
 	if rows, ok := e.rowsCache.Get(sig); ok {
-		return rows
+		return rows, nil
 	}
 	_, sp := telemetry.StartSpan(ctx, "subspace_semijoin")
 	defer sp.End()
-	rows := e.exec.FactRows(sn.Constraints())
+	rows, err := e.exec.FactRowsCtx(ctx, sn.Constraints())
+	if err != nil {
+		return nil, err
+	}
 	if len(sn.Filters) > 0 {
-		rows = e.applyFilters(rows, sn.Filters)
+		rows, err = e.applyFiltersCtx(ctx, rows, sn.Filters)
+		if err != nil {
+			return nil, err
+		}
 	}
 	e.rowsCache.Put(sig, rows)
-	return rows
+	return rows, nil
 }
 
 // RowsCacheStats snapshots the materialized-subspace cache counters.

@@ -83,6 +83,14 @@ type ExploreOptions struct {
 	// instances and this hook admits others (e.g. |corr| for "any
 	// deviation either way").
 	CustomScore func(corr float64) float64
+	// PartialOnDeadline degrades instead of failing when the context's
+	// deadline fires during attribute scoring: ExploreCtx returns the
+	// facets built from whatever attributes finished scoring, with
+	// Facets.Partial set, rather than context.DeadlineExceeded. The
+	// semijoin, total aggregate, roll-up build, and promoted facets must
+	// still complete — cancellation before or during those stages always
+	// errors, since there is no meaningful partial result without them.
+	PartialOnDeadline bool
 }
 
 // DefaultExploreOptions returns the paper's default parameters.
@@ -149,6 +157,10 @@ type Facets struct {
 	TotalAggregate float64
 	// Dimensions appear in static (alphabetical) order, per §5.1.
 	Dimensions []*DimensionFacets
+	// Partial marks a result degraded by ExploreOptions.PartialOnDeadline:
+	// the deadline fired during attribute scoring and only the attributes
+	// scored so far are included.
+	Partial bool
 }
 
 // rollup is one background space RUP(DS'): the sub-dataspace generalized
@@ -176,18 +188,28 @@ func (e *Engine) ExploreCtx(ctx context.Context, sn *StarNet, opts ExploreOption
 	if opts.TopKAttrs <= 0 || opts.TopKInstances <= 0 || opts.Buckets <= 0 {
 		return nil, fmt.Errorf("kdap: non-positive explore options")
 	}
-	rows := e.subspaceRowsCtx(ctx, sn)
+	rows, err := e.subspaceRowsCtx(ctx, sn)
+	if err != nil {
+		return nil, err
+	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("kdap: empty sub-dataspace for %q", sn.Query)
+	}
+	totalAgg, err := e.exec.AggregateCtx(ctx, rows, e.measure, e.agg)
+	if err != nil {
+		return nil, err
 	}
 	f := &Facets{
 		Net:            sn,
 		SubspaceSize:   len(rows),
-		TotalAggregate: e.exec.Aggregate(rows, e.measure, e.agg),
+		TotalAggregate: totalAgg,
 	}
 	_, rsp := telemetry.StartSpan(ctx, "rollup_build")
-	rollups := e.buildRollups(sn)
+	rollups, err := e.buildRollupsCtx(ctx, sn)
 	rsp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	hitDims := map[string]bool{}
 	for i := range sn.Groups {
@@ -204,6 +226,7 @@ func (e *Engine) ExploreCtx(ctx context.Context, sn *StarNet, opts ExploreOption
 		attr schemagraph.AttrRef
 		role string
 		out  *AttrFacet
+		err  error
 	}
 	dfs := make([]*DimensionFacets, len(dims))
 	var jobs []*job
@@ -229,7 +252,10 @@ func (e *Engine) ExploreCtx(ctx context.Context, sn *StarNet, opts ExploreOption
 				continue
 			}
 			promoted[attr] = true
-			af := e.promotedFacet(attr, bg, rows, f.TotalAggregate, rollups, opts)
+			af, err := e.promotedFacet(ctx, attr, bg, rows, f.TotalAggregate, rollups, opts)
+			if err != nil {
+				return nil, err
+			}
 			dfs[di].Attributes = append(dfs[di].Attributes, af)
 		}
 		for _, attr := range d.GroupBy {
@@ -242,7 +268,7 @@ func (e *Engine) ExploreCtx(ctx context.Context, sn *StarNet, opts ExploreOption
 	sctx, ssp := telemetry.StartSpan(ctx, "facet_score")
 	runJob := func(j *job) {
 		jctx, jsp := telemetry.StartSpan(sctx, "score "+j.attr.String())
-		j.out = e.scoreAttr(jctx, j.attr, j.role, rows, f.TotalAggregate, rollups, opts)
+		j.out, j.err = e.scoreAttr(jctx, j.attr, j.role, rows, f.TotalAggregate, rollups, opts)
 		jsp.End()
 	}
 	if opts.Parallel && len(jobs) > 1 {
@@ -261,9 +287,29 @@ func (e *Engine) ExploreCtx(ctx context.Context, sn *StarNet, opts ExploreOption
 	} else {
 		for _, j := range jobs {
 			runJob(j)
+			// Sequential scoring stops at the first cancelled job; the
+			// remaining jobs would all fail the same way.
+			if j.err != nil && ctx.Err() != nil {
+				break
+			}
 		}
 	}
 	ssp.End()
+	// The degradation decision (§7's responsiveness concern): a deadline
+	// that fires during scoring either aborts the explore or — when the
+	// caller opted in — downgrades to the attributes scored so far.
+	if err := ctx.Err(); err != nil {
+		if !opts.PartialOnDeadline {
+			return nil, err
+		}
+		f.Partial = true
+	} else {
+		for _, j := range jobs {
+			if j.err != nil {
+				return nil, j.err
+			}
+		}
+	}
 
 	pinned := make(map[schemagraph.AttrRef]bool, len(opts.Pinned))
 	for _, p := range opts.Pinned {
@@ -334,8 +380,20 @@ func (e *Engine) generalizeConstraint(c olap.Constraint, role string) (olap.Cons
 // (remaining) hierarchy parent rolls all the way up by dropping its
 // constraint.
 func (e *Engine) buildRollups(sn *StarNet) []rollup {
+	out, _ := e.buildRollupsCtx(context.Background(), sn)
+	return out
+}
+
+// buildRollupsCtx is buildRollups under a cancellable context: each
+// per-group semijoin and aggregate goes through the ctx-first executor
+// entry points, so a cancelled explore stops between (or inside) the
+// roll-up computations.
+func (e *Engine) buildRollupsCtx(ctx context.Context, sn *StarNet) ([]rollup, error) {
 	base := sn.Constraints() // merged: one constraint per attribute domain
-	baseRows := e.SubspaceRows(sn)
+	baseRows, err := e.subspaceRowsCtx(ctx, sn)
+	if err != nil {
+		return nil, err
+	}
 	var out []rollup
 	for i := range base {
 		others := make([]olap.Constraint, 0, len(base))
@@ -353,9 +411,15 @@ func (e *Engine) buildRollups(sn *StarNet) []rollup {
 			} else {
 				cs = others // top of the hierarchy: roll up to "all"
 			}
-			rows = e.exec.FactRows(cs)
+			rows, err = e.exec.FactRowsCtx(ctx, cs)
+			if err != nil {
+				return nil, err
+			}
 			if len(sn.Filters) > 0 {
-				rows = e.applyFilters(rows, sn.Filters)
+				rows, err = e.applyFiltersCtx(ctx, rows, sn.Filters)
+				if err != nil {
+					return nil, err
+				}
 			}
 			if !ok || len(rows) > len(baseRows) {
 				break
@@ -366,13 +430,13 @@ func (e *Engine) buildRollups(sn *StarNet) []rollup {
 		if len(rows) == 0 {
 			continue
 		}
-		out = append(out, rollup{
-			dim:  base[i].Path.Dim,
-			rows: rows,
-			agg:  e.exec.Aggregate(rows, e.measure, e.agg),
-		})
+		agg, err := e.exec.AggregateCtx(ctx, rows, e.measure, e.agg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rollup{dim: base[i].Path.Dim, rows: rows, agg: agg})
 	}
-	return out
+	return out, nil
 }
 
 // modeScore converts a correlation into the mode's interestingness score:
@@ -410,17 +474,19 @@ func evidenceScore(x, y []float64, opts ExploreOptions) float64 {
 }
 
 // scoreAttr ranks one candidate group-by attribute by roll-up
-// partitioning and, if it survives, organizes its instances.
+// partitioning and, if it survives, organizes its instances. A nil facet
+// with nil error means the attribute produced no informative partition;
+// a non-nil error is a cancelled context.
 func (e *Engine) scoreAttr(ctx context.Context, attr schemagraph.AttrRef, role string, rows []int,
-	totalAgg float64, rollups []rollup, opts ExploreOptions) *AttrFacet {
+	totalAgg float64, rollups []rollup, opts ExploreOptions) (*AttrFacet, error) {
 
 	path, ok := e.graph.PathFromFact(attr.Table, role)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	col, ok := e.graph.DB().Table(attr.Table).Schema().Column(attr.Attr)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	numeric := col.Kind == relation.KindInt || col.Kind == relation.KindFloat
 	if numeric {
@@ -433,13 +499,16 @@ func (e *Engine) scoreAttr(ctx context.Context, attr schemagraph.AttrRef, role s
 // correlate the DS' aggregate series with each roll-up's series over the
 // categories present in DS', keep the worst (most interesting) score.
 func (e *Engine) scoreCategoricalAttr(ctx context.Context, attr schemagraph.AttrRef, path schemagraph.JoinPath,
-	rows []int, totalAgg float64, rollups []rollup, opts ExploreOptions) *AttrFacet {
+	rows []int, totalAgg float64, rollups []rollup, opts ExploreOptions) (*AttrFacet, error) {
 
 	_, gsp := telemetry.StartSpan(ctx, "groupby_kernel")
-	local := e.exec.GroupBy(rows, attr.Attr, path, e.measure, e.agg)
+	local, err := e.exec.GroupByCtx(ctx, rows, attr.Attr, path, e.measure, e.agg)
 	gsp.End()
+	if err != nil {
+		return nil, err
+	}
 	if len(local) == 0 {
-		return nil
+		return nil, nil
 	}
 	cats := make([]relation.Value, 0, len(local))
 	for v := range local {
@@ -458,7 +527,10 @@ func (e *Engine) scoreCategoricalAttr(ctx context.Context, attr schemagraph.Attr
 	var bestBG map[relation.Value]float64
 	for i := range rollups {
 		ru := &rollups[i]
-		bg := e.exec.GroupBy(ru.rows, attr.Attr, path, e.measure, e.agg)
+		bg, err := e.exec.GroupByCtx(ctx, ru.rows, attr.Attr, path, e.measure, e.agg)
+		if err != nil {
+			return nil, err
+		}
 		y := make([]float64, len(cats))
 		for j, c := range cats {
 			y[j] = bg[c]
@@ -471,11 +543,11 @@ func (e *Engine) scoreCategoricalAttr(ctx context.Context, attr schemagraph.Attr
 		}
 	}
 	if bestRU == nil {
-		return nil
+		return nil, nil
 	}
 	af := &AttrFacet{Attr: attr, Role: path.Role, Score: best}
 	af.Instances = e.categoricalInstances(cats, local, bestBG, totalAgg, bestRU, opts)
-	return af
+	return af, nil
 }
 
 // categoricalInstances scores every category with Equation 2 and ranks:
@@ -520,13 +592,16 @@ func (e *Engine) categoricalInstances(cats []relation.Value, local, bg map[relat
 // (§5.2.2), applies Equation 1 over the bucket series, then merges the
 // basic intervals into display ranges with Algorithm 2.
 func (e *Engine) scoreNumericAttr(ctx context.Context, attr schemagraph.AttrRef, path schemagraph.JoinPath,
-	rows []int, totalAgg float64, rollups []rollup, opts ExploreOptions) *AttrFacet {
+	rows []int, totalAgg float64, rollups []rollup, opts ExploreOptions) (*AttrFacet, error) {
 
 	_, nsp := telemetry.StartSpan(ctx, "numeric_series")
-	localVals := e.exec.NumericSeries(rows, attr.Attr, path, e.measure)
+	localVals, err := e.exec.NumericSeriesCtx(ctx, rows, attr.Attr, path, e.measure)
 	nsp.End()
+	if err != nil {
+		return nil, err
+	}
 	if len(localVals) == 0 {
-		return nil
+		return nil, nil
 	}
 	// A numeric domain with no more distinct values than display ranges
 	// is effectively categorical (a year column, a banded income level):
@@ -550,7 +625,11 @@ func (e *Engine) scoreNumericAttr(ctx context.Context, attr schemagraph.AttrRef,
 	var bestRU *rollup
 	for i := range rollups {
 		ru := &rollups[i]
-		bgVals := e.exec.NumericSeries(ru.rows, attr.Attr, path, e.measure)
+		bgVals, err := e.exec.NumericSeriesCtx(ctx, ru.rows, attr.Attr, path, e.measure)
+		if err != nil {
+			csp.End()
+			return nil, err
+		}
 		y := iv.AggregateSeries(bgVals)
 		xo, yo := OccupiedSeries(x, y)
 		s := evidenceScore(xo, yo, opts)
@@ -562,25 +641,31 @@ func (e *Engine) scoreNumericAttr(ctx context.Context, attr schemagraph.AttrRef,
 	}
 	csp.End()
 	if bestRU == nil {
-		return nil
+		return nil, nil
 	}
 	af := &AttrFacet{Attr: attr, Role: path.Role, Score: best, Numeric: true}
-	af.Instances = e.numericInstances(ctx, iv, x, bestY, totalAgg, bestRU.agg, opts)
-	return af
+	af.Instances, err = e.numericInstances(ctx, iv, x, bestY, totalAgg, bestRU.agg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return af, nil
 }
 
 // numericInstances merges basic intervals into K display ranges and
 // renders them as instances with Equation 2 scores over range sums.
 func (e *Engine) numericInstances(ctx context.Context, iv Intervals, x, y []float64,
-	totalAgg, ruAgg float64, opts ExploreOptions) []Instance {
+	totalAgg, ruAgg float64, opts ExploreOptions) ([]Instance, error) {
 
 	cfg := AnnealConfig{
 		K: opts.DisplayIntervals, L: opts.SkewLimit,
 		N: opts.AnnealIters, AcceptProb: 0.25, Seed: opts.Seed,
 	}
 	_, asp := telemetry.StartSpan(ctx, "interval_anneal")
-	res := MergeIntervals(x, y, cfg)
+	res, err := MergeIntervalsCtx(ctx, x, y, cfg)
 	asp.End()
+	if err != nil {
+		return nil, err
+	}
 	bounds := append(append([]int(nil), res.Splits...), len(x))
 	prev := 0
 	out := make([]Instance, 0, len(bounds))
@@ -609,17 +694,20 @@ func (e *Engine) numericInstances(ctx context.Context, iv Intervals, x, y []floa
 	if len(out) > opts.TopKInstances {
 		out = out[:opts.TopKInstances]
 	}
-	return out
+	return out, nil
 }
 
 // promotedFacet builds the facet for a hit attribute: always selected,
 // instances are the hit values themselves (the user's entry point for
 // drill-down and for resolving residual ambiguity, §5.2.1).
-func (e *Engine) promotedFacet(attr schemagraph.AttrRef, bg *BoundGroup,
-	rows []int, totalAgg float64, rollups []rollup, opts ExploreOptions) *AttrFacet {
+func (e *Engine) promotedFacet(ctx context.Context, attr schemagraph.AttrRef, bg *BoundGroup,
+	rows []int, totalAgg float64, rollups []rollup, opts ExploreOptions) (*AttrFacet, error) {
 
 	af := &AttrFacet{Attr: attr, Role: bg.Path.Role, Score: math.Inf(1), Promoted: true}
-	local := e.exec.GroupBy(rows, attr.Attr, bg.Path, e.measure, e.agg)
+	local, err := e.exec.GroupByCtx(ctx, rows, attr.Attr, bg.Path, e.measure, e.agg)
+	if err != nil {
+		return nil, err
+	}
 
 	var ru *rollup
 	for i := range rollups {
@@ -630,7 +718,10 @@ func (e *Engine) promotedFacet(attr schemagraph.AttrRef, bg *BoundGroup,
 	}
 	var bgAgg map[relation.Value]float64
 	if ru != nil {
-		bgAgg = e.exec.GroupBy(ru.rows, attr.Attr, bg.Path, e.measure, e.agg)
+		bgAgg, err = e.exec.GroupByCtx(ctx, ru.rows, attr.Attr, bg.Path, e.measure, e.agg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	for _, v := range bg.Group.Values() {
 		inst := Instance{Label: v.Text(), Value: v, Aggregate: local[v]}
@@ -648,7 +739,7 @@ func (e *Engine) promotedFacet(attr schemagraph.AttrRef, bg *BoundGroup,
 	if len(af.Instances) > opts.TopKInstances {
 		af.Instances = af.Instances[:opts.TopKInstances]
 	}
-	return af
+	return af, nil
 }
 
 // Drill narrows the star net by one facet instance: a categorical

@@ -1,6 +1,7 @@
 package kdapcore
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -177,26 +178,51 @@ func (e *Engine) extractFilters(keywords []string) (filters []NumericFilter, res
 
 // applyFilters narrows fact rows by every predicate.
 func (e *Engine) applyFilters(rows []int, filters []NumericFilter) []int {
+	out, _ := e.applyFiltersCtx(context.Background(), rows, filters)
+	return out
+}
+
+// filterCheckRows is the stride between ctx.Err() checks in the fact-
+// column predicate loop (the dimension branch delegates its own checks
+// to FilterRowsNumericCtx).
+const filterCheckRows = 8192
+
+// applyFiltersCtx is applyFilters under a cancellable context, checking
+// between predicates and every filterCheckRows rows within one.
+func (e *Engine) applyFiltersCtx(ctx context.Context, rows []int, filters []NumericFilter) ([]int, error) {
 	fact := e.graph.DB().Table(e.graph.FactTable())
+	done := ctx.Done()
 	for _, nf := range filters {
 		if len(rows) == 0 {
-			return rows
+			return rows, nil
 		}
 		if nf.OnFact {
 			ci := fact.Schema().ColumnIndex(nf.Attr.Attr)
 			var out []int
-			for _, r := range rows {
-				v := fact.Row(r)[ci]
-				if !v.IsNull() && nf.Op.Matches(v.AsFloat(), nf.Value) {
-					out = append(out, r)
+			for base := 0; base < len(rows); base += filterCheckRows {
+				if done != nil {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				end := min(base+filterCheckRows, len(rows))
+				for _, r := range rows[base:end] {
+					v := fact.Row(r)[ci]
+					if !v.IsNull() && nf.Op.Matches(v.AsFloat(), nf.Value) {
+						out = append(out, r)
+					}
 				}
 			}
 			rows = out
 			continue
 		}
-		rows = e.exec.FilterRowsNumeric(rows, nf.Attr.Attr, nf.Path, func(x float64) bool {
+		var err error
+		rows, err = e.exec.FilterRowsNumericCtx(ctx, rows, nf.Attr.Attr, nf.Path, func(x float64) bool {
 			return nf.Op.Matches(x, nf.Value)
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return rows
+	return rows, nil
 }

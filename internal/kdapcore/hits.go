@@ -5,6 +5,7 @@
 package kdapcore
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -101,10 +102,13 @@ func defaultHitLimits() hitLimits {
 // between the single keyword and the textual attribute instance" — phrase
 // merging later re-scores merged groups against the whole phrase). Hits
 // within a hit set are grouped by attribute domain.
-func buildHitSets(ix *fulltext.Index, keywords []string, lim hitLimits, sim fulltext.Similarity) []*HitSet {
+func buildHitSets(ctx context.Context, ix *fulltext.Index, keywords []string, lim hitLimits, sim fulltext.Similarity) ([]*HitSet, error) {
 	sets := make([]*HitSet, 0, len(keywords))
 	for i, kw := range keywords {
-		hits := ix.Search(kw, fulltext.Options{Prefix: true, Limit: lim.maxHitsPerKeyword, Similarity: sim})
+		hits, err := ix.SearchCtx(ctx, kw, fulltext.Options{Prefix: true, Limit: lim.maxHitsPerKeyword, Similarity: sim})
+		if err != nil {
+			return nil, err
+		}
 		groups := make(map[string]*HitGroup)
 		var order []string
 		for _, fh := range hits {
@@ -139,7 +143,7 @@ func buildHitSets(ix *fulltext.Index, keywords []string, lim hitLimits, sim full
 		}
 		sets = append(sets, hs)
 	}
-	return sets
+	return sets, nil
 }
 
 // mergePhrases implements §4.3: whenever hit groups from different hit
@@ -152,12 +156,12 @@ func buildHitSets(ix *fulltext.Index, keywords []string, lim hitLimits, sim full
 // Merged groups are appended as additional candidates; the originals stay
 // so that non-phrase interpretations remain available (the paper keeps
 // "San Antonio" as a candidate, just ranked lower).
-func mergePhrases(ix *fulltext.Index, sets []*HitSet, keywords []string, sim fulltext.Similarity) []*HitGroup {
+func mergePhrases(ctx context.Context, ix *fulltext.Index, sets []*HitSet, keywords []string, sim fulltext.Similarity) ([]*HitGroup, error) {
 	var merged []*HitGroup
 
 	// Start from each group, try to extend with groups of later keywords.
-	var extend func(cur *HitGroup)
-	extend = func(cur *HitGroup) {
+	var extend func(cur *HitGroup) error
+	extend = func(cur *HitGroup) error {
 		last := cur.Keywords[len(cur.Keywords)-1]
 		for _, hs := range sets {
 			if hs.Index <= last {
@@ -177,7 +181,10 @@ func mergePhrases(ix *fulltext.Index, sets []*HitSet, keywords []string, sim ful
 				}
 				phraseWords = append(phraseWords, keywords[hs.Index])
 				phrase := strings.Join(phraseWords, " ")
-				rescored := rescorePhrase(ix, cur.Table, cur.Attr, inter, phrase, sim)
+				rescored, err := rescorePhrase(ctx, ix, cur.Table, cur.Attr, inter, phrase, sim)
+				if err != nil {
+					return err
+				}
 				if len(rescored) == 0 {
 					continue
 				}
@@ -189,19 +196,24 @@ func mergePhrases(ix *fulltext.Index, sets []*HitSet, keywords []string, sim ful
 					Phrase:   phrase,
 				}
 				merged = append(merged, m)
-				extend(m)
+				if err := extend(m); err != nil {
+					return err
+				}
 			}
 			// Only extend into the immediately next keyword position:
 			// phrases are contiguous in the query.
 			break
 		}
+		return nil
 	}
 	for _, hs := range sets {
 		for _, g := range hs.Groups {
-			extend(g)
+			if err := extend(g); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return merged
+	return merged, nil
 }
 
 // intersectHits returns the hits present (by value) in both slices; the
@@ -230,19 +242,27 @@ func intersectHits(a, b []Hit) []Hit {
 // the paper's merge condition is domain + non-empty intersection, not
 // strict adjacency, but an unbounded window would merge unrelated words
 // from long descriptions.
-func rescorePhrase(ix *fulltext.Index, table, attr string, hits []Hit, phrase string, sim fulltext.Similarity) []Hit {
+func rescorePhrase(ctx context.Context, ix *fulltext.Index, table, attr string, hits []Hit, phrase string, sim fulltext.Similarity) ([]Hit, error) {
+	phraseHits, err := ix.SearchPhraseCtx(ctx, phrase, fulltext.Options{Similarity: sim})
+	if err != nil {
+		return nil, err
+	}
 	phraseScores := make(map[relation.Value]float64)
-	for _, ph := range ix.SearchPhrase(phrase, fulltext.Options{Similarity: sim}) {
+	for _, ph := range phraseHits {
 		if ph.Doc.Table == table && ph.Doc.Attr == attr {
 			phraseScores[ph.Doc.Value] = ph.Score
 		}
 	}
 	var wordScores map[relation.Value]float64
-	allWords := func(v relation.Value) (float64, bool) {
+	allWords := func(v relation.Value) (float64, bool, error) {
 		if wordScores == nil {
 			wordScores = make(map[relation.Value]float64)
 			terms := fulltext.Terms(phrase)
-			for _, wh := range ix.Search(phrase, fulltext.Options{Similarity: sim}) {
+			wordHits, err := ix.SearchCtx(ctx, phrase, fulltext.Options{Similarity: sim})
+			if err != nil {
+				return 0, false, err
+			}
+			for _, wh := range wordHits {
 				if wh.Doc.Table != table || wh.Doc.Attr != attr {
 					continue
 				}
@@ -252,17 +272,19 @@ func rescorePhrase(ix *fulltext.Index, table, attr string, hits []Hit, phrase st
 			}
 		}
 		s, ok := wordScores[v]
-		return s, ok
+		return s, ok, nil
 	}
 	var out []Hit
 	for _, h := range hits {
 		if s, ok := phraseScores[h.Value]; ok {
 			out = append(out, Hit{Table: h.Table, Attr: h.Attr, Value: h.Value, Score: s, RawScore: h.RawScore})
-		} else if s, ok := allWords(h.Value); ok {
+		} else if s, ok, err := allWords(h.Value); err != nil {
+			return nil, err
+		} else if ok {
 			out = append(out, Hit{Table: h.Table, Attr: h.Attr, Value: h.Value, Score: s, RawScore: h.RawScore})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // phraseSlop is the largest gap allowed between consecutive phrase words

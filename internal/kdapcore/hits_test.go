@@ -1,6 +1,7 @@
 package kdapcore
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -22,7 +23,7 @@ func cityIndex() *fulltext.Index {
 
 func TestBuildHitSetsGroupsByDomain(t *testing.T) {
 	ix := cityIndex()
-	sets := buildHitSets(ix, []string{"san", "jose"}, defaultHitLimits(), fulltext.ClassicTFIDF)
+	sets, _ := buildHitSets(context.Background(), ix, []string{"san", "jose"}, defaultHitLimits(), fulltext.ClassicTFIDF)
 	if len(sets) != 2 {
 		t.Fatalf("sets = %d", len(sets))
 	}
@@ -61,7 +62,7 @@ func TestBuildHitSetsLimits(t *testing.T) {
 		ix.Add("T2", "B", relation.String("word other "+string(rune('a'+i))))
 	}
 	lim := hitLimits{maxHitsPerKeyword: 100, maxGroupsPerHitSet: 1, maxHitsPerGroup: 5}
-	sets := buildHitSets(ix, []string{"word"}, lim, fulltext.ClassicTFIDF)
+	sets, _ := buildHitSets(context.Background(), ix, []string{"word"}, lim, fulltext.ClassicTFIDF)
 	if len(sets[0].Groups) != 1 {
 		t.Errorf("group cap not applied: %d", len(sets[0].Groups))
 	}
@@ -73,8 +74,8 @@ func TestBuildHitSetsLimits(t *testing.T) {
 func TestMergePhrasesSanJose(t *testing.T) {
 	ix := cityIndex()
 	kws := []string{"San", "Jose"}
-	sets := buildHitSets(ix, kws, defaultHitLimits(), fulltext.ClassicTFIDF)
-	merged := mergePhrases(ix, sets, kws, fulltext.ClassicTFIDF)
+	sets, _ := buildHitSets(context.Background(), ix, kws, defaultHitLimits(), fulltext.ClassicTFIDF)
+	merged, _ := mergePhrases(context.Background(), ix, sets, kws, fulltext.ClassicTFIDF)
 	if len(merged) != 1 {
 		t.Fatalf("merged groups = %d", len(merged))
 	}
@@ -97,8 +98,8 @@ func TestMergePhrasesSanJose(t *testing.T) {
 func TestMergePhrasesThreeWay(t *testing.T) {
 	ix := cityIndex()
 	kws := []string{"New", "South", "Wales"}
-	sets := buildHitSets(ix, kws, defaultHitLimits(), fulltext.ClassicTFIDF)
-	merged := mergePhrases(ix, sets, kws, fulltext.ClassicTFIDF)
+	sets, _ := buildHitSets(context.Background(), ix, kws, defaultHitLimits(), fulltext.ClassicTFIDF)
+	merged, _ := mergePhrases(context.Background(), ix, sets, kws, fulltext.ClassicTFIDF)
 	var full *HitGroup
 	for _, m := range merged {
 		if len(m.Keywords) == 3 {
@@ -119,8 +120,8 @@ func TestMergePhrasesThreeWay(t *testing.T) {
 func TestMergePhrasesRequiresOverlap(t *testing.T) {
 	ix := cityIndex()
 	kws := []string{"Software", "Electronics"}
-	sets := buildHitSets(ix, kws, defaultHitLimits(), fulltext.ClassicTFIDF)
-	if merged := mergePhrases(ix, sets, kws, fulltext.ClassicTFIDF); len(merged) != 0 {
+	sets, _ := buildHitSets(context.Background(), ix, kws, defaultHitLimits(), fulltext.ClassicTFIDF)
+	if merged, _ := mergePhrases(context.Background(), ix, sets, kws, fulltext.ClassicTFIDF); len(merged) != 0 {
 		t.Errorf("non-overlapping groups merged: %+v", merged[0])
 	}
 }
@@ -129,8 +130,8 @@ func TestMergePhrasesRequiresOverlap(t *testing.T) {
 func TestMergePhrasesOnlyAdjacentKeywords(t *testing.T) {
 	ix := cityIndex()
 	kws := []string{"San", "Wales", "Jose"} // San..Jose not adjacent
-	sets := buildHitSets(ix, kws, defaultHitLimits(), fulltext.ClassicTFIDF)
-	merged := mergePhrases(ix, sets, kws, fulltext.ClassicTFIDF)
+	sets, _ := buildHitSets(context.Background(), ix, kws, defaultHitLimits(), fulltext.ClassicTFIDF)
+	merged, _ := mergePhrases(context.Background(), ix, sets, kws, fulltext.ClassicTFIDF)
 	for _, m := range merged {
 		if reflect.DeepEqual(m.Keywords, []int{0, 2}) {
 			t.Errorf("non-contiguous keywords merged: %+v", m)

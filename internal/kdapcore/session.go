@@ -3,6 +3,7 @@ package kdapcore
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
@@ -27,6 +28,7 @@ type Session struct {
 
 	tracing   bool
 	lastTrace *telemetry.Trace
+	timeout   time.Duration
 }
 
 // NewSession creates a session over an engine with the given explore
@@ -52,16 +54,36 @@ func (s *Session) Tracing() bool { return s.tracing }
 // or nil when tracing is off or nothing has run yet.
 func (s *Session) LastTrace() *telemetry.Trace { return s.lastTrace }
 
-// traceCtx returns a context carrying a fresh trace when tracing is on;
-// the returned finish func finalizes the root span and publishes the
-// trace to LastTrace.
+// SetTimeout sets a per-operation deadline: every subsequent
+// Query/Pick/Drill/Back runs under context.WithTimeout and returns
+// context.DeadlineExceeded when the pipeline overruns it. Zero (the
+// default) means no deadline.
+func (s *Session) SetTimeout(d time.Duration) { s.timeout = d }
+
+// Timeout returns the per-operation deadline (zero = none).
+func (s *Session) Timeout() time.Duration { return s.timeout }
+
+// traceCtx returns the context every session operation runs under —
+// carrying a fresh trace when tracing is on, bounded by the session
+// timeout when one is set. The returned finish func finalizes the root
+// span, publishes the trace to LastTrace, and releases the deadline
+// timer.
 func (s *Session) traceCtx(op string) (context.Context, func()) {
-	if !s.tracing {
-		return context.Background(), func() {}
+	ctx := context.Background()
+	finish := func() {}
+	if s.tracing {
+		tr := telemetry.NewTrace(op)
+		s.lastTrace = tr
+		ctx = tr.Context(ctx)
+		finish = tr.Finish
 	}
-	tr := telemetry.NewTrace(op)
-	s.lastTrace = tr
-	return tr.Context(context.Background()), tr.Finish
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		inner := finish
+		finish = func() { cancel(); inner() }
+	}
+	return ctx, finish
 }
 
 // SetMode switches the interestingness measure; if an interpretation is

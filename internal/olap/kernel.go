@@ -1,6 +1,7 @@
 package olap
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -16,6 +17,14 @@ import (
 // time reference path (see GroupByRef), modulo the float summation
 // order of the parallel merge, which is deterministic for a fixed
 // GOMAXPROCS because rows are chunked and merged in index order.
+//
+// Every kernel is cancellable: the scan loops are blocked into
+// cancelCheckRows-row strides and consult ctx.Err() between strides,
+// so a cancelled context stops a scan within one stride rather than
+// after the full dataspace. When the context carries no cancellation
+// (ctx.Done() == nil, e.g. context.Background()) the check short-
+// circuits on a nil channel compare and the inner loops are the same
+// tight code as before.
 
 // parallelRowThreshold is the row count above which the fused
 // scan+aggregate kernels fan out across GOMAXPROCS workers. Below it
@@ -26,6 +35,12 @@ var parallelRowThreshold = 16384
 // maxKernelWorkers caps the fan-out; past a point extra workers only
 // shred the cache.
 const maxKernelWorkers = 16
+
+// cancelCheckRows is the stride between ctx.Err() checks inside the
+// scan kernels. At ~10ns/row a stride is a few tens of microseconds of
+// work, so cancellation latency stays far below any request deadline
+// while the check amortizes to well under the benchmark noise floor.
+const cancelCheckRows = 8192
 
 // kernelWorkers returns how many chunks a parallel scan over n rows
 // should use (1 = run sequentially).
@@ -72,16 +87,17 @@ func measureVec(m Measure) []float64 {
 // (a group is "touched" when any row carries its code, even if every
 // measure value was NaN — matching the reference path, which creates a
 // group state before evaluating the measure).
-func (ex *Executor) groupScan(rows []int, codes []int32, ngroups int, m Measure) ([]aggState, []bool) {
+func (ex *Executor) groupScan(ctx context.Context, rows []int, codes []int32, ngroups int, m Measure) ([]aggState, []bool, error) {
 	workers := kernelWorkers(len(rows))
 	if workers == 1 {
 		ex.stats.serialScans.Add(1)
-		return ex.groupScanChunk(rows, codes, ngroups, m)
+		return ex.groupScanChunk(ctx, rows, codes, ngroups, m)
 	}
 	ex.stats.parallelScans.Add(1)
 	ex.stats.kernelChunks.Add(int64(workers))
 	states := make([][]aggState, workers)
 	touched := make([][]bool, workers)
+	errs := make([]error, workers)
 	chunk := (len(rows) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -96,10 +112,15 @@ func (ex *Executor) groupScan(rows []int, codes []int32, ngroups int, m Measure)
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			states[w], touched[w] = ex.groupScanChunk(rows[lo:hi], codes, ngroups, m)
+			states[w], touched[w], errs[w] = ex.groupScanChunk(ctx, rows[lo:hi], codes, ngroups, m)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	// Merge partials in chunk order so the result is deterministic.
 	out, outTouched := states[0], touched[0]
 	for w := 1; w < workers; w++ {
@@ -113,49 +134,60 @@ func (ex *Executor) groupScan(rows []int, codes []int32, ngroups int, m Measure)
 			}
 		}
 	}
-	return out, outTouched
+	return out, outTouched, nil
 }
 
 // groupScanChunk is the sequential fused scan+aggregate kernel over one
-// chunk of rows.
-func (ex *Executor) groupScanChunk(rows []int, codes []int32, ngroups int, m Measure) ([]aggState, []bool) {
+// chunk of rows, checking for cancellation every cancelCheckRows rows.
+func (ex *Executor) groupScanChunk(ctx context.Context, rows []int, codes []int32, ngroups int, m Measure) ([]aggState, []bool, error) {
 	states := make([]aggState, ngroups)
 	for g := range states {
 		states[g] = newAggState()
 	}
 	touched := make([]bool, ngroups)
-	if vec := measureVec(m); vec != nil {
-		for _, r := range rows {
-			c := codes[r]
-			if c < 0 {
-				continue
+	done := ctx.Done()
+	vec := measureVec(m)
+	for base := 0; base < len(rows); base += cancelCheckRows {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
 			}
-			touched[c] = true
-			states[c].add(vec[r])
 		}
-		return states, touched
-	}
-	for _, r := range rows {
-		c := codes[r]
-		if c < 0 {
-			continue
+		end := min(base+cancelCheckRows, len(rows))
+		if vec != nil {
+			for _, r := range rows[base:end] {
+				c := codes[r]
+				if c < 0 {
+					continue
+				}
+				touched[c] = true
+				states[c].add(vec[r])
+			}
+		} else {
+			for _, r := range rows[base:end] {
+				c := codes[r]
+				if c < 0 {
+					continue
+				}
+				touched[c] = true
+				states[c].add(m.Eval(ex.fact.Row(r)))
+			}
 		}
-		touched[c] = true
-		states[c].add(m.Eval(ex.fact.Row(r)))
 	}
-	return states, touched
+	return states, touched, nil
 }
 
 // scanAggregate is the fused single-group scan behind Aggregate.
-func (ex *Executor) scanAggregate(rows []int, m Measure) aggState {
+func (ex *Executor) scanAggregate(ctx context.Context, rows []int, m Measure) (aggState, error) {
 	workers := kernelWorkers(len(rows))
 	if workers == 1 {
 		ex.stats.serialScans.Add(1)
-		return ex.scanAggregateChunk(rows, m)
+		return ex.scanAggregateChunk(ctx, rows, m)
 	}
 	ex.stats.parallelScans.Add(1)
 	ex.stats.kernelChunks.Add(int64(workers))
 	partial := make([]aggState, workers)
+	errs := make([]error, workers)
 	chunk := (len(rows) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -171,29 +203,44 @@ func (ex *Executor) scanAggregate(rows []int, m Measure) aggState {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			partial[w] = ex.scanAggregateChunk(rows[lo:hi], m)
+			partial[w], errs[w] = ex.scanAggregateChunk(ctx, rows[lo:hi], m)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return aggState{}, err
+		}
+	}
 	st := partial[0]
 	for w := 1; w < workers; w++ {
 		st.mergeInto(&partial[w])
 	}
-	return st
+	return st, nil
 }
 
-func (ex *Executor) scanAggregateChunk(rows []int, m Measure) aggState {
+func (ex *Executor) scanAggregateChunk(ctx context.Context, rows []int, m Measure) (aggState, error) {
 	st := newAggState()
-	if vec := measureVec(m); vec != nil {
-		for _, r := range rows {
-			st.add(vec[r])
+	done := ctx.Done()
+	vec := measureVec(m)
+	for base := 0; base < len(rows); base += cancelCheckRows {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return aggState{}, err
+			}
 		}
-		return st
+		end := min(base+cancelCheckRows, len(rows))
+		if vec != nil {
+			for _, r := range rows[base:end] {
+				st.add(vec[r])
+			}
+		} else {
+			for _, r := range rows[base:end] {
+				st.add(m.Eval(ex.fact.Row(r)))
+			}
+		}
 	}
-	for _, r := range rows {
-		st.add(m.Eval(ex.fact.Row(r)))
-	}
-	return st
+	return st, nil
 }
 
 // attrColKey identifies a fact-aligned attribute column in the

@@ -6,6 +6,7 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -281,8 +282,18 @@ func (ex *Executor) FactLen() int { return ex.fact.Len() }
 // walking the path's hops; the result is sorted and deduplicated. This is
 // the semijoin primitive: dimension rows in, fact rows out.
 func (ex *Executor) MapRows(rows []int, path schemagraph.JoinPath) []int {
+	out, _ := ex.MapRowsCtx(context.Background(), rows, path)
+	return out
+}
+
+// MapRowsCtx is MapRows under a context: the hop walk checks for
+// cancellation between hops and every cancelCheckRows source rows, so a
+// semijoin over a large dimension stops promptly when the caller's
+// deadline fires. Returns ctx.Err() on cancellation.
+func (ex *Executor) MapRowsCtx(ctx context.Context, rows []int, path schemagraph.JoinPath) ([]int, error) {
 	cur := rows
 	curTable := ex.g.DB().Table(path.Source)
+	done := ctx.Done()
 	for _, hop := range path.Hops {
 		next := ex.g.DB().Table(hop.ToTable)
 		if next == nil {
@@ -295,18 +306,26 @@ func (ex *Executor) MapRows(rows []int, path schemagraph.JoinPath) []int {
 		// A bitset over the next table dedups and sorts in one pass —
 		// ToSlice emits ascending row IDs.
 		seen := bitset.New(next.Len())
-		for _, r := range cur {
-			v := curTable.Row(r)[fromIdx]
-			if v.IsNull() {
-				continue
+		for base := 0; base < len(cur); base += cancelCheckRows {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 			}
-			for _, nr := range next.Lookup(hop.ToCol, v) {
-				seen.Add(nr)
+			end := min(base+cancelCheckRows, len(cur))
+			for _, r := range cur[base:end] {
+				v := curTable.Row(r)[fromIdx]
+				if v.IsNull() {
+					continue
+				}
+				for _, nr := range next.Lookup(hop.ToCol, v) {
+					seen.Add(nr)
+				}
 			}
 		}
 		cur, curTable = seen.ToSlice(), next
 	}
-	return cur
+	return cur, nil
 }
 
 // constraintSig canonically identifies a constraint for caching.
@@ -321,20 +340,25 @@ func constraintSig(c Constraint) string {
 
 // constraintSet returns (cached) the bitset of fact rows satisfying one
 // constraint. The cache evicts with second-chance/CLOCK so a hot hit
-// group survives churn from one-off candidate nets.
-func (ex *Executor) constraintSet(c Constraint) *bitset.Set {
+// group survives churn from one-off candidate nets. A cancelled semijoin
+// is never cached — partial bitsets must not poison later queries.
+func (ex *Executor) constraintSet(ctx context.Context, c Constraint) (*bitset.Set, error) {
 	sig := constraintSig(c)
 	if s, ok := ex.constraintBits.Get(sig); ok {
-		return s
+		return s, nil
 	}
 	t := ex.g.DB().Table(c.Table)
 	if t == nil {
 		panic(fmt.Sprintf("olap: constraint references missing table %q", c.Table))
 	}
 	dimRows := t.LookupIn(c.Attr, c.Values)
-	s := bitset.FromSorted(ex.fact.Len(), ex.MapRows(dimRows, c.Path))
+	mapped, err := ex.MapRowsCtx(ctx, dimRows, c.Path)
+	if err != nil {
+		return nil, err
+	}
+	s := bitset.FromSorted(ex.fact.Len(), mapped)
 	ex.constraintBits.Put(sig, s)
-	return s
+	return s, nil
 }
 
 // FactRows returns the fact rows of the sub-dataspace defined by the
@@ -343,45 +367,78 @@ func (ex *Executor) constraintSet(c Constraint) *bitset.Set {
 // every fact row (the full dataspace). Per-constraint results are cached
 // as bitsets, so nets sharing hit groups share semijoin work.
 func (ex *Executor) FactRows(constraints []Constraint) []int {
+	rows, _ := ex.FactRowsCtx(context.Background(), constraints)
+	return rows
+}
+
+// FactRowsCtx is FactRows under a context: cancellation is checked
+// between constraints and inside each constraint's semijoin, returning
+// ctx.Err() instead of completing the intersection.
+func (ex *Executor) FactRowsCtx(ctx context.Context, constraints []Constraint) ([]int, error) {
 	if len(constraints) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		all := make([]int, ex.fact.Len())
 		for i := range all {
 			all[i] = i
 		}
-		return all
+		return all, nil
+	}
+	first, err := ex.constraintSet(ctx, constraints[0])
+	if err != nil {
+		return nil, err
 	}
 	if len(constraints) == 1 {
-		rows := ex.constraintSet(constraints[0]).ToSlice()
+		rows := first.ToSlice()
 		if len(rows) == 0 {
-			return nil
+			return nil, nil
 		}
-		return rows
+		return rows, nil
 	}
-	acc := ex.constraintSet(constraints[0]).Clone()
+	acc := first.Clone()
 	for _, c := range constraints[1:] {
-		acc.AndWith(ex.constraintSet(c))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := ex.constraintSet(ctx, c)
+		if err != nil {
+			return nil, err
+		}
+		acc.AndWith(s)
 		if acc.Count() == 0 {
-			return nil
+			return nil, nil
 		}
 	}
 	rows := acc.ToSlice()
 	if len(rows) == 0 {
-		return nil
+		return nil, nil
 	}
-	return rows
+	return rows, nil
 }
 
 // Aggregate applies the measure and aggregation function over fact
 // rows. The scan is fused — measure column read and accumulation in one
 // loop — and fans out across GOMAXPROCS workers for large row sets.
 func (ex *Executor) Aggregate(rows []int, m Measure, agg Agg) float64 {
+	v, _ := ex.AggregateCtx(context.Background(), rows, m, agg)
+	return v
+}
+
+// AggregateCtx is Aggregate under a context: the fused scan (and every
+// parallel worker chunk) checks for cancellation at cancelCheckRows
+// granularity and returns ctx.Err() instead of finishing the scan.
+func (ex *Executor) AggregateCtx(ctx context.Context, rows []int, m Measure, agg Agg) (float64, error) {
 	if measureVec(m) != nil {
 		ex.stats.aggregateVec.Add(1)
 	} else {
 		ex.stats.aggregateEval.Add(1)
 	}
-	st := ex.scanAggregate(rows, m)
-	return st.final(agg)
+	st, err := ex.scanAggregate(ctx, rows, m)
+	if err != nil {
+		return 0, err
+	}
+	return st.final(agg), nil
 }
 
 // AggregateRef is the row-at-a-time reference implementation of
@@ -394,6 +451,33 @@ func (ex *Executor) AggregateRef(rows []int, m Measure, agg Agg) float64 {
 		st.add(m.Eval(ex.fact.Row(r)))
 	}
 	return st.final(agg)
+}
+
+// GroupByCtx is GroupBy under a context: the columnar scan (and every
+// parallel worker chunk) checks for cancellation at cancelCheckRows
+// granularity and returns ctx.Err() instead of finishing the scan.
+func (ex *Executor) GroupByCtx(ctx context.Context, rows []int, attr string, path schemagraph.JoinPath, m Measure, agg Agg) (map[relation.Value]float64, error) {
+	dimTable := ex.g.DB().Table(path.Source)
+	if dimTable.Schema().ColumnIndex(attr) < 0 {
+		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
+	}
+	if measureVec(m) != nil {
+		ex.stats.groupByVec.Add(1)
+	} else {
+		ex.stats.groupByEval.Add(1)
+	}
+	codes, dict := ex.attrCodes(attr, path)
+	states, touched, err := ex.groupScan(ctx, rows, codes, len(dict), m)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[relation.Value]float64, len(dict))
+	for c := range states {
+		if touched[c] {
+			out[dict[c]] = states[c].final(agg)
+		}
+	}
+	return out, nil
 }
 
 // factToDim returns, memoized, the functional mapping fact row → dimension
@@ -457,23 +541,7 @@ func (ex *Executor) factToDim(path schemagraph.JoinPath) []int32 {
 // the chunked parallel kernel engaged for large row sets. The result is
 // identical to GroupByRef.
 func (ex *Executor) GroupBy(rows []int, attr string, path schemagraph.JoinPath, m Measure, agg Agg) map[relation.Value]float64 {
-	dimTable := ex.g.DB().Table(path.Source)
-	if dimTable.Schema().ColumnIndex(attr) < 0 {
-		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
-	}
-	if measureVec(m) != nil {
-		ex.stats.groupByVec.Add(1)
-	} else {
-		ex.stats.groupByEval.Add(1)
-	}
-	codes, dict := ex.attrCodes(attr, path)
-	states, touched := ex.groupScan(rows, codes, len(dict), m)
-	out := make(map[relation.Value]float64, len(dict))
-	for c := range states {
-		if touched[c] {
-			out[dict[c]] = states[c].final(agg)
-		}
-	}
+	out, _ := ex.GroupByCtx(context.Background(), rows, attr, path, m, agg)
 	return out
 }
 
@@ -526,29 +594,46 @@ type ValueMeasure struct {
 // sides read pre-extracted float columns: the memoized fact-aligned
 // attribute column (NaN marks absent) and the measure's vector.
 func (ex *Executor) NumericSeries(rows []int, attr string, path schemagraph.JoinPath, m Measure) []ValueMeasure {
+	out, _ := ex.NumericSeriesCtx(context.Background(), rows, attr, path, m)
+	return out
+}
+
+// NumericSeriesCtx is NumericSeries under a context, checking for
+// cancellation every cancelCheckRows rows.
+func (ex *Executor) NumericSeriesCtx(ctx context.Context, rows []int, attr string, path schemagraph.JoinPath, m Measure) ([]ValueMeasure, error) {
 	if ex.g.DB().Table(path.Source).Schema().ColumnIndex(attr) < 0 {
 		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
 	}
 	vals := ex.attrFloats(attr, path)
+	vec := measureVec(m)
 	out := make([]ValueMeasure, 0, len(rows))
-	if vec := measureVec(m); vec != nil {
-		for _, r := range rows {
-			v := vals[r]
-			if math.IsNaN(v) {
-				continue
+	done := ctx.Done()
+	for base := 0; base < len(rows); base += cancelCheckRows {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			out = append(out, ValueMeasure{Value: v, Measure: vec[r]})
 		}
-		return out
-	}
-	for _, r := range rows {
-		v := vals[r]
-		if math.IsNaN(v) {
-			continue
+		end := min(base+cancelCheckRows, len(rows))
+		if vec != nil {
+			for _, r := range rows[base:end] {
+				v := vals[r]
+				if math.IsNaN(v) {
+					continue
+				}
+				out = append(out, ValueMeasure{Value: v, Measure: vec[r]})
+			}
+		} else {
+			for _, r := range rows[base:end] {
+				v := vals[r]
+				if math.IsNaN(v) {
+					continue
+				}
+				out = append(out, ValueMeasure{Value: v, Measure: m.Eval(ex.fact.Row(r))})
+			}
 		}
-		out = append(out, ValueMeasure{Value: v, Measure: m.Eval(ex.fact.Row(r))})
 	}
-	return out
+	return out, nil
 }
 
 // FilterRowsNumeric keeps the fact rows whose numeric attribute at the
@@ -556,21 +641,37 @@ func (ex *Executor) NumericSeries(rows []int, attr string, path schemagraph.Join
 // are dropped. The KDAP engine uses it for the numeric-predicate query
 // extension.
 func (ex *Executor) FilterRowsNumeric(rows []int, attr string, path schemagraph.JoinPath, pred func(float64) bool) []int {
+	out, _ := ex.FilterRowsNumericCtx(context.Background(), rows, attr, path, pred)
+	return out
+}
+
+// FilterRowsNumericCtx is FilterRowsNumeric under a context, checking
+// for cancellation every cancelCheckRows rows.
+func (ex *Executor) FilterRowsNumericCtx(ctx context.Context, rows []int, attr string, path schemagraph.JoinPath, pred func(float64) bool) ([]int, error) {
 	if ex.g.DB().Table(path.Source).Schema().ColumnIndex(attr) < 0 {
 		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
 	}
 	vals := ex.attrFloats(attr, path)
 	var out []int
-	for _, r := range rows {
-		v := vals[r]
-		if math.IsNaN(v) {
-			continue
+	done := ctx.Done()
+	for base := 0; base < len(rows); base += cancelCheckRows {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
-		if pred(v) {
-			out = append(out, r)
+		end := min(base+cancelCheckRows, len(rows))
+		for _, r := range rows[base:end] {
+			v := vals[r]
+			if math.IsNaN(v) {
+				continue
+			}
+			if pred(v) {
+				out = append(out, r)
+			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // DimValues projects the distinct values of attr over the dimension rows

@@ -11,12 +11,16 @@ import (
 // uses as compact fact/dimension handles.
 //
 // Hash indexes are built lazily per column on first lookup and maintained
-// on subsequent appends. A Table is not safe for concurrent mutation;
-// concurrent reads are safe once loading has finished and Freeze was
-// called (Freeze pre-builds the key indexes so readers never mutate).
+// on subsequent appends. A Table is not safe for concurrent mutation,
+// but concurrent reads are safe once loading has finished: the lazy
+// index and column-view builds are guarded by locks, so a cold column
+// may be materialized mid-read (Freeze additionally pre-builds the key
+// indexes and numeric views so the common lookups never take the
+// build path at all).
 type Table struct {
 	schema  *Schema
 	rows    [][]Value
+	idxMu   sync.RWMutex
 	indexes map[string]map[Value][]int
 
 	// Columnar views, built on demand (numeric ones also at Freeze) and
@@ -76,11 +80,13 @@ func (t *Table) Append(row []Value) (int, error) {
 	}
 	id := len(t.rows)
 	t.rows = append(t.rows, stored)
+	t.idxMu.Lock()
 	for col, idx := range t.indexes {
 		ci := t.schema.ColumnIndex(col)
 		v := stored[ci]
 		idx[v] = append(idx[v], id)
 	}
+	t.idxMu.Unlock()
 	t.invalidateColumns()
 	return id, nil
 }
@@ -119,20 +125,31 @@ func (t *Table) Value(id int, col string) Value {
 	return t.rows[id][ci]
 }
 
-// index returns (building if needed) the hash index for col.
+// index returns (building if needed) the hash index for col. Like the
+// columnar views, a cold build is safe mid-read: concurrent callers may
+// both build, but only one result is kept.
 func (t *Table) index(col string) map[Value][]int {
-	if idx, ok := t.indexes[col]; ok {
+	t.idxMu.RLock()
+	idx, ok := t.indexes[col]
+	t.idxMu.RUnlock()
+	if ok {
 		return idx
 	}
 	ci := t.schema.ColumnIndex(col)
 	if ci < 0 {
 		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
 	}
-	idx := make(map[Value][]int)
+	idx = make(map[Value][]int)
 	for id, row := range t.rows {
 		idx[row[ci]] = append(idx[row[ci]], id)
 	}
-	t.indexes[col] = idx
+	t.idxMu.Lock()
+	if prior, ok := t.indexes[col]; ok {
+		idx = prior // lost the build race; keep the published index
+	} else {
+		t.indexes[col] = idx
+	}
+	t.idxMu.Unlock()
 	return idx
 }
 

@@ -1,0 +1,93 @@
+package server
+
+// Admission control for the API routes: a bounded in-flight semaphore
+// with a short bounded wait queue in front of it. Under overload the
+// server sheds requests with 503 + Retry-After instead of queueing
+// without bound — the melt-down mode this layer exists to prevent is a
+// growing backlog of semijoins that will all be stale by the time they
+// run. The queue absorbs short bursts (a slot usually frees within one
+// query's latency); anything beyond it is shed immediately so the
+// client can retry against fresher capacity.
+
+import (
+	"context"
+	"time"
+)
+
+// admission is the semaphore pair. A nil *admission admits everything
+// (the -max-inflight 0 "unlimited" configuration).
+type admission struct {
+	slots   chan struct{} // in-flight capacity
+	queue   chan struct{} // waiters beyond the in-flight cap
+	maxWait time.Duration // longest a request may sit queued
+}
+
+// newAdmission sizes the controller; maxInflight <= 0 disables it.
+func newAdmission(maxInflight, maxQueue int, maxWait time.Duration) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if maxWait <= 0 {
+		maxWait = 250 * time.Millisecond
+	}
+	return &admission{
+		slots:   make(chan struct{}, maxInflight),
+		queue:   make(chan struct{}, maxQueue),
+		maxWait: maxWait,
+	}
+}
+
+// acquire claims an in-flight slot, waiting in the bounded queue when
+// the server is saturated. It returns the release func, the time spent
+// queued, and whether the request was admitted. Not admitted means
+// shed: the queue was full, the wait timed out, or the client went away
+// while queued (its context ended — the queue position is freed either
+// way, which is what lets a closed connection release capacity).
+func (a *admission) acquire(ctx context.Context) (release func(), wait time.Duration, admitted bool) {
+	if a == nil {
+		return func() {}, 0, true
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, 0, true
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, 0, false
+	}
+	defer func() { <-a.queue }()
+	start := time.Now()
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, time.Since(start), true
+	case <-timer.C:
+		return nil, time.Since(start), false
+	case <-ctx.Done():
+		return nil, time.Since(start), false
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inflight returns the number of admitted requests currently running.
+func (a *admission) inflight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.slots)
+}
+
+// queued returns the number of requests waiting for a slot.
+func (a *admission) queued() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.queue)
+}

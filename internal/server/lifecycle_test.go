@@ -1,0 +1,289 @@
+package server
+
+// Tests for the request-lifecycle layer: admission control (shedding,
+// queue release on client disconnect), per-request deadlines, the
+// pipeline-error → HTTP status mapping, and explore parameter clamping.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kdap/internal/dataset"
+)
+
+func newLifecycleServer(t *testing.T, opts Options) (*httptest.Server, *Server) {
+	t.Helper()
+	srv := NewWithOptions(map[string]*dataset.Warehouse{"ebiz": dataset.EBiz()}, opts)
+	srv.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestAdmissionShedOverHTTP saturates a 1-slot server and checks the
+// load-shedding contract: 503 with Retry-After once the queue wait
+// expires, the shed counter on /metrics, and recovery after the slot
+// frees.
+func TestAdmissionShedOverHTTP(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxInflight = 1
+	opts.MaxQueue = 1
+	opts.QueueWait = 25 * time.Millisecond
+	ts, srv := newLifecycleServer(t, opts)
+
+	// Occupy the only in-flight slot so every API request must queue.
+	release, _, admitted := srv.adm.acquire(context.Background())
+	if !admitted {
+		t.Fatal("could not take the idle server's slot")
+	}
+
+	resp, err := http.Post(ts.URL+"/api/query", "application/json",
+		strings.NewReader(`{"db":"ebiz","q":"Columbus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After header")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), `kdap_requests_shed_total{route="/api/query"} 1`) {
+		t.Error("/metrics missing the shed counter increment")
+	}
+
+	// Capacity freed: the same request is admitted and succeeds.
+	release()
+	resp, err = http.Post(ts.URL+"/api/query", "application/json",
+		strings.NewReader(`{"db":"ebiz","q":"Columbus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after release: status %d, want 200", resp.StatusCode)
+	}
+	if got := srv.adm.inflight(); got != 0 {
+		t.Errorf("inflight after request finished: %d, want 0", got)
+	}
+}
+
+// TestAdmissionQueueFull checks the two immediate-shed paths on the
+// admission controller itself: a full queue rejects without waiting,
+// and a queued waiter whose context ends frees its queue position.
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 1, time.Minute)
+	release, _, admitted := a.acquire(context.Background())
+	if !admitted {
+		t.Fatal("first acquire should take the slot")
+	}
+
+	// Park one waiter in the queue.
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan bool, 1)
+	go func() {
+		_, _, ok := a.acquire(waiterCtx)
+		waiterDone <- ok
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full: the next acquire must shed immediately, not wait out
+	// the (one minute) maxWait.
+	start := time.Now()
+	if _, _, ok := a.acquire(context.Background()); ok {
+		t.Error("acquire admitted past a full queue")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("full-queue shed took %v; should be immediate", d)
+	}
+
+	// The waiter's client goes away: its queue position must free.
+	cancelWaiter()
+	if ok := <-waiterDone; ok {
+		t.Error("cancelled waiter reported admitted")
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for a.queued() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled waiter did not free its queue position")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// With the slot released, admission works again.
+	release()
+	release2, _, admitted := a.acquire(context.Background())
+	if !admitted {
+		t.Fatal("acquire after release should be admitted")
+	}
+	release2()
+}
+
+// TestAdmissionClientDisconnect runs the disconnect path over real
+// HTTP: a request queued behind a saturated server whose client hangs
+// up must release its queue slot so later requests are not blocked by
+// a ghost.
+func TestAdmissionClientDisconnect(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxInflight = 1
+	opts.MaxQueue = 1
+	opts.QueueWait = time.Minute // only the client disconnect can free the waiter
+	ts, srv := newLifecycleServer(t, opts)
+
+	release, _, admitted := srv.adm.acquire(context.Background())
+	if !admitted {
+		t.Fatal("could not take the idle server's slot")
+	}
+	defer release()
+
+	// An empty body matters: net/http only watches for client
+	// disconnects (cancelling r.Context()) once no request body
+	// remains, and the queued handler has not read its body yet.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/api/query", http.NoBody)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.adm.queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel() // client hangs up while queued
+	if err := <-errc; err == nil {
+		t.Error("cancelled client request reported success")
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for srv.adm.queued() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("disconnected client's queue slot was not freed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueryTimeoutMapsTo504 gives the server an already-impossible
+// per-request deadline and checks the pipeline surfaces it as 504 and
+// counts it on /metrics.
+func TestQueryTimeoutMapsTo504(t *testing.T) {
+	opts := DefaultOptions()
+	opts.QueryTimeout = time.Nanosecond
+	ts, _ := newLifecycleServer(t, opts)
+
+	resp, err := http.Post(ts.URL+"/api/query", "application/json",
+		strings.NewReader(`{"db":"ebiz","q":"Columbus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("1ns deadline: status %d, want 504", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), `kdap_requests_cancelled_total{reason="deadline",route="/api/query"}`) &&
+		!strings.Contains(string(body), `kdap_requests_cancelled_total{route="/api/query",reason="deadline"}`) {
+		t.Error("/metrics missing the deadline cancellation counter")
+	}
+}
+
+// TestPipelineErrorMapping pins the error → status translation used by
+// every query-executing handler.
+func TestPipelineErrorMapping(t *testing.T) {
+	_, srv := newTestServerAndHandler(t)
+	cases := []struct {
+		err    error
+		status int
+	}{
+		{context.Canceled, 499},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{errors.New("no such attribute"), http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		srv.writePipelineError(rec, "/api/explore", c.err, http.StatusUnprocessableEntity)
+		if rec.Code != c.status {
+			t.Errorf("%v: status %d, want %d", c.err, rec.Code, c.status)
+		}
+	}
+}
+
+// TestExploreParamClamping sends out-of-range explore parameters and
+// checks each is rejected with 400 naming the offending field.
+// Validation runs before session resolution, so no session is needed.
+func TestExploreParamClamping(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		body  string
+		field string
+	}{
+		{`{"session":"s1","pick":1,"topKAttrs":33}`, "topKAttrs"},
+		{`{"session":"s1","pick":1,"topKAttrs":-1}`, "topKAttrs"},
+		{`{"session":"s1","pick":1,"topKInstances":257}`, "topKInstances"},
+		{`{"session":"s1","pick":1,"buckets":1001}`, "buckets"},
+		{`{"session":"s1","pick":1,"buckets":-5}`, "buckets"},
+		{`{"session":"s1","pick":1,"displayIntervals":65}`, "displayIntervals"},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/api/explore", "application/json",
+			strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.body, resp.StatusCode)
+			continue
+		}
+		if !strings.Contains(string(body), c.field) {
+			t.Errorf("%s: error %q does not name field %s", c.body, body, c.field)
+		}
+	}
+
+	// In-range values still reach session resolution (404, not 400).
+	resp, err := http.Post(ts.URL+"/api/explore", "application/json",
+		strings.NewReader(`{"session":"ghost","pick":1,"topKAttrs":32,"buckets":1000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("max in-range params: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -16,6 +16,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,9 +24,10 @@ import (
 	"math"
 	"net/http"
 	"strconv"
-	"sync"
+	"sync/atomic"
 	"time"
 
+	"kdap/internal/cache"
 	"kdap/internal/dataset"
 	"kdap/internal/kdapcore"
 	"kdap/internal/olap"
@@ -34,22 +36,48 @@ import (
 	"kdap/internal/telemetry"
 )
 
+// Options tune the server's request lifecycle.
+type Options struct {
+	// QueryTimeout bounds every API request: the handler's context
+	// carries a deadline and the pipeline returns DeadlineExceeded
+	// (mapped to 504) when it fires. Zero means no per-request deadline
+	// beyond the client's own.
+	QueryTimeout time.Duration
+	// MaxInflight caps concurrently executing API requests; zero or
+	// negative disables admission control.
+	MaxInflight int
+	// MaxQueue is how many requests may wait for an in-flight slot
+	// before the server sheds with 503 (default 2×MaxInflight).
+	MaxQueue int
+	// QueueWait is the longest a queued request waits before being shed
+	// (default 250ms).
+	QueueWait time.Duration
+	// SessionCap bounds the session store (default 1024); cold sessions
+	// are evicted CLOCK-style.
+	SessionCap int
+}
+
+// DefaultOptions returns the defaults New uses: no deadline, no
+// admission cap, 1024 sessions.
+func DefaultOptions() Options { return Options{SessionCap: 1024} }
+
 // Server is the HTTP handler set over one or more warehouses.
 type Server struct {
 	mux     *http.ServeMux
 	engines map[string]*kdapcore.Engine
+	opts    Options
+	adm     *admission
 
 	reg      *telemetry.Registry
 	logger   *slog.Logger
 	start    time.Time
 	factRows map[string]int
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	nextID   uint64
-	// sessionCap bounds the session store; the oldest arbitrary session
-	// is dropped past it.
-	sessionCap int
+	// sessions is the CLOCK-evicted session store: under the cap, hot
+	// sessions (anything resolved or created within one sweep of the
+	// hand) survive while idle ones are dropped.
+	sessions *cache.Clock[string, *session]
+	nextID   atomic.Uint64
 }
 
 type session struct {
@@ -57,17 +85,29 @@ type session struct {
 	nets []*kdapcore.StarNet
 }
 
-// New creates a server over the named warehouses.
+// New creates a server over the named warehouses with DefaultOptions.
 func New(warehouses map[string]*dataset.Warehouse) *Server {
+	return NewWithOptions(warehouses, DefaultOptions())
+}
+
+// NewWithOptions creates a server with explicit lifecycle options.
+func NewWithOptions(warehouses map[string]*dataset.Warehouse, opts Options) *Server {
+	if opts.SessionCap <= 0 {
+		opts.SessionCap = 1024
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 2 * opts.MaxInflight
+	}
 	s := &Server{
-		mux:        http.NewServeMux(),
-		engines:    make(map[string]*kdapcore.Engine),
-		reg:        telemetry.NewRegistry(),
-		logger:     slog.Default(),
-		start:      time.Now(),
-		factRows:   make(map[string]int),
-		sessions:   make(map[string]*session),
-		sessionCap: 1024,
+		mux:      http.NewServeMux(),
+		engines:  make(map[string]*kdapcore.Engine),
+		opts:     opts,
+		adm:      newAdmission(opts.MaxInflight, opts.MaxQueue, opts.QueueWait),
+		reg:      telemetry.NewRegistry(),
+		logger:   slog.Default(),
+		start:    time.Now(),
+		factRows: make(map[string]int),
+		sessions: cache.NewClock[string, *session](opts.SessionCap),
 	}
 	for name, wh := range warehouses {
 		fact := wh.DB.Table(wh.Graph.FactTable())
@@ -88,12 +128,87 @@ func New(warehouses map[string]*dataset.Warehouse) *Server {
 	s.handle("GET /{$}", "/", s.handleUI)
 	s.handle("GET /healthz", "/healthz", s.handleHealth)
 	s.handle("GET /api/warehouses", "/api/warehouses", s.handleWarehouses)
-	s.handle("POST /api/query", "/api/query", s.handleQuery)
-	s.handle("POST /api/suggest", "/api/suggest", s.handleSuggest)
-	s.handle("POST /api/explore", "/api/explore", s.handleExplore)
-	s.handle("POST /api/drill", "/api/drill", s.handleDrill)
+	// The query-executing routes additionally pass through the admission
+	// and deadline layer; cheap metadata routes above do not.
+	s.handle("POST /api/query", "/api/query", s.api("/api/query", s.handleQuery))
+	s.handle("POST /api/suggest", "/api/suggest", s.api("/api/suggest", s.handleSuggest))
+	s.handle("POST /api/explore", "/api/explore", s.api("/api/explore", s.handleExplore))
+	s.handle("POST /api/drill", "/api/drill", s.api("/api/drill", s.handleDrill))
 	s.registerDebugEndpoints()
+	s.wireAdmissionMetrics()
 	return s
+}
+
+// queueWaitKey carries the admission queue wait through the request
+// context so handlers can attach it to their trace as a queue_wait
+// span.
+type queueWaitKey struct{}
+
+// queueWaitOf returns the admission wait recorded for this request.
+func queueWaitOf(ctx context.Context) time.Duration {
+	d, _ := ctx.Value(queueWaitKey{}).(time.Duration)
+	return d
+}
+
+// api wraps a query-executing handler in the request lifecycle layer:
+// admission control (shed with 503 + Retry-After when saturated), the
+// per-request deadline, and the queue-wait annotation.
+func (s *Server) api(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, wait, admitted := s.adm.acquire(r.Context())
+		if !admitted {
+			s.reg.Counter("kdap_requests_shed_total",
+				"API requests shed by admission control (in-flight cap and queue full or wait expired).",
+				"route", route).Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
+			return
+		}
+		defer release()
+		ctx := r.Context()
+		if s.opts.QueryTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+			defer cancel()
+		}
+		if wait > 0 {
+			ctx = context.WithValue(ctx, queueWaitKey{}, wait)
+		}
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// traceRequest starts the per-request trace every query-executing
+// handler records, pre-seeding it with the admission queue wait.
+func traceRequest(r *http.Request, op string) (*telemetry.Trace, context.Context) {
+	tr := telemetry.NewTrace(op)
+	if wait := queueWaitOf(r.Context()); wait > 0 {
+		tr.Root().AddTimed("queue_wait", wait)
+	}
+	return tr, tr.Context(r.Context())
+}
+
+// writePipelineError maps a pipeline error to its HTTP response: a
+// cancelled client context becomes 499 (the de-facto "client closed
+// request" code), an expired deadline 504, anything else the fallback
+// status. Context-ended requests also bump the per-route cancellation
+// counter.
+func (s *Server) writePipelineError(w http.ResponseWriter, route string, err error, fallback int) {
+	var status int
+	var reason string
+	switch {
+	case errors.Is(err, context.Canceled):
+		status, reason = 499, "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		status, reason = http.StatusGatewayTimeout, "deadline"
+	default:
+		writeError(w, fallback, err.Error())
+		return
+	}
+	s.reg.Counter("kdap_requests_cancelled_total",
+		"API requests ended by context cancellation or deadline, by route and reason.",
+		"route", route, "reason", reason).Inc()
+	writeError(w, status, err.Error())
 }
 
 // SetLogger replaces the access logger (default slog.Default()).
@@ -143,7 +258,9 @@ type FacetsDTO struct {
 	SubspaceSize   int                  `json:"subspaceSize"`
 	TotalAggregate float64              `json:"totalAggregate"`
 	Dimensions     []DimensionFacetsDTO `json:"dimensions"`
-	Trace          *telemetry.SpanJSON  `json:"trace,omitempty"`
+	// Partial marks a deadline-degraded response (see exploreRequest.Partial).
+	Partial bool                `json:"partial,omitempty"`
+	Trace   *telemetry.SpanJSON `json:"trace,omitempty"`
 }
 
 // DimensionFacetsDTO is one dimension's facets.
@@ -189,6 +306,9 @@ type queryRequest struct {
 	Limit int    `json:"limit"`
 }
 
+// maxQueryLimit caps how many interpretations a query response carries.
+const maxQueryLimit = 50
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if !readJSON(w, r, &req) {
@@ -201,16 +321,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Every query is traced so /metrics carries per-stage latency; the
 	// tree is serialized into the response only behind ?trace=1.
-	tr := telemetry.NewTrace("query")
-	nets, err := e.DifferentiateCtx(tr.Context(r.Context()), req.Q)
+	tr, ctx := traceRequest(r, "query")
+	nets, err := e.DifferentiateCtx(ctx, req.Q)
 	tr.Finish()
 	s.observeStages(tr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writePipelineError(w, "/api/query", err, http.StatusBadRequest)
 		return
 	}
 	limit := req.Limit
-	if limit <= 0 || limit > 50 {
+	if limit <= 0 || limit > maxQueryLimit {
 		limit = 20
 	}
 	if len(nets) > limit {
@@ -261,6 +381,45 @@ type exploreRequest struct {
 	Mode          string `json:"mode"`
 	TopKAttrs     int    `json:"topKAttrs"`
 	TopKInstances int    `json:"topKInstances"`
+	// Buckets and DisplayIntervals override the numeric-facet interval
+	// counts (§5.2.2 / §5.3.2); zero keeps the defaults.
+	Buckets          int `json:"buckets"`
+	DisplayIntervals int `json:"displayIntervals"`
+	// Partial opts into the degraded "best facets so far" response when
+	// the per-request deadline fires during attribute scoring.
+	Partial bool `json:"partial"`
+}
+
+// Client-supplied explore parameters are clamped to these maxima so a
+// hostile body cannot force huge allocations (a million-bucket
+// histogram per numeric attribute, say) through a public endpoint.
+const (
+	maxTopKAttrs        = 32
+	maxTopKInstances    = 256
+	maxBuckets          = 1000
+	maxDisplayIntervals = 64
+)
+
+// validateExploreParams rejects out-of-range explore parameters,
+// naming the offending field. Zero means "use the default" for every
+// field, so only positives are range-checked and negatives are always
+// rejected.
+func validateExploreParams(req *exploreRequest) error {
+	for _, f := range []struct {
+		name string
+		val  int
+		max  int
+	}{
+		{"topKAttrs", req.TopKAttrs, maxTopKAttrs},
+		{"topKInstances", req.TopKInstances, maxTopKInstances},
+		{"buckets", req.Buckets, maxBuckets},
+		{"displayIntervals", req.DisplayIntervals, maxDisplayIntervals},
+	} {
+		if f.val < 0 || f.val > f.max {
+			return fmt.Errorf("%s out of range: %d (allowed 0..%d)", f.name, f.val, f.max)
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -268,7 +427,11 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	e, sn, ok := s.resolve(w, req.Session, req.Pick)
+	if err := validateExploreParams(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	e, sn, _, ok := s.resolve(w, req.Session, req.Pick)
 	if !ok {
 		return
 	}
@@ -288,12 +451,19 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if req.TopKInstances > 0 {
 		opts.TopKInstances = req.TopKInstances
 	}
-	tr := telemetry.NewTrace("explore")
-	f, err := e.ExploreCtx(tr.Context(r.Context()), sn, opts)
+	if req.Buckets > 0 {
+		opts.Buckets = req.Buckets
+	}
+	if req.DisplayIntervals > 0 {
+		opts.DisplayIntervals = req.DisplayIntervals
+	}
+	opts.PartialOnDeadline = req.Partial
+	tr, ctx := traceRequest(r, "explore")
+	f, err := e.ExploreCtx(ctx, sn, opts)
 	tr.Finish()
 	s.observeStages(tr)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writePipelineError(w, "/api/explore", err, http.StatusUnprocessableEntity)
 		return
 	}
 	dto := facetsDTO(f)
@@ -332,7 +502,20 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	e, sn, ok := s.resolve(w, req.Session, req.Pick)
+	if req.Numeric {
+		// A NaN or infinite bound would poison every downstream
+		// comparison; name the field like the explore validation does.
+		for _, f := range []struct {
+			name string
+			val  float64
+		}{{"lo", req.Lo}, {"hi", req.Hi}} {
+			if math.IsNaN(f.val) || math.IsInf(f.val, 0) {
+				writeError(w, http.StatusBadRequest, f.name+" must be a finite number")
+				return
+			}
+		}
+	}
+	e, sn, db, ok := s.resolve(w, req.Session, req.Pick)
 	if !ok {
 		return
 	}
@@ -348,46 +531,34 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	db := s.sessions[req.Session].db
-	s.mu.Unlock()
 	id := s.putSession(&session{db: db, nets: []*kdapcore.StarNet{drilled}})
 	writeJSON(w, http.StatusOK, map[string]string{"session": id})
 }
 
-// resolve looks up a session and 1-based interpretation pick.
-func (s *Server) resolve(w http.ResponseWriter, sessionID string, pick int) (*kdapcore.Engine, *kdapcore.StarNet, bool) {
-	s.mu.Lock()
-	sess := s.sessions[sessionID]
-	s.mu.Unlock()
-	if sess == nil {
+// resolve looks up a session and 1-based interpretation pick. The
+// lookup doubles as the CLOCK touch that keeps active sessions alive
+// under the store cap.
+func (s *Server) resolve(w http.ResponseWriter, sessionID string, pick int) (*kdapcore.Engine, *kdapcore.StarNet, string, bool) {
+	sess, ok := s.sessions.Get(sessionID)
+	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session")
-		return nil, nil, false
+		return nil, nil, "", false
 	}
 	if pick < 1 || pick > len(sess.nets) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("pick out of range 1..%d", len(sess.nets)))
-		return nil, nil, false
+		return nil, nil, "", false
 	}
-	return s.engines[sess.db], sess.nets[pick-1], true
+	return s.engines[sess.db], sess.nets[pick-1], sess.db, true
 }
 
 func (s *Server) putSession(sess *session) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	id := "s" + strconv.FormatUint(s.nextID, 36)
-	if len(s.sessions) >= s.sessionCap {
-		for k := range s.sessions {
-			delete(s.sessions, k)
-			break
-		}
-	}
-	s.sessions[id] = sess
+	id := "s" + strconv.FormatUint(s.nextID.Add(1), 36)
+	s.sessions.Put(id, sess)
 	return id
 }
 
 func facetsDTO(f *kdapcore.Facets) FacetsDTO {
-	out := FacetsDTO{SubspaceSize: f.SubspaceSize, TotalAggregate: f.TotalAggregate}
+	out := FacetsDTO{SubspaceSize: f.SubspaceSize, TotalAggregate: f.TotalAggregate, Partial: f.Partial}
 	for _, d := range f.Dimensions {
 		dd := DimensionFacetsDTO{Dimension: d.Dimension, Hitted: d.Hitted}
 		for _, a := range d.Attributes {

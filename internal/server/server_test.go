@@ -227,9 +227,10 @@ func TestNoMatchQueryReturnsEmptyInterpretations(t *testing.T) {
 }
 
 func TestSessionEviction(t *testing.T) {
-	srv := New(map[string]*dataset.Warehouse{"ebiz": dataset.EBiz()})
+	opts := DefaultOptions()
+	opts.SessionCap = 3
+	srv := NewWithOptions(map[string]*dataset.Warehouse{"ebiz": dataset.EBiz()}, opts)
 	srv.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
-	srv.sessionCap = 3
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	var first QueryResponse
@@ -237,11 +238,12 @@ func TestSessionEviction(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "Projectors"}, &QueryResponse{})
 	}
-	srv.mu.Lock()
-	n := len(srv.sessions)
-	srv.mu.Unlock()
-	if n > 3 {
-		t.Errorf("session store grew past cap: %d", n)
+	st := srv.sessions.Stats()
+	if st.Len > 3 {
+		t.Errorf("session store grew past cap: %d", st.Len)
+	}
+	if st.Evictions == 0 {
+		t.Error("no CLOCK evictions recorded past the cap")
 	}
 }
 

@@ -84,6 +84,32 @@ func (s *Server) observeStages(tr *telemetry.Trace) {
 	}
 }
 
+// wireAdmissionMetrics registers the request-lifecycle series: the
+// session store's CLOCK counters (kdap_session_*, deliberately a
+// separate family from kdap_cache_* whose series carry a db label) and
+// the admission controller's live gauges. The shed and cancelled
+// counters are created lazily at their increment sites.
+func (s *Server) wireAdmissionMetrics() {
+	s.reg.CounterFunc("kdap_session_hits_total",
+		"Session store lookups that found a live session.",
+		func() float64 { return float64(s.sessions.Stats().Hits) })
+	s.reg.CounterFunc("kdap_session_misses_total",
+		"Session store lookups that missed (expired or unknown IDs).",
+		func() float64 { return float64(s.sessions.Stats().Misses) })
+	s.reg.CounterFunc("kdap_session_evictions_total",
+		"Sessions evicted by the CLOCK sweep at the store cap.",
+		func() float64 { return float64(s.sessions.Stats().Evictions) })
+	s.reg.GaugeFunc("kdap_sessions_live",
+		"Sessions currently held in the store.",
+		func() float64 { return float64(s.sessions.Stats().Len) })
+	s.reg.GaugeFunc("kdap_requests_inflight",
+		"API requests currently admitted and executing.",
+		func() float64 { return float64(s.adm.inflight()) })
+	s.reg.GaugeFunc("kdap_requests_queued",
+		"API requests waiting for an admission slot.",
+		func() float64 { return float64(s.adm.queued()) })
+}
+
 // wireEngineMetrics bridges one warehouse engine's self-maintained
 // counters into the registry as func-backed series labeled by db.
 func (s *Server) wireEngineMetrics(db string, e *kdapcore.Engine) {

@@ -73,6 +73,19 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }
 
+// AddTimed attaches an already-measured child span — for stages timed
+// outside the traced call tree, like the admission queue wait measured
+// by middleware before the request trace exists. Safe on a nil span.
+func (s *Span) AddTimed(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	child := &Span{name: name, start: time.Now().Add(-d), dur: d}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+}
+
 // End stops the span's clock. Safe on a nil span.
 func (s *Span) End() {
 	if s == nil {
