@@ -5,6 +5,7 @@
 // Usage:
 //
 //	kdap [-db ebiz|online|reseller] [-snapshot file] [-csv dir] [-mode surprise|bellwether] [-trace] [-timeout 0]
+//	     [-answer-cache-size 128] [-answer-cache-ttl 0]
 //
 // With -trace, every query / pick / drill prints an indented per-stage
 // timing tree (the same span tree the HTTP API returns behind
@@ -21,6 +22,7 @@
 //	csv          print the current facets as CSV
 //	pivot N M    cross-tabulate facet attributes N and M
 //	mode X       switch interestingness (surprise / bellwether)
+//	stats        print cache hit rates and sizes for this session
 //	help, quit
 package main
 
@@ -48,6 +50,10 @@ func main() {
 	trace := flag.Bool("trace", false, "print a per-stage timing tree after each query/pick/drill")
 	timeout := flag.Duration("timeout", 0,
 		"per-operation deadline for query/pick/drill (0 disables); overruns abort with a deadline error")
+	answerCacheSize := flag.Int("answer-cache-size", 128,
+		"answer cache entries per phase; repeated queries and back-navigation are served instantly (0 disables)")
+	answerCacheTTL := flag.Duration("answer-cache-ttl", 0,
+		"answer cache entry lifetime (0 = no expiry; the data never changes under a REPL session)")
 	flag.Parse()
 
 	var wh *kdap.Warehouse
@@ -83,7 +89,9 @@ func main() {
 	}
 
 	opts := kdap.DefaultExploreOptions()
-	r := &repl{s: kdap.NewSession(kdap.NewEngine(wh), opts)}
+	engine := kdap.NewEngine(wh)
+	engine.SetAnswerCache(*answerCacheSize, *answerCacheTTL)
+	r := &repl{s: kdap.NewSession(engine, opts)}
 	r.s.SetTracing(*trace)
 	if *timeout > 0 {
 		r.s.SetTimeout(*timeout)
@@ -143,6 +151,7 @@ func (r *repl) dispatch(line string) {
 			"  csv          print the current facets as CSV\n" +
 			"  pivot N M    cross-tabulate facet attributes N and M\n" +
 			"  mode X       surprise / bellwether\n" +
+			"  stats        cache hit rates and sizes for this session\n" +
 			"  quit")
 	case "pick":
 		r.pick(fields[1:])
@@ -162,6 +171,8 @@ func (r *repl) dispatch(line string) {
 		r.csv()
 	case "pivot":
 		r.pivot(fields[1:])
+	case "stats":
+		r.stats()
 	case "mode":
 		if len(fields) != 2 {
 			fmt.Println("usage: mode surprise|bellwether")
@@ -283,6 +294,28 @@ func (r *repl) csv() {
 	if err := kdap.WriteFacetsCSV(os.Stdout, r.s.Facets()); err != nil {
 		fmt.Println(err)
 	}
+}
+
+// stats prints the session's cache counters: the answer caches (whole
+// differentiate/explore results) and the subspace rows cache.
+func (r *repl) stats() {
+	e := r.s.Engine()
+	diff, expl, ok := e.AnswerCacheStats()
+	if !ok {
+		fmt.Println("answer cache disabled (-answer-cache-size 0)")
+	} else {
+		for _, p := range []struct {
+			name string
+			st   kdap.AnswerCacheStats
+		}{{"differentiate", diff}, {"explore", expl}} {
+			fmt.Printf("answer cache %-13s %d/%d entries, %d B, %d hits / %d misses (%.0f%% hit rate), %d coalesced, %d evicted\n",
+				p.name, p.st.Len, p.st.Cap, p.st.Bytes, p.st.Hits, p.st.Misses,
+				100*p.st.HitRate(), p.st.Coalesced, p.st.Evictions)
+		}
+	}
+	rc := e.RowsCacheStats()
+	fmt.Printf("subspace rows cache         %d/%d entries, %d hits / %d misses (%.0f%% hit rate), %d evicted\n",
+		rc.Len, rc.Cap, rc.Hits, rc.Misses, 100*rc.HitRate(), rc.Evictions)
 }
 
 func (r *repl) pivot(args []string) {

@@ -50,6 +50,43 @@ type benchFile struct {
 	// runs: cache hit rates and kernel-path counts explain the numbers
 	// above (e.g. a warm constraint cache or an all-columnar run).
 	Telemetry benchTelemetry `json:"telemetry"`
+	// AnswerCache records the cold-vs-warm cost of a full query pair
+	// (differentiate + explore) through the answer cache, plus the
+	// cache's counters after the timed runs.
+	AnswerCache answerCacheBench `json:"answer_cache"`
+}
+
+// answerCacheBench is the cold-vs-warm answer-cache comparison.
+type answerCacheBench struct {
+	// ColdNsPerOp times differentiate + explore with the cache
+	// invalidated before every iteration (every answer recomputed).
+	ColdNsPerOp int64 `json:"cold_ns_per_op"`
+	// WarmNsPerOp times the same pair against a populated cache.
+	WarmNsPerOp int64   `json:"warm_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+	// Differentiate and Explore snapshot the per-phase cache counters
+	// accumulated across both timed runs.
+	Differentiate answerCacheSnapshot `json:"differentiate"`
+	Explore       answerCacheSnapshot `json:"explore"`
+}
+
+// answerCacheSnapshot is cache.AnswerStats plus the derived hit rate.
+type answerCacheSnapshot struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Coalesced int64   `json:"coalesced"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func snapshotAnswers(s cache.AnswerStats) answerCacheSnapshot {
+	return answerCacheSnapshot{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		Coalesced: s.Coalesced, Entries: s.Len, Bytes: s.Bytes,
+		HitRate: s.HitRate(),
+	}
 }
 
 // benchTelemetry is the post-run engine counter snapshot.
@@ -156,6 +193,35 @@ func benchJSON() error {
 		ConstraintCache:   snapshotCache(ex.ConstraintCacheStats()),
 		Kernels:           ex.Stats(),
 		FulltextProbes:    e.Index().ProbeCount(),
+	}
+
+	// Cold vs warm through the answer cache: the cache is enabled only
+	// now, so the kernel measurements above stay uncached. Cold
+	// invalidates before every iteration; warm replays the identical
+	// query pair against the populated store.
+	e.SetAnswerCache(64, 0)
+	queryPair := func() {
+		ns, err := e.Differentiate(experiments.Table1Query)
+		if err != nil || len(ns) == 0 {
+			panic(fmt.Sprintf("bench: differentiate: %v (%d nets)", err, len(ns)))
+		}
+		if _, err := e.Explore(ns[0], opts); err != nil {
+			panic(err)
+		}
+	}
+	cold := measure("AnswerCacheCold", func() {
+		e.InvalidateAnswers()
+		queryPair()
+	})
+	warm := measure("AnswerCacheWarm", queryPair)
+	out.Results = append(out.Results, cold, warm)
+	diffStats, explStats, _ := e.AnswerCacheStats()
+	out.AnswerCache = answerCacheBench{
+		ColdNsPerOp:   cold.NsPerOp,
+		WarmNsPerOp:   warm.NsPerOp,
+		Speedup:       float64(cold.NsPerOp) / float64(warm.NsPerOp),
+		Differentiate: snapshotAnswers(diffStats),
+		Explore:       snapshotAnswers(explStats),
 	}
 
 	buf, err := json.MarshalIndent(out, "", "  ")

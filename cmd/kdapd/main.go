@@ -4,6 +4,7 @@
 //
 //	kdapd [-addr :8080] [-db ebiz,online,reseller] [-log text|json]
 //	      [-query-timeout 10s] [-max-inflight 0]
+//	      [-answer-cache-size 512] [-answer-cache-ttl 5m]
 //
 // A minimal web UI is served at /; the JSON endpoints live under /api.
 // Prometheus metrics are exposed at /metrics, pprof profiles under
@@ -43,6 +44,10 @@ func main() {
 		"per-request pipeline deadline (0 disables); overruns return 504")
 	maxInflight := flag.Int("max-inflight", 0,
 		"max concurrently executing API requests (0 = unlimited); excess is queued briefly then shed with 503")
+	answerCacheSize := flag.Int("answer-cache-size", 512,
+		"answer cache entries per warehouse and phase (0 disables caching, ETags, and request coalescing)")
+	answerCacheTTL := flag.Duration("answer-cache-ttl", 5*time.Minute,
+		"answer cache entry lifetime (0 = no expiry)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -77,6 +82,8 @@ func main() {
 	srvOpts := server.DefaultOptions()
 	srvOpts.QueryTimeout = *queryTimeout
 	srvOpts.MaxInflight = *maxInflight
+	srvOpts.AnswerCacheSize = *answerCacheSize
+	srvOpts.AnswerCacheTTL = *answerCacheTTL
 	api := server.NewWithOptions(warehouses, srvOpts)
 	api.SetLogger(logger)
 	srv := &http.Server{

@@ -1,0 +1,270 @@
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Answers is the second cache shape this package provides, built for
+// finished query answers rather than intermediate memos: a versioned,
+// TTL-aware, size-bounded LRU store with singleflight fill. Callers go
+// through Do, which collapses concurrent identical requests into one
+// computation (losers wait and share the winner's result), refuses to
+// keep cancelled or caller-vetoed results, and stamps every entry with
+// the store's version so a Bump — a dataset reload, say — atomically
+// invalidates everything computed before it.
+//
+// Values handed to Put/Do are shared between all future readers and
+// must be treated as immutable. Safe for concurrent use.
+type Answers[V any] struct {
+	cap    int
+	ttl    time.Duration // 0 = entries never expire
+	sizeOf func(V) int
+	now    func() time.Time // test seam for TTL expiry
+
+	mu    sync.Mutex
+	m     map[string]*list.Element // key → element holding *aentry[V]
+	lru   *list.List               // front = most recently used
+	bytes int64
+
+	version atomic.Uint64
+	sf      Group[string, fill[V]]
+
+	hits, misses, evictions atomic.Int64
+}
+
+// aentry is one stored answer with its version stamp and expiry.
+type aentry[V any] struct {
+	key     string
+	v       V
+	size    int64
+	version uint64
+	expires time.Time // zero = no expiry
+}
+
+// fill carries a singleflight result plus how the leader obtained it.
+type fill[V any] struct {
+	v         V
+	fromCache bool
+}
+
+// AnswerStats is a point-in-time snapshot of an answer store's
+// counters. Evictions counts every removal — capacity pressure, TTL
+// expiry, and version-stamp staleness alike.
+type AnswerStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Coalesced int64
+	Len       int
+	Bytes     int64
+	Cap       int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s AnswerStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewAnswers creates an answer store holding at most capacity entries,
+// each expiring ttl after insertion (0 = no expiry). sizeOf estimates an
+// entry's resident bytes for the Bytes gauge; nil counts 1 per entry.
+func NewAnswers[V any](capacity int, ttl time.Duration, sizeOf func(V) int) *Answers[V] {
+	if capacity <= 0 {
+		panic("cache: non-positive answer capacity")
+	}
+	if sizeOf == nil {
+		sizeOf = func(V) int { return 1 }
+	}
+	return &Answers[V]{
+		cap:    capacity,
+		ttl:    ttl,
+		sizeOf: sizeOf,
+		now:    time.Now,
+		m:      make(map[string]*list.Element, capacity),
+		lru:    list.New(),
+	}
+}
+
+// Get returns the live answer under key, counting the lookup and
+// touching the entry's recency. Entries whose version stamp is stale or
+// whose TTL has passed are removed and reported as misses.
+func (a *Answers[V]) Get(key string) (V, bool) {
+	a.mu.Lock()
+	if el, ok := a.m[key]; ok {
+		e := el.Value.(*aentry[V])
+		if a.liveLocked(e) {
+			a.lru.MoveToFront(el)
+			a.mu.Unlock()
+			a.hits.Add(1)
+			return e.v, true
+		}
+		a.removeLocked(el)
+		a.evictions.Add(1)
+	}
+	a.mu.Unlock()
+	a.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// peek is Get without counters or recency: the singleflight leader's
+// last-moment re-check, so two callers racing past a Get miss cannot
+// both compute.
+func (a *Answers[V]) peek(key string) (V, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if el, ok := a.m[key]; ok {
+		e := el.Value.(*aentry[V])
+		if a.liveLocked(e) {
+			return e.v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// liveLocked reports whether the entry is current-version and unexpired.
+func (a *Answers[V]) liveLocked(e *aentry[V]) bool {
+	if e.version != a.version.Load() {
+		return false
+	}
+	return e.expires.IsZero() || !a.now().After(e.expires)
+}
+
+// Put stores v under key at the current version, evicting from the LRU
+// tail when the store is over capacity.
+func (a *Answers[V]) Put(key string, v V) { a.put(key, v, a.version.Load()) }
+
+// put stores v stamped with an explicit version — the version the
+// computation began under, so an answer computed against a dataset that
+// was reloaded mid-computation can never be served afterwards.
+func (a *Answers[V]) put(key string, v V, version uint64) {
+	size := int64(a.sizeOf(v))
+	e := &aentry[V]{key: key, v: v, size: size, version: version}
+	if a.ttl > 0 {
+		e.expires = a.now().Add(a.ttl)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if el, ok := a.m[key]; ok {
+		a.removeLocked(el)
+	}
+	a.m[key] = a.lru.PushFront(e)
+	a.bytes += size
+	for a.lru.Len() > a.cap {
+		a.removeLocked(a.lru.Back())
+		a.evictions.Add(1)
+	}
+}
+
+// removeLocked unlinks one entry and settles the bytes gauge.
+func (a *Answers[V]) removeLocked(el *list.Element) {
+	e := el.Value.(*aentry[V])
+	a.lru.Remove(el)
+	delete(a.m, e.key)
+	a.bytes -= e.size
+}
+
+// Bump advances the version stamp, logically invalidating every stored
+// answer at once. Stale entries are dropped lazily as lookups touch
+// them; in-flight computations that began before the bump will store
+// under the old stamp and likewise never be served.
+func (a *Answers[V]) Bump() { a.version.Add(1) }
+
+// Version returns the current version stamp.
+func (a *Answers[V]) Version() uint64 { return a.version.Load() }
+
+// Outcome classifies how Do served an answer.
+type Outcome int
+
+const (
+	// OutcomeMiss: this caller computed the answer.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: the answer was already stored.
+	OutcomeHit
+	// OutcomeCoalesced: another caller was already computing the same
+	// answer; this caller waited and shared it.
+	OutcomeCoalesced
+)
+
+// Do returns the answer under key, computing it with fn on a miss.
+// Concurrent calls with the same key collapse into one fn invocation;
+// the rest wait and share the winner's result (never a cancelled one —
+// see Group.Do). fn's second result vetoes storage: return false for
+// answers that must not be cached (degraded/partial results). Errors
+// are never stored.
+func (a *Answers[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, bool, error)) (V, Outcome, error) {
+	if v, ok := a.Get(key); ok {
+		return v, OutcomeHit, nil
+	}
+	return a.Compute(ctx, key, fn)
+}
+
+// Compute is Do for a caller that already consulted Get and missed: it
+// runs the coalesced fill without counting a second lookup, so one
+// request contributes exactly one hit, miss, or coalesce to Stats.
+// OutcomeHit is still possible — another caller may store the answer
+// between the caller's Get and the fill's re-check.
+func (a *Answers[V]) Compute(ctx context.Context, key string, fn func(context.Context) (V, bool, error)) (V, Outcome, error) {
+	ver := a.version.Load()
+	r, shared, err := a.sf.Do(ctx, key, func(ctx context.Context) (fill[V], error) {
+		if v, ok := a.peek(key); ok {
+			return fill[V]{v: v, fromCache: true}, nil
+		}
+		v, store, err := fn(ctx)
+		if err != nil {
+			return fill[V]{}, err
+		}
+		if store {
+			a.put(key, v, ver)
+		}
+		return fill[V]{v: v}, nil
+	})
+	switch {
+	case err != nil:
+		var zero V
+		return zero, OutcomeMiss, err
+	case shared:
+		return r.v, OutcomeCoalesced, nil
+	case r.fromCache:
+		return r.v, OutcomeHit, nil
+	default:
+		return r.v, OutcomeMiss, nil
+	}
+}
+
+// Waiting returns how many callers are blocked on the key's in-flight
+// computation (test/debug introspection, see Group.Waiting).
+func (a *Answers[V]) Waiting(key string) int { return a.sf.Waiting(key) }
+
+// Len returns the number of stored entries, including any not yet
+// swept after a Bump or TTL expiry.
+func (a *Answers[V]) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lru.Len()
+}
+
+// Stats snapshots the store's counters.
+func (a *Answers[V]) Stats() AnswerStats {
+	a.mu.Lock()
+	n, b := a.lru.Len(), a.bytes
+	a.mu.Unlock()
+	return AnswerStats{
+		Hits:      a.hits.Load(),
+		Misses:    a.misses.Load(),
+		Evictions: a.evictions.Load(),
+		Coalesced: a.sf.Shared(),
+		Len:       n,
+		Bytes:     b,
+		Cap:       a.cap,
+	}
+}

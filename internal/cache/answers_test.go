@@ -1,0 +1,217 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAnswersGetPut(t *testing.T) {
+	a := NewAnswers[string](4, 0, func(s string) int { return len(s) })
+	if _, ok := a.Get("q"); ok {
+		t.Fatal("hit on empty store")
+	}
+	a.Put("q", "answer")
+	v, ok := a.Get("q")
+	if !ok || v != "answer" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	st := a.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Len != 1 || st.Bytes != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAnswersLRUEviction(t *testing.T) {
+	a := NewAnswers[int](2, 0, nil)
+	a.Put("a", 1)
+	a.Put("b", 2)
+	a.Get("a") // touch: a is now more recent than b
+	a.Put("c", 3)
+	if _, ok := a.Get("b"); ok {
+		t.Fatal("b should have been the LRU victim")
+	}
+	if _, ok := a.Get("a"); !ok {
+		t.Fatal("recently touched a was evicted")
+	}
+	if st := a.Stats(); st.Evictions != 1 || st.Len != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAnswersTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	a := NewAnswers[int](4, time.Minute, nil)
+	a.now = func() time.Time { return now }
+	a.Put("k", 7)
+	if _, ok := a.Get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(59 * time.Second)
+	if _, ok := a.Get("k"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	now = now.Add(2 * time.Second) // 61s after insertion
+	if _, ok := a.Get("k"); ok {
+		t.Fatal("entry served past its TTL")
+	}
+	if st := a.Stats(); st.Evictions != 1 || st.Len != 0 {
+		t.Fatalf("stats after expiry = %+v", st)
+	}
+}
+
+func TestAnswersVersionStampInvalidation(t *testing.T) {
+	a := NewAnswers[int](4, 0, nil)
+	a.Put("k", 1)
+	a.Bump()
+	if _, ok := a.Get("k"); ok {
+		t.Fatal("stale-version entry served after Bump")
+	}
+	// Refill at the new version works.
+	a.Put("k", 2)
+	if v, ok := a.Get("k"); !ok || v != 2 {
+		t.Fatalf("post-bump refill: %d, %v", v, ok)
+	}
+}
+
+// TestAnswersBumpMidComputation: an answer whose computation began
+// before a Bump is stored under the old stamp and never served.
+func TestAnswersBumpMidComputation(t *testing.T) {
+	a := NewAnswers[int](4, 0, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = a.Do(context.Background(), "k", func(context.Context) (int, bool, error) {
+			close(started)
+			<-release
+			return 1, true, nil
+		})
+	}()
+	<-started
+	a.Bump() // dataset reloaded while the fill is in flight
+	close(release)
+	<-done
+	if _, ok := a.Get("k"); ok {
+		t.Fatal("answer computed against the old dataset version was served")
+	}
+}
+
+func TestAnswersDoOutcomes(t *testing.T) {
+	a := NewAnswers[int](4, 0, nil)
+	v, outcome, err := a.Do(context.Background(), "k", func(context.Context) (int, bool, error) {
+		return 9, true, nil
+	})
+	if err != nil || v != 9 || outcome != OutcomeMiss {
+		t.Fatalf("first Do: v=%d outcome=%v err=%v", v, outcome, err)
+	}
+	v, outcome, err = a.Do(context.Background(), "k", func(context.Context) (int, bool, error) {
+		t.Error("recomputed a cached answer")
+		return 0, false, nil
+	})
+	if err != nil || v != 9 || outcome != OutcomeHit {
+		t.Fatalf("second Do: v=%d outcome=%v err=%v", v, outcome, err)
+	}
+}
+
+// TestAnswersDoStorm: N concurrent Do calls with the same key → exactly
+// one computation, everyone gets the answer, and it is cached after.
+func TestAnswersDoStorm(t *testing.T) {
+	const n = 24
+	a := NewAnswers[int](4, 0, nil)
+	var calls atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var hits, coalesced, misses atomic.Int32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, outcome, err := a.Do(context.Background(), "k", func(context.Context) (int, bool, error) {
+				calls.Add(1)
+				<-release
+				return 5, true, nil
+			})
+			if err != nil || v != 5 {
+				t.Errorf("Do: v=%d err=%v", v, err)
+			}
+			switch outcome {
+			case OutcomeHit:
+				hits.Add(1)
+			case OutcomeCoalesced:
+				coalesced.Add(1)
+			case OutcomeMiss:
+				misses.Add(1)
+			}
+		}()
+	}
+	waitFor(t, func() bool { return a.Waiting("k") == n-1 })
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("computations = %d, want exactly 1", calls.Load())
+	}
+	if misses.Load() != 1 || hits.Load()+coalesced.Load() != n-1 {
+		t.Fatalf("outcomes: %d misses, %d hits, %d coalesced (n=%d)",
+			misses.Load(), hits.Load(), coalesced.Load(), n)
+	}
+	if v, ok := a.Get("k"); !ok || v != 5 {
+		t.Fatalf("answer not cached after storm: %d, %v", v, ok)
+	}
+}
+
+// TestAnswersDoesNotCacheErrors: a failed computation leaves the store
+// empty so the next caller retries.
+func TestAnswersDoesNotCacheErrors(t *testing.T) {
+	a := NewAnswers[int](4, 0, nil)
+	boom := errors.New("boom")
+	if _, _, err := a.Do(context.Background(), "k", func(context.Context) (int, bool, error) {
+		return 0, true, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	var calls int
+	v, _, err := a.Do(context.Background(), "k", func(context.Context) (int, bool, error) {
+		calls++
+		return 3, true, nil
+	})
+	if err != nil || v != 3 || calls != 1 {
+		t.Fatalf("retry after error: v=%d calls=%d err=%v", v, calls, err)
+	}
+}
+
+// TestAnswersStoreVeto: fn's store=false (a partial/degraded answer)
+// returns the value to the caller but keeps it out of the cache.
+func TestAnswersStoreVeto(t *testing.T) {
+	a := NewAnswers[int](4, 0, nil)
+	v, outcome, err := a.Do(context.Background(), "k", func(context.Context) (int, bool, error) {
+		return 8, false, nil
+	})
+	if err != nil || v != 8 || outcome != OutcomeMiss {
+		t.Fatalf("vetoed Do: v=%d outcome=%v err=%v", v, outcome, err)
+	}
+	if _, ok := a.Get("k"); ok {
+		t.Fatal("vetoed answer was cached")
+	}
+}
+
+// TestAnswersCancelledComputationNotCached: the PR 3 rule carried over —
+// a computation ended by cancellation caches nothing.
+func TestAnswersCancelledComputationNotCached(t *testing.T) {
+	a := NewAnswers[int](4, 0, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := a.Do(ctx, "k", func(ctx context.Context) (int, bool, error) {
+		return 0, true, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, ok := a.Get("k"); ok {
+		t.Fatal("cancelled computation was cached")
+	}
+}

@@ -1,11 +1,27 @@
-// Package cache provides a small fixed-capacity concurrent cache with
-// CLOCK (second-chance) eviction. The OLAP executor and the KDAP engine
-// use it to bound their per-constraint and per-subspace memos: unlike
-// the previous evict-an-arbitrary-map-key policy, CLOCK approximates LRU
-// — a recently hit entry survives one sweep of the hand — without
-// serializing readers the way a linked-list LRU would. Cache hits take
-// only a read lock plus one atomic store of the reference bit, so
-// concurrent lookups scale.
+// Package cache provides the concurrent caching primitives the serving
+// stack is built on. Three shapes, by workload:
+//
+//   - Clock: a fixed-capacity cache with CLOCK (second-chance)
+//     eviction. The OLAP executor and the KDAP engine bound their
+//     per-constraint and per-subspace memos with it: CLOCK approximates
+//     LRU — a recently hit entry survives one sweep of the hand —
+//     without serializing readers the way a linked-list LRU would. Hits
+//     take only a read lock plus one atomic store of the reference bit,
+//     so concurrent lookups scale.
+//
+//   - Group: generic singleflight. Concurrent calls with the same key
+//     collapse into one computation; losers wait and share the winner's
+//     result. A cancelled computation is never shared — a waiter whose
+//     leader was cancelled retries under its own context.
+//
+//   - Answers: a versioned, TTL-aware, size-bounded LRU store for
+//     finished query answers, with singleflight fill (Do), a bytes
+//     gauge, and version-stamp invalidation (Bump) so a reloaded
+//     dataset can never serve answers computed against its predecessor.
+//
+// Clock trades strict recency for read scalability (hot memo lookups);
+// Answers keeps strict LRU under one mutex because answer-granularity
+// traffic is orders of magnitude lower than memo-granularity traffic.
 package cache
 
 import (

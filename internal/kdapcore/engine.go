@@ -40,6 +40,14 @@ type Engine struct {
 	// session. Second-chance eviction keeps the interpretations the
 	// session keeps returning to.
 	rowsCache *cache.Clock[string, []int]
+
+	// Answer caches: finished Differentiate and Explore results, enabled
+	// by SetAnswerCache (nil = disabled). See answers.go.
+	diffAnswers *cache.Answers[[]*StarNet]
+	explAnswers *cache.Answers[*Facets]
+	// dataVersion stamps the dataset generation; InvalidateAnswers
+	// advances it, retiring cached answers and HTTP ETags together.
+	dataVersion atomic.Uint64
 }
 
 // rowsCacheCap bounds the subspace cache.
@@ -108,8 +116,15 @@ func (e *Engine) DifferentiateRanked(query string, method RankMethod) ([]*StarNe
 	return e.DifferentiateRankedCtx(context.Background(), query, method)
 }
 
-// DifferentiateRankedCtx is the traced differentiate pipeline.
+// DifferentiateRankedCtx is the traced differentiate pipeline, served
+// through the answer cache when one is configured (SetAnswerCache).
 func (e *Engine) DifferentiateRankedCtx(ctx context.Context, query string, method RankMethod) ([]*StarNet, error) {
+	nets, _, err := e.differentiateCached(ctx, query, method)
+	return nets, err
+}
+
+// differentiateRanked is the uncached differentiate pipeline.
+func (e *Engine) differentiateRanked(ctx context.Context, query string, method RankMethod) ([]*StarNet, error) {
 	ctx, root := telemetry.StartSpan(ctx, "differentiate")
 	defer root.End()
 

@@ -183,8 +183,15 @@ func (e *Engine) Explore(sn *StarNet, opts ExploreOptions) (*Facets, error) {
 // children → groupby_kernel / numeric_series / interval_anneal leaves).
 // Stages attach directly under the caller's current span — traced
 // callers name their trace root "explore", so no wrapper span is added
-// here.
+// here. When an answer cache is configured (SetAnswerCache), repeated
+// and concurrent identical explores are served through it.
 func (e *Engine) ExploreCtx(ctx context.Context, sn *StarNet, opts ExploreOptions) (*Facets, error) {
+	f, _, err := e.ExploreCachedCtx(ctx, sn, opts)
+	return f, err
+}
+
+// exploreUncached is the facet-construction pipeline itself.
+func (e *Engine) exploreUncached(ctx context.Context, sn *StarNet, opts ExploreOptions) (*Facets, error) {
 	if opts.TopKAttrs <= 0 || opts.TopKInstances <= 0 || opts.Buckets <= 0 {
 		return nil, fmt.Errorf("kdap: non-positive explore options")
 	}

@@ -3,6 +3,21 @@
 // (slicing the sub-dataspace of a star net), measures and aggregation
 // functions over fact rows, and group-by along arbitrary dimension
 // attributes reached through join paths.
+//
+// Two execution paths produce identical results. The reference path
+// (GroupByRef, AggregateRef) walks boxed relation.Value rows and exists
+// for the equivalence tests; the default path runs columnar kernels
+// (kernel.go) over dense []float64 measure vectors and dictionary-coded
+// []int32 attribute columns, memoized fact-aligned per join path, and
+// fans out across cores above a row threshold with a deterministic
+// chunk-order merge. Per-constraint semijoin bitsets are cached in a
+// CLOCK-evicted store so star nets sharing hit groups share the
+// semijoin work.
+//
+// An Executor is safe for concurrent use, exposes kernel-path and
+// cache counters as snapshots (Stats, ConstraintCacheStats — the
+// server polls them onto the telemetry registry), and observes context
+// cancellation at chunk granularity on every Ctx-suffixed entry point.
 package olap
 
 import (
@@ -202,16 +217,16 @@ type Executor struct {
 // never per row, so the hot kernels stay within the telemetry overhead
 // budget.
 type execCounters struct {
-	groupByVec    atomic.Int64
-	groupByEval   atomic.Int64
-	groupByRef    atomic.Int64
-	aggregateVec  atomic.Int64
-	aggregateEval atomic.Int64
-	aggregateRef  atomic.Int64
-	parallelScans atomic.Int64
-	serialScans   atomic.Int64
-	kernelChunks  atomic.Int64
-	codeVecBuilds atomic.Int64
+	groupByVec     atomic.Int64
+	groupByEval    atomic.Int64
+	groupByRef     atomic.Int64
+	aggregateVec   atomic.Int64
+	aggregateEval  atomic.Int64
+	aggregateRef   atomic.Int64
+	parallelScans  atomic.Int64
+	serialScans    atomic.Int64
+	kernelChunks   atomic.Int64
+	codeVecBuilds  atomic.Int64
 	floatColBuilds atomic.Int64
 }
 
@@ -235,16 +250,16 @@ type ExecStats struct {
 // Stats snapshots the executor's kernel counters.
 func (ex *Executor) Stats() ExecStats {
 	return ExecStats{
-		GroupByVec:    ex.stats.groupByVec.Load(),
-		GroupByEval:   ex.stats.groupByEval.Load(),
-		GroupByRef:    ex.stats.groupByRef.Load(),
-		AggregateVec:  ex.stats.aggregateVec.Load(),
-		AggregateEval: ex.stats.aggregateEval.Load(),
-		AggregateRef:  ex.stats.aggregateRef.Load(),
-		ParallelScans: ex.stats.parallelScans.Load(),
-		SerialScans:   ex.stats.serialScans.Load(),
-		KernelChunks:  ex.stats.kernelChunks.Load(),
-		CodeVecBuilds: ex.stats.codeVecBuilds.Load(),
+		GroupByVec:     ex.stats.groupByVec.Load(),
+		GroupByEval:    ex.stats.groupByEval.Load(),
+		GroupByRef:     ex.stats.groupByRef.Load(),
+		AggregateVec:   ex.stats.aggregateVec.Load(),
+		AggregateEval:  ex.stats.aggregateEval.Load(),
+		AggregateRef:   ex.stats.aggregateRef.Load(),
+		ParallelScans:  ex.stats.parallelScans.Load(),
+		SerialScans:    ex.stats.serialScans.Load(),
+		KernelChunks:   ex.stats.kernelChunks.Load(),
+		CodeVecBuilds:  ex.stats.codeVecBuilds.Load(),
 		FloatColBuilds: ex.stats.floatColBuilds.Load(),
 	}
 }

@@ -13,6 +13,13 @@
 // Sessions hold the non-serializable star nets server-side; responses
 // carry opaque session IDs plus rendered interpretation summaries, which
 // is exactly the interaction contract of the paper's Figure 1.
+//
+// When the answer cache is enabled (Options.AnswerCacheSize, on by
+// default), /api/query and /api/explore responses carry a weak ETag and
+// an X-KDAP-Cache disposition header (miss | hit | coalesced | bypass |
+// revalidated); requests presenting a matching If-None-Match answer 304
+// before the pipeline runs. See docs/OPERATIONS.md for the serving
+// flags and the full metrics reference.
 package server
 
 import (
@@ -55,11 +62,25 @@ type Options struct {
 	// SessionCap bounds the session store (default 1024); cold sessions
 	// are evicted CLOCK-style.
 	SessionCap int
+	// AnswerCacheSize is the per-engine answer cache capacity in entries
+	// (per phase: differentiate and explore each); zero or negative
+	// disables answer caching, ETags, and request coalescing.
+	AnswerCacheSize int
+	// AnswerCacheTTL expires cached answers this long after insertion;
+	// zero keeps them until evicted or invalidated.
+	AnswerCacheTTL time.Duration
 }
 
 // DefaultOptions returns the defaults New uses: no deadline, no
-// admission cap, 1024 sessions.
-func DefaultOptions() Options { return Options{SessionCap: 1024} }
+// admission cap, 1024 sessions, a 512-entry answer cache with a
+// five-minute TTL.
+func DefaultOptions() Options {
+	return Options{
+		SessionCap:      1024,
+		AnswerCacheSize: 512,
+		AnswerCacheTTL:  5 * time.Minute,
+	}
+}
 
 // Server is the HTTP handler set over one or more warehouses.
 type Server struct {
@@ -121,6 +142,7 @@ func NewWithOptions(warehouses map[string]*dataset.Warehouse, opts Options) *Ser
 			m = olap.CountMeasure()
 		}
 		e := kdapcore.NewEngine(wh.Graph, wh.Index, m, olap.Sum)
+		e.SetAnswerCache(opts.AnswerCacheSize, opts.AnswerCacheTTL)
 		s.engines[name] = e
 		s.factRows[name] = fact.Len()
 		s.wireEngineMetrics(name, e)
@@ -319,23 +341,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown warehouse %q", req.DB))
 		return
 	}
+	limit := req.Limit
+	if limit <= 0 || limit > maxQueryLimit {
+		limit = 20
+	}
+	// The engine is deterministic, so (warehouse, data version, limit,
+	// canonical query) fully identify the interpretation list — enough
+	// for a weak ETag checked before the pipeline runs. Traced requests
+	// carry per-request span trees and are never revalidated.
+	var etag string
+	if e.AnswerCacheEnabled() && !wantTrace(r) {
+		etag = answerETag("query", req.DB,
+			strconv.FormatUint(e.DataVersion(), 10),
+			strconv.Itoa(limit), kdapcore.CanonicalQuery(req.Q))
+		if notModified(r, etag) {
+			writeNotModified(w, etag)
+			return
+		}
+	}
 	// Every query is traced so /metrics carries per-stage latency; the
 	// tree is serialized into the response only behind ?trace=1.
 	tr, ctx := traceRequest(r, "query")
-	nets, err := e.DifferentiateCtx(ctx, req.Q)
+	nets, outcome, err := e.DifferentiateCachedCtx(ctx, req.Q)
 	tr.Finish()
 	s.observeStages(tr)
 	if err != nil {
 		s.writePipelineError(w, "/api/query", err, http.StatusBadRequest)
 		return
 	}
-	limit := req.Limit
-	if limit <= 0 || limit > maxQueryLimit {
-		limit = 20
-	}
 	if len(nets) > limit {
 		nets = nets[:limit]
 	}
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+	}
+	w.Header().Set(cacheHeaderName, outcome.String())
 	id := s.putSession(&session{db: req.DB, nets: nets})
 	resp := QueryResponse{Session: id, Query: req.Q}
 	if wantTrace(r) {
@@ -431,7 +471,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	e, sn, _, ok := s.resolve(w, req.Session, req.Pick)
+	e, sn, db, ok := s.resolve(w, req.Session, req.Pick)
 	if !ok {
 		return
 	}
@@ -458,14 +498,34 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		opts.DisplayIntervals = req.DisplayIntervals
 	}
 	opts.PartialOnDeadline = req.Partial
+	// Same revalidation contract as /api/query: the explore cache key +
+	// data version determine the facets, so an unchanged answer is a 304
+	// without running the pipeline.
+	var etag string
+	if e.AnswerCacheEnabled() && !wantTrace(r) {
+		if key, cacheable := kdapcore.ExploreCacheKey(sn, opts); cacheable {
+			etag = answerETag("explore", db,
+				strconv.FormatUint(e.DataVersion(), 10), key)
+			if notModified(r, etag) {
+				writeNotModified(w, etag)
+				return
+			}
+		}
+	}
 	tr, ctx := traceRequest(r, "explore")
-	f, err := e.ExploreCtx(ctx, sn, opts)
+	f, outcome, err := e.ExploreCachedCtx(ctx, sn, opts)
 	tr.Finish()
 	s.observeStages(tr)
 	if err != nil {
 		s.writePipelineError(w, "/api/explore", err, http.StatusUnprocessableEntity)
 		return
 	}
+	// A deadline-degraded body must never be revalidated into
+	// permanence: no ETag on partial responses.
+	if etag != "" && !f.Partial {
+		w.Header().Set("ETag", etag)
+	}
+	w.Header().Set(cacheHeaderName, outcome.String())
 	dto := facetsDTO(f)
 	if wantTrace(r) {
 		dto.Trace = tr.JSON()

@@ -171,6 +171,36 @@ func (s *Server) wireEngineMetrics(db string, e *kdapcore.Engine) {
 	s.reg.GaugeFunc("kdap_warehouse_fact_rows",
 		"Fact table row count per warehouse.",
 		func() float64 { return float64(s.factRows[db]) }, "db", db)
+
+	if e.AnswerCacheEnabled() {
+		for _, p := range []struct {
+			phase string
+			fn    func() cache.AnswerStats
+		}{
+			{"differentiate", func() cache.AnswerStats { d, _, _ := e.AnswerCacheStats(); return d }},
+			{"explore", func() cache.AnswerStats { _, x, _ := e.AnswerCacheStats(); return x }},
+		} {
+			fn := p.fn
+			s.reg.CounterFunc("kdap_answer_cache_hits_total",
+				"Answer cache hits by phase and warehouse.",
+				func() float64 { return float64(fn().Hits) }, "phase", p.phase, "db", db)
+			s.reg.CounterFunc("kdap_answer_cache_misses_total",
+				"Answer cache misses by phase and warehouse.",
+				func() float64 { return float64(fn().Misses) }, "phase", p.phase, "db", db)
+			s.reg.CounterFunc("kdap_answer_cache_evictions_total",
+				"Answer cache evictions (capacity, TTL expiry, and version-stamp invalidation) by phase and warehouse.",
+				func() float64 { return float64(fn().Evictions) }, "phase", p.phase, "db", db)
+			s.reg.CounterFunc("kdap_answer_cache_coalesced_total",
+				"Requests that waited on an identical in-flight computation and shared its result, by phase and warehouse.",
+				func() float64 { return float64(fn().Coalesced) }, "phase", p.phase, "db", db)
+			s.reg.GaugeFunc("kdap_answer_cache_entries",
+				"Answers currently stored, by phase and warehouse.",
+				func() float64 { return float64(fn().Len) }, "phase", p.phase, "db", db)
+			s.reg.GaugeFunc("kdap_answer_cache_bytes",
+				"Estimated resident bytes of stored answers, by phase and warehouse.",
+				func() float64 { return float64(fn().Bytes) }, "phase", p.phase, "db", db)
+		}
+	}
 }
 
 // registerDebugEndpoints mounts /metrics, the pprof profile handlers,

@@ -15,6 +15,14 @@
 //  3. Instance-scoped. There is no global default registry; the server
 //     owns one registry per process and wires engines into it, so tests
 //     and multi-warehouse setups never fight over series names.
+//
+// Besides the write-style instruments (Counter, Gauge, Histogram),
+// CounterFunc and GaugeFunc register read-at-scrape callbacks: the
+// server uses them to expose engine-owned statistics — clock-cache and
+// answer-cache counters, warehouse row counts — without the engine ever
+// depending on this package. docs/OPERATIONS.md is the operator-facing
+// reference for every exported series; the CI cache-smoke step checks
+// the live exposition against it.
 package telemetry
 
 import (

@@ -160,9 +160,9 @@ func TestRegistryConcurrency(t *testing.T) {
 
 func TestValidateExpositionRejectsGarbage(t *testing.T) {
 	bad := []string{
-		"kdap_untyped_sample 1\n",                            // no TYPE
-		"# TYPE kdap_a counter\nkdap_a{unclosed=\"x} 1\n",    // bad labels
-		"# TYPE kdap_a counter\nkdap_a one\n",                // bad value
+		"kdap_untyped_sample 1\n",                                 // no TYPE
+		"# TYPE kdap_a counter\nkdap_a{unclosed=\"x} 1\n",         // bad labels
+		"# TYPE kdap_a counter\nkdap_a one\n",                     // bad value
 		"# TYPE kdap_h histogram\nkdap_h_sum 1\nkdap_h_count 1\n", // no +Inf bucket
 	}
 	for _, in := range bad {

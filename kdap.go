@@ -28,6 +28,7 @@ package kdap
 import (
 	"io"
 
+	"kdap/internal/cache"
 	"kdap/internal/csvload"
 	"kdap/internal/dataset"
 	"kdap/internal/fulltext"
@@ -85,6 +86,22 @@ type RankMethod = kdapcore.RankMethod
 
 // AnnealConfig parameterizes the numeric interval merge (Algorithm 2).
 type AnnealConfig = kdapcore.AnnealConfig
+
+// CacheOutcome reports how an answer-cached engine call was served
+// (bypass, miss, hit, or coalesced) — see Engine.SetAnswerCache.
+type CacheOutcome = kdapcore.CacheOutcome
+
+// AnswerCacheStats snapshots one answer cache's counters
+// (Engine.AnswerCacheStats).
+type AnswerCacheStats = cache.AnswerStats
+
+// Answer-cache outcomes.
+const (
+	CacheBypass    = kdapcore.CacheBypass
+	CacheMiss      = kdapcore.CacheMiss
+	CacheHit       = kdapcore.CacheHit
+	CacheCoalesced = kdapcore.CacheCoalesced
+)
 
 // MergeResult is the outcome of a numeric interval merge.
 type MergeResult = kdapcore.MergeResult
