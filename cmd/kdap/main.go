@@ -54,6 +54,8 @@ func main() {
 		"answer cache entries per phase; repeated queries and back-navigation are served instantly (0 disables)")
 	answerCacheTTL := flag.Duration("answer-cache-ttl", 0,
 		"answer cache entry lifetime (0 = no expiry; the data never changes under a REPL session)")
+	shards := flag.Int("shards", 0,
+		"partition the fact table into this many zone-mapped shards for pruned scatter-gather scans (<=1 = monolithic)")
 	flag.Parse()
 
 	var wh *kdap.Warehouse
@@ -91,6 +93,9 @@ func main() {
 	opts := kdap.DefaultExploreOptions()
 	engine := kdap.NewEngine(wh)
 	engine.SetAnswerCache(*answerCacheSize, *answerCacheTTL)
+	if *shards > 1 {
+		engine.SetShards(*shards)
+	}
 	r := &repl{s: kdap.NewSession(engine, opts)}
 	r.s.SetTracing(*trace)
 	if *timeout > 0 {

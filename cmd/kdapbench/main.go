@@ -22,8 +22,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, bench")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, bench, nightly")
 	flag.Parse()
+
+	// nightly is a gate, not an experiment: it never runs under "all"
+	// (which regenerates BENCH.json — a gate that rewrites its own
+	// baseline would always pass).
+	if *exp == "nightly" {
+		start := time.Now()
+		if err := nightly(); err != nil {
+			fmt.Fprintf(os.Stderr, "nightly: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[nightly completed in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {

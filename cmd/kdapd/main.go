@@ -4,7 +4,7 @@
 //
 //	kdapd [-addr :8080] [-db ebiz,online,reseller] [-log text|json]
 //	      [-query-timeout 10s] [-max-inflight 0]
-//	      [-answer-cache-size 512] [-answer-cache-ttl 5m]
+//	      [-answer-cache-size 512] [-answer-cache-ttl 5m] [-shards 0]
 //
 // A minimal web UI is served at /; the JSON endpoints live under /api.
 // Prometheus metrics are exposed at /metrics, pprof profiles under
@@ -48,6 +48,8 @@ func main() {
 		"answer cache entries per warehouse and phase (0 disables caching, ETags, and request coalescing)")
 	answerCacheTTL := flag.Duration("answer-cache-ttl", 5*time.Minute,
 		"answer cache entry lifetime (0 = no expiry)")
+	shards := flag.Int("shards", 0,
+		"partition each fact table into this many zone-mapped shards for pruned scatter-gather scans (<=1 = monolithic)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -84,6 +86,7 @@ func main() {
 	srvOpts.MaxInflight = *maxInflight
 	srvOpts.AnswerCacheSize = *answerCacheSize
 	srvOpts.AnswerCacheTTL = *answerCacheTTL
+	srvOpts.Shards = *shards
 	api := server.NewWithOptions(warehouses, srvOpts)
 	api.SetLogger(logger)
 	srv := &http.Server{

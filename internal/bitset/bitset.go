@@ -99,6 +99,104 @@ func (s *Set) AndCount(o *Set) int {
 	return c
 }
 
+// AnyInRange reports whether the set contains any element in [lo, hi).
+// The check is word-parallel — masked compares on the two boundary
+// words, a zero test per interior word — so the shard planner can probe
+// a row range far cheaper than materializing it.
+func (s *Set) AnyInRange(lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return false
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loW == hiW {
+		return s.words[loW]&loMask&hiMask != 0
+	}
+	if s.words[loW]&loMask != 0 {
+		return true
+	}
+	for i := loW + 1; i < hiW; i++ {
+		if s.words[i] != 0 {
+			return true
+		}
+	}
+	return s.words[hiW]&hiMask != 0
+}
+
+// AppendRange appends the elements in [lo, hi) to dst in ascending
+// order and returns the extended slice. It is ToSlice restricted to a
+// row range, used by the sharded gather to emit one shard's rows.
+func (s *Set) AppendRange(dst []int, lo, hi int) []int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6 && lo < hi; wi++ {
+		w := s.words[wi]
+		base := wi << 6
+		if base < lo {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if base+63 >= hi {
+			w &= ^uint64(0) >> (63 - (uint(hi-1) & 63))
+		}
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// IntersectRangeAppend appends, in ascending order, the elements of
+// [lo, hi) present in every set, without materializing the
+// intersection. The universes must match. With no sets it appends
+// nothing.
+func IntersectRangeAppend(dst []int, lo, hi int, sets []*Set) []int {
+	if len(sets) == 0 {
+		return dst
+	}
+	first := sets[0]
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > first.n {
+		hi = first.n
+	}
+	for _, o := range sets[1:] {
+		if o.n != first.n {
+			panic("bitset: universe mismatch")
+		}
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6 && lo < hi; wi++ {
+		w := first.words[wi]
+		for _, o := range sets[1:] {
+			w &= o.words[wi]
+		}
+		base := wi << 6
+		if base < lo {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if base+63 >= hi {
+			w &= ^uint64(0) >> (63 - (uint(hi-1) & 63))
+		}
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // ToSlice returns the elements in ascending order.
 func (s *Set) ToSlice() []int {
 	out := make([]int, 0, s.Count())

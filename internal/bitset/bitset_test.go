@@ -151,6 +151,69 @@ func TestIntersectionMatchesReference(t *testing.T) {
 	}
 }
 
+// Property: the range primitives agree with the whole-set reference
+// operations restricted to [lo, hi) for random sets and ranges.
+func TestRangeOpsMatchReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(400)
+		a := New(n)
+		b := New(n)
+		for i := 0; i < n/2; i++ {
+			a.Add(rng.Intn(n))
+			b.Add(rng.Intn(n))
+		}
+		lo := rng.Intn(n + 1)
+		hi := rng.Intn(n + 1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var wantRange, wantBoth []int
+		for _, x := range a.ToSlice() {
+			if x >= lo && x < hi {
+				wantRange = append(wantRange, x)
+				if b.Contains(x) {
+					wantBoth = append(wantBoth, x)
+				}
+			}
+		}
+		if a.AnyInRange(lo, hi) != (len(wantRange) > 0) {
+			return false
+		}
+		if got := a.AppendRange(nil, lo, hi); !reflect.DeepEqual(got, wantRange) {
+			return false
+		}
+		got := IntersectRangeAppend(nil, lo, hi, []*Set{a, b})
+		return reflect.DeepEqual(got, wantBoth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeOpsEdges(t *testing.T) {
+	s := FromSorted(130, []int{0, 63, 64, 129})
+	if s.AnyInRange(1, 63) {
+		t.Error("empty interior range matched")
+	}
+	if !s.AnyInRange(63, 64) || !s.AnyInRange(0, 1) || !s.AnyInRange(129, 130) {
+		t.Error("boundary elements missed")
+	}
+	if s.AnyInRange(5, 5) || s.AnyInRange(-10, 0) || s.AnyInRange(130, 200) {
+		t.Error("degenerate ranges matched")
+	}
+	if got := s.AppendRange([]int{7}, 63, 130); !reflect.DeepEqual(got, []int{7, 63, 64, 129}) {
+		t.Errorf("AppendRange = %v", got)
+	}
+	if got := IntersectRangeAppend(nil, 0, 130, nil); got != nil {
+		t.Errorf("no sets should append nothing, got %v", got)
+	}
+	one := IntersectRangeAppend(nil, 60, 70, []*Set{s})
+	if !reflect.DeepEqual(one, []int{63, 64}) {
+		t.Errorf("single-set intersect = %v", one)
+	}
+}
+
 // Property: ToSlice round-trips through FromSorted.
 func TestRoundTripProperty(t *testing.T) {
 	f := func(seed uint64) bool {

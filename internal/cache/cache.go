@@ -142,6 +142,17 @@ func (c *Clock[K, V]) Put(k K, v V) {
 	}
 }
 
+// Purge drops every cached entry. Lifetime counters are kept — a purge
+// is an operator action, not amnesia about past traffic. Benchmarks use
+// it to force the cold path on every iteration.
+func (c *Clock[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[K]*entry[V], c.cap)
+	c.ring = c.ring[:0]
+	c.hand = 0
+}
+
 // Len returns the number of cached entries.
 func (c *Clock[K, V]) Len() int {
 	c.mu.RLock()

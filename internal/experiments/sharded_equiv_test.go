@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"kdap/internal/dataset"
+	"kdap/internal/kdapcore"
+	"kdap/internal/workload"
+)
+
+// Sharding is pure execution strategy: over the full Table 3 workload,
+// a sharded engine must produce byte-identical facet output to the
+// monolithic one for every query's top interpretation. This is the
+// strongest equivalence we can assert — Fingerprint covers facet
+// ordering, scores, display ranges, and every float's last bit.
+func TestShardedFacetsByteIdentical(t *testing.T) {
+	wh := dataset.AWOnline()
+	mono := Engine(wh)
+	shd := Engine(wh)
+	shd.SetShards(32)
+	opts := kdapcore.DefaultExploreOptions()
+
+	explored := 0
+	for _, q := range workload.AWOnlineQueries() {
+		nets, err := mono.Differentiate(q.Text)
+		if err != nil {
+			t.Fatalf("query %d %q: %v", q.ID, q.Text, err)
+		}
+		if len(nets) == 0 {
+			continue
+		}
+		sn := nets[0]
+		want, wantErr := mono.Explore(sn, opts)
+		got, gotErr := shd.Explore(sn, opts)
+		if wantErr != nil || gotErr != nil {
+			// Some top interpretations have an empty sub-dataspace
+			// ("Brakes Chains" hits disjoint product groups); both
+			// engines must refuse identically.
+			if wantErr == nil || gotErr == nil || wantErr.Error() != gotErr.Error() {
+				t.Fatalf("query %d: explore errors diverge: mono=%v shard=%v", q.ID, wantErr, gotErr)
+			}
+			continue
+		}
+		wantFP := want.Fingerprint()
+		gotFP := got.Fingerprint()
+		if !bytes.Equal(gotFP, wantFP) {
+			t.Fatalf("query %d %q: sharded facets differ from monolithic\nmono: %.300s\nshard: %.300s",
+				q.ID, q.Text, wantFP, gotFP)
+		}
+		explored++
+	}
+	if explored < 40 {
+		t.Fatalf("only %d/50 workload queries produced an interpretation", explored)
+	}
+	st := shd.Executor().Stats()
+	if st.ShardsScanned == 0 {
+		t.Fatal("sharded engine never consulted the shard planner")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"kdap/internal/fulltext"
 	"kdap/internal/olap"
 	"kdap/internal/schemagraph"
+	"kdap/internal/shard"
 	"kdap/internal/telemetry"
 )
 
@@ -67,6 +68,15 @@ func NewEngine(g *schemagraph.Graph, ix *fulltext.Index, m olap.Measure, agg ola
 		rowsCache: cache.NewClock[string, []int](rowsCacheCap),
 	}
 }
+
+// SetShards partitions the engine's fact table into n contiguous
+// row-range shards with zone maps, enabling shard-pruned scatter-gather
+// on semijoins, numeric filters, and series extraction (n <= 1 restores
+// monolithic scans). Facet output is byte-identical either way —
+// sharding only changes what gets scanned. Call it at startup, before
+// serving queries; it is safe later too, but materialized subspaces in
+// the rows cache keep the rows they were built with.
+func (e *Engine) SetShards(n int) { e.exec.SetShards(n) }
 
 // SetTextSimilarity switches the text-relevance model used when probing
 // the full-text index (default: the classic TF-IDF the paper's prototype
@@ -233,7 +243,19 @@ func (e *Engine) subspaceRowsCtx(ctx context.Context, sn *StarNet) ([]int, error
 	}
 	_, sp := telemetry.StartSpan(ctx, "subspace_semijoin")
 	defer sp.End()
-	rows, err := e.exec.FactRowsCtx(ctx, sn.Constraints())
+	// Numeric drills on fact (measure) columns become declarative bounds
+	// for the semijoin's shard planner: a shard whose zone map misses the
+	// bound interval is skipped before any bitset is intersected. The
+	// filters still run below, so the row set is exactly the unbounded
+	// semijoin's after filtering.
+	var bounds []shard.Bound
+	for _, nf := range sn.Filters {
+		if nf.OnFact {
+			lo, hi := nf.bounds()
+			bounds = append(bounds, shard.Bound{Col: nf.Attr.Attr, Lo: lo, Hi: hi})
+		}
+	}
+	rows, err := e.exec.FactRowsBoundedCtx(ctx, sn.Constraints(), bounds)
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +271,12 @@ func (e *Engine) subspaceRowsCtx(ctx context.Context, sn *StarNet) ([]int, error
 
 // RowsCacheStats snapshots the materialized-subspace cache counters.
 func (e *Engine) RowsCacheStats() cache.Stats { return e.rowsCache.Stats() }
+
+// InvalidateSubspaceRows drops every materialized subspace so the next
+// SubspaceRows recomputes the semijoin. Benchmarks use it to time the
+// cold drill path; SetShards does not need it because sharded and
+// monolithic scans produce identical row sets.
+func (e *Engine) InvalidateSubspaceRows() { e.rowsCache.Purge() }
 
 // Index returns the engine's full-text index (telemetry wiring).
 func (e *Engine) Index() *fulltext.Index { return e.index }

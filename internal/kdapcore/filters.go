@@ -3,6 +3,7 @@ package kdapcore
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -93,6 +94,23 @@ type NumericFilter struct {
 // String renders the filter as "Table.Attr>value".
 func (nf NumericFilter) String() string {
 	return fmt.Sprintf("%s%s%g", nf.Attr, nf.Op, nf.Value)
+}
+
+// bounds returns the conservative closed interval [lo, hi] containing
+// every value the predicate accepts — what licenses the executor's
+// shard planner to skip shards whose zone map misses the interval.
+// Exactness stays with Op.Matches; the bounds only bound.
+func (nf NumericFilter) bounds() (lo, hi float64) {
+	switch nf.Op {
+	case OpGT, OpGE:
+		return nf.Value, math.Inf(1)
+	case OpLT, OpLE:
+		return math.Inf(-1), nf.Value
+	case OpEQ:
+		return nf.Value, nf.Value
+	default:
+		return math.Inf(-1), math.Inf(1)
+	}
 }
 
 // parseFilterToken splits a token like "Price>=100" into its parts. The
@@ -196,7 +214,24 @@ func (e *Engine) applyFiltersCtx(ctx context.Context, rows []int, filters []Nume
 		if len(rows) == 0 {
 			return rows, nil
 		}
+		nf := nf
+		match := func(x float64) bool { return nf.Op.Matches(x, nf.Value) }
+		lo, hi := nf.bounds()
 		if nf.OnFact {
+			// Under a partition the executor's vectorized scan skips
+			// shards whose zone map misses [lo, hi] and reads the dense
+			// float view; both produce exactly the rows the boxed scan
+			// below keeps (NULL is NaN in the float view and matches no
+			// operator). The boxed path is retained monolithically as
+			// the honest pre-sharding baseline for the benches.
+			if e.exec.Partition() != nil {
+				var err error
+				rows, err = e.exec.FilterFactNumericCtx(ctx, rows, nf.Attr.Attr, lo, hi, match)
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
 			ci := fact.Schema().ColumnIndex(nf.Attr.Attr)
 			var out []int
 			for base := 0; base < len(rows); base += filterCheckRows {
@@ -217,9 +252,7 @@ func (e *Engine) applyFiltersCtx(ctx context.Context, rows []int, filters []Nume
 			continue
 		}
 		var err error
-		rows, err = e.exec.FilterRowsNumericCtx(ctx, rows, nf.Attr.Attr, nf.Path, func(x float64) bool {
-			return nf.Op.Matches(x, nf.Value)
-		})
+		rows, err = e.exec.FilterRowsNumericBoundCtx(ctx, rows, nf.Attr.Attr, nf.Path, lo, hi, match)
 		if err != nil {
 			return nil, err
 		}

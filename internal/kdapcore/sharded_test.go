@@ -1,0 +1,105 @@
+package kdapcore
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+)
+
+// Concurrent scatter-gather: many goroutines exploring (and drilling
+// into) the same sharded engine must produce identical facets with no
+// data races. Exercises the shard planner, the lazy per-(path,attr)
+// zone maps, the parallel filter gather, and the shard counters under
+// contention. Run under go test -race.
+func TestConcurrentShardedExplore(t *testing.T) {
+	e := awOnlineEngine()
+	e.SetShards(24)
+	nets, err := e.Differentiate("Road Bikes UnitPrice>1000")
+	if err != nil || len(nets) == 0 {
+		t.Fatalf("differentiate: nets=%d err=%v", len(nets), err)
+	}
+	sn := nets[0]
+	opts := DefaultExploreOptions()
+	opts.Parallel = true
+
+	want, err := e.Explore(sn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := want.Fingerprint()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	outs := make([][]byte, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := e.ExploreCtx(context.Background(), sn, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = f.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(outs[i], wantFP) {
+			t.Fatalf("worker %d produced different facets", i)
+		}
+	}
+	st := e.Executor().Stats()
+	if st.ShardsScanned == 0 {
+		t.Fatal("no scan consulted the shard planner")
+	}
+}
+
+// A numeric drill bound on the ingest-clustered SalesKey column must
+// make the planner skip shards — the zone maps have to earn their keep,
+// not merely split the scan — while the drill result stays identical to
+// the monolithic engine's.
+func TestShardedDrillPrunesShards(t *testing.T) {
+	shd := awOnlineEngine()
+	shd.SetShards(32)
+	mono := awOnlineEngine()
+
+	const query = "Road Bikes SalesKey>54000"
+	nets, err := shd.Differentiate(query)
+	if err != nil || len(nets) == 0 {
+		t.Fatalf("differentiate: nets=%d err=%v", len(nets), err)
+	}
+	monoNets, err := mono.Differentiate(query)
+	if err != nil || len(monoNets) == 0 {
+		t.Fatalf("monolithic differentiate: nets=%d err=%v", len(monoNets), err)
+	}
+
+	before := shd.Executor().Stats()
+	rows := shd.SubspaceRows(nets[0])
+	after := shd.Executor().Stats()
+	monoRows := mono.SubspaceRows(monoNets[0])
+
+	if len(rows) == 0 {
+		t.Fatal("SalesKey>54000 subspace is empty — bad fixture")
+	}
+	if len(rows) != len(monoRows) {
+		t.Fatalf("sharded subspace %d rows, monolithic %d", len(rows), len(monoRows))
+	}
+	for i := range rows {
+		if rows[i] != monoRows[i] {
+			t.Fatalf("row mismatch at %d: %d vs %d", i, rows[i], monoRows[i])
+		}
+	}
+	pruned := (after.ShardsPrunedZone - before.ShardsPrunedZone)
+	if pruned < 20 {
+		t.Fatalf("SalesKey>54000 over 32 shards zone-pruned only %d — zone maps are not skipping shards", pruned)
+	}
+	if after.ShardsScanned == before.ShardsScanned {
+		t.Fatal("no shard was scanned")
+	}
+}

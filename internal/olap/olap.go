@@ -33,6 +33,7 @@ import (
 	"kdap/internal/cache"
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
+	"kdap/internal/shard"
 )
 
 // Measure evaluates a numeric measure on one fact row. The paper's
@@ -202,10 +203,18 @@ type Executor struct {
 	factMap   map[string][]int32 // path signature -> fact row -> dim row (-1 when unlinked)
 	attrCode  map[attrColKey]*codeColumn
 	attrFloat map[attrColKey][]float64
+	// attrZone holds lazily-built per-shard zone maps over the memoized
+	// fact-aligned attribute columns, keyed like attrFloat and rebuilt
+	// when SetShards replaces the partition.
+	attrZone map[attrColKey][]shard.ZoneMap
 	// constraintBits caches each constraint's fact-row set; candidate
 	// star nets combine a small vocabulary of hit groups, so hit rates
 	// are high during differentiation-heavy workloads.
 	constraintBits *cache.Clock[string, *bitset.Set]
+
+	// partition, when set, enables sharded scatter-gather on the row-set
+	// producers (see sharded.go). nil means monolithic scans.
+	partition atomic.Pointer[shard.Partition]
 
 	stats execCounters
 }
@@ -228,6 +237,10 @@ type execCounters struct {
 	kernelChunks   atomic.Int64
 	codeVecBuilds  atomic.Int64
 	floatColBuilds atomic.Int64
+
+	shardsScanned    atomic.Int64
+	shardsPrunedZone atomic.Int64
+	shardsPrunedBits atomic.Int64
 }
 
 // ExecStats is a point-in-time snapshot of the executor's kernel
@@ -245,6 +258,11 @@ type ExecStats struct {
 	// CodeVecBuilds / FloatColBuilds count cold fact-aligned column
 	// materializations (cache misses in the executor's memos).
 	CodeVecBuilds, FloatColBuilds int64
+	// ShardsScanned counts shards the planner let through to a scan;
+	// ShardsPrunedZone / ShardsPrunedBits count shards it skipped, by
+	// the evidence that pruned them (zone-map miss vs constraint bitset
+	// empty over the shard's row range). All zero when monolithic.
+	ShardsScanned, ShardsPrunedZone, ShardsPrunedBits int64
 }
 
 // Stats snapshots the executor's kernel counters.
@@ -261,6 +279,10 @@ func (ex *Executor) Stats() ExecStats {
 		KernelChunks:   ex.stats.kernelChunks.Load(),
 		CodeVecBuilds:  ex.stats.codeVecBuilds.Load(),
 		FloatColBuilds: ex.stats.floatColBuilds.Load(),
+
+		ShardsScanned:    ex.stats.shardsScanned.Load(),
+		ShardsPrunedZone: ex.stats.shardsPrunedZone.Load(),
+		ShardsPrunedBits: ex.stats.shardsPrunedBits.Load(),
 	}
 }
 
@@ -283,6 +305,7 @@ func NewExecutor(g *schemagraph.Graph) *Executor {
 		factMap:        make(map[string][]int32),
 		attrCode:       make(map[attrColKey]*codeColumn),
 		attrFloat:      make(map[attrColKey][]float64),
+		attrZone:       make(map[attrColKey][]shard.ZoneMap),
 		constraintBits: cache.NewClock[string, *bitset.Set](constraintCacheCap),
 	}
 }
@@ -390,15 +413,47 @@ func (ex *Executor) FactRows(constraints []Constraint) []int {
 // between constraints and inside each constraint's semijoin, returning
 // ctx.Err() instead of completing the intersection.
 func (ex *Executor) FactRowsCtx(ctx context.Context, constraints []Constraint) ([]int, error) {
+	return ex.FactRowsBoundedCtx(ctx, constraints, nil)
+}
+
+// FactRowsBoundedCtx is FactRowsCtx with declared numeric drill bounds:
+// under a partition the planner also skips shards whose zone maps miss
+// a bound's closed interval, so the semijoin intersection itself never
+// touches shards a later drill predicate would discard wholesale. The
+// caller MUST re-apply the row-level predicates the bounds were derived
+// from — a bound licenses skipping provably irrelevant shards, nothing
+// more. Monolithically (and with no bounds) this is exactly FactRowsCtx.
+func (ex *Executor) FactRowsBoundedCtx(ctx context.Context, constraints []Constraint, bounds []shard.Bound) ([]int, error) {
 	if len(constraints) == 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if p := ex.partition.Load(); p != nil && len(bounds) > 0 {
+			return ex.factRowsSharded(ctx, p, bounds, nil)
 		}
 		all := make([]int, ex.fact.Len())
 		for i := range all {
 			all[i] = i
 		}
 		return all, nil
+	}
+	if p := ex.partition.Load(); p != nil {
+		sets := make([]*bitset.Set, len(constraints))
+		for i, c := range constraints {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			s, err := ex.constraintSet(ctx, c)
+			if err != nil {
+				return nil, err
+			}
+			sets[i] = s
+		}
+		rows, err := ex.factRowsSharded(ctx, p, bounds, sets)
+		if err != nil || len(rows) == 0 {
+			return nil, err
+		}
+		return rows, nil
 	}
 	first, err := ex.constraintSet(ctx, constraints[0])
 	if err != nil {
@@ -619,8 +674,17 @@ func (ex *Executor) NumericSeriesCtx(ctx context.Context, rows []int, attr strin
 	if ex.g.DB().Table(path.Source).Schema().ColumnIndex(attr) < 0 {
 		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
 	}
+	if p := ex.partition.Load(); p != nil && len(rows) >= parallelRowThreshold {
+		return ex.numericSeriesSharded(ctx, p, rows, attr, path, m)
+	}
 	vals := ex.attrFloats(attr, path)
-	vec := measureVec(m)
+	return seriesOver(ctx, rows, vals, measureVec(m), m, ex.fact)
+}
+
+// seriesOver extracts (attribute value, measure) pairs for one span of
+// rows against pre-extracted columns; it is the shared body of the
+// monolithic pass and each sharded worker.
+func seriesOver(ctx context.Context, rows []int, vals, vec []float64, m Measure, fact *relation.Table) ([]ValueMeasure, error) {
 	out := make([]ValueMeasure, 0, len(rows))
 	done := ctx.Done()
 	for base := 0; base < len(rows); base += cancelCheckRows {
@@ -644,7 +708,7 @@ func (ex *Executor) NumericSeriesCtx(ctx context.Context, rows []int, attr strin
 				if math.IsNaN(v) {
 					continue
 				}
-				out = append(out, ValueMeasure{Value: v, Measure: m.Eval(ex.fact.Row(r))})
+				out = append(out, ValueMeasure{Value: v, Measure: m.Eval(fact.Row(r))})
 			}
 		}
 	}
@@ -661,32 +725,12 @@ func (ex *Executor) FilterRowsNumeric(rows []int, attr string, path schemagraph.
 }
 
 // FilterRowsNumericCtx is FilterRowsNumeric under a context, checking
-// for cancellation every cancelCheckRows rows.
+// for cancellation every cancelCheckRows rows. With an opaque predicate
+// the bound interval defaults to the whole line, so under a partition
+// only all-NULL shards prune; callers that know the predicate's shape
+// should use FilterRowsNumericBoundCtx.
 func (ex *Executor) FilterRowsNumericCtx(ctx context.Context, rows []int, attr string, path schemagraph.JoinPath, pred func(float64) bool) ([]int, error) {
-	if ex.g.DB().Table(path.Source).Schema().ColumnIndex(attr) < 0 {
-		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
-	}
-	vals := ex.attrFloats(attr, path)
-	var out []int
-	done := ctx.Done()
-	for base := 0; base < len(rows); base += cancelCheckRows {
-		if done != nil {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		end := min(base+cancelCheckRows, len(rows))
-		for _, r := range rows[base:end] {
-			v := vals[r]
-			if math.IsNaN(v) {
-				continue
-			}
-			if pred(v) {
-				out = append(out, r)
-			}
-		}
-	}
-	return out, nil
+	return ex.FilterRowsNumericBoundCtx(ctx, rows, attr, path, negInf, posInf, pred)
 }
 
 // DimValues projects the distinct values of attr over the dimension rows

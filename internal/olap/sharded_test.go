@@ -1,0 +1,196 @@
+package olap
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"kdap/internal/relation"
+)
+
+// ebizConstraints returns a few representative constraint sets: single
+// hit group, intersecting hit groups, and an empty intersection.
+func ebizConstraints(t *testing.T) map[string][]Constraint {
+	t.Helper()
+	pgPath := ebiz.Graph.JoinPaths("PGROUP")[0]
+	lcd := Constraint{Table: "PGROUP", Attr: "GroupName",
+		Values: []relation.Value{relation.String("LCD Projectors")}, Path: pgPath}
+	tv := Constraint{Table: "PGROUP", Attr: "GroupName",
+		Values: []relation.Value{relation.String("Televisions")}, Path: pgPath}
+	city := Constraint{Table: "LOC", Attr: "City",
+		Values: []relation.Value{relation.String("San Jose")}, Path: pathTo(t, "LOC", "Store")}
+	return map[string][]Constraint{
+		"single":    {lcd},
+		"intersect": {lcd, city},
+		"empty":     {lcd, tv}, // a fact row has exactly one product group
+	}
+}
+
+// The sharded gather must reproduce the monolithic intersection exactly
+// (same rows, same order) while actually consulting the planner.
+func TestShardedFactRowsMatchesMonolithic(t *testing.T) {
+	mono := NewExecutor(ebiz.Graph)
+	shd := NewExecutor(ebiz.Graph)
+	shd.SetShards(16)
+	if shd.ShardCount() != 16 {
+		t.Fatalf("ShardCount = %d", shd.ShardCount())
+	}
+	for name, cs := range ebizConstraints(t) {
+		want := mono.FactRows(cs)
+		got := shd.FactRows(cs)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: sharded %d rows, monolithic %d rows", name, len(got), len(want))
+		}
+	}
+	st := shd.Stats()
+	if st.ShardsScanned == 0 {
+		t.Error("sharded path never consulted the planner")
+	}
+	if st.ShardsPrunedBits == 0 {
+		t.Error("no shard was bit-pruned — the empty intersection should prune everything")
+	}
+	if mono.Stats().ShardsScanned != 0 {
+		t.Error("monolithic executor touched shard counters")
+	}
+}
+
+// A drill bound on the ingest-clustered ItemKey column must skip the
+// shards whose zone maps miss the bound — exactly the ones the layout
+// predicts — and still return precisely the monolithic filter's rows.
+func TestShardedFilterFactNumericPrunesExactly(t *testing.T) {
+	const shards = 16
+	shd := NewExecutor(ebiz.Graph)
+	shd.SetShards(shards)
+	mono := NewExecutor(ebiz.Graph)
+
+	all := make([]int, shd.FactLen())
+	for i := range all {
+		all[i] = i
+	}
+	// ItemKey = row+1 over 4000 rows; 16 shards of 250 rows. ItemKey>3500
+	// has bound [3500, +Inf]: shards 0..12 (zone max <= 3250) prune,
+	// shard 13 (zone [3251,3500]) survives the closed-interval check but
+	// contributes no rows, shards 14..15 match.
+	pred := func(x float64) bool { return x > 3500 }
+	want, err := mono.FilterFactNumericCtx(context.Background(), all, "ItemKey", 3500, math.Inf(1), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shd.FilterFactNumericCtx(context.Background(), all, "ItemKey", 3500, math.Inf(1), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded filter: %d rows, monolithic %d", len(got), len(want))
+	}
+	if len(got) != 500 {
+		t.Fatalf("ItemKey>3500 over 4000 rows should keep 500, got %d", len(got))
+	}
+	st := shd.Stats()
+	if st.ShardsScanned != 3 || st.ShardsPrunedZone != 13 {
+		t.Fatalf("scanned=%d prunedZone=%d, want 3 scanned / 13 zone-pruned",
+			st.ShardsScanned, st.ShardsPrunedZone)
+	}
+	if mono.Stats().ShardsPrunedZone != 0 {
+		t.Error("monolithic executor reported pruning")
+	}
+}
+
+// The parallel gather must agree with the serial one: force the fan-out
+// by dropping the threshold.
+func TestShardedFilterGatherParallelMatchesSerial(t *testing.T) {
+	old := parallelRowThreshold
+	parallelRowThreshold = 64
+	defer func() { parallelRowThreshold = old }()
+
+	shd := NewExecutor(ebiz.Graph)
+	shd.SetShards(8)
+	mono := NewExecutor(ebiz.Graph)
+	all := make([]int, shd.FactLen())
+	for i := range all {
+		all[i] = i
+	}
+	pred := func(x float64) bool { return x >= 50 }
+	want, _ := mono.FilterFactNumericCtx(context.Background(), all, "UnitPrice", 50, math.Inf(1), pred)
+	got, _ := shd.FilterFactNumericCtx(context.Background(), all, "UnitPrice", 50, math.Inf(1), pred)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel gather: %d rows vs %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("UnitPrice>=50 matched nothing — bad fixture")
+	}
+}
+
+// Dimension-attribute filtering through a join path: the bound-aware
+// variant and the opaque-predicate wrapper must both match monolithic.
+func TestShardedFilterRowsNumericBound(t *testing.T) {
+	shd := NewExecutor(ebiz.Graph)
+	shd.SetShards(8)
+	mono := NewExecutor(ebiz.Graph)
+	path := pathTo(t, "DATE", "Date")
+	rows := mono.FactRows(nil)
+	pred := func(x float64) bool { return x == 2006 }
+	want, err := mono.FilterRowsNumericCtx(context.Background(), rows, "Year", path, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shd.FilterRowsNumericBoundCtx(context.Background(), rows, "Year", path, 2006, 2006, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("bound filter: %d rows vs %d", len(got), len(want))
+	}
+	got2, err := shd.FilterRowsNumericCtx(context.Background(), rows, "Year", path, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("opaque-pred wrapper diverged")
+	}
+	if len(want) == 0 {
+		t.Fatal("Year=2006 matched nothing — bad fixture")
+	}
+}
+
+// The sharded numeric-series scatter must concatenate to exactly the
+// monolithic series.
+func TestShardedNumericSeriesMatches(t *testing.T) {
+	old := parallelRowThreshold
+	parallelRowThreshold = 64
+	defer func() { parallelRowThreshold = old }()
+
+	shd := NewExecutor(ebiz.Graph)
+	shd.SetShards(8)
+	mono := NewExecutor(ebiz.Graph)
+	path := pathTo(t, "DATE", "Date")
+	rows := mono.FactRows(nil)
+	m := ProductMeasure(ebiz.DB.Table("TRANSITEM"), "rev", "UnitPrice", "Quantity")
+	want, err := mono.NumericSeriesCtx(context.Background(), rows, "Year", path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shd.NumericSeriesCtx(context.Background(), rows, "Year", path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded series: %d pairs vs %d", len(got), len(want))
+	}
+}
+
+func TestSetShardsToggle(t *testing.T) {
+	ex := NewExecutor(ebiz.Graph)
+	if ex.Partition() != nil || ex.ShardCount() != 0 {
+		t.Fatal("fresh executor should be monolithic")
+	}
+	ex.SetShards(4)
+	if ex.Partition() == nil || ex.ShardCount() != 4 {
+		t.Fatal("SetShards(4) did not partition")
+	}
+	ex.SetShards(1)
+	if ex.Partition() != nil {
+		t.Fatal("SetShards(1) should restore the monolithic scan")
+	}
+}

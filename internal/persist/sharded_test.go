@@ -1,0 +1,55 @@
+package persist
+
+import (
+	"testing"
+
+	"kdap/internal/dataset"
+	"kdap/internal/shard"
+)
+
+// A partition is derived state — like the full-text index it is not
+// serialized but re-built from the fact table. Re-deriving it on a
+// round-tripped warehouse must reproduce the shard layout and every
+// zone map exactly; anything else would mean the snapshot altered the
+// fact data the zone maps summarize.
+func TestRoundTripRederivesIdenticalShards(t *testing.T) {
+	orig := dataset.EBiz()
+	got := roundTrip(t, orig)
+
+	const shards = 16
+	factName := orig.Graph.FactTable()
+	po := shard.Build(orig.DB.Table(factName), shards)
+	pg := shard.Build(got.DB.Table(factName), shards)
+
+	if po.Count() != pg.Count() || po.NumRows() != pg.NumRows() {
+		t.Fatalf("partition shape differs: %d/%d shards, %d/%d rows",
+			po.Count(), pg.Count(), po.NumRows(), pg.NumRows())
+	}
+	numeric := []string{}
+	for _, c := range orig.DB.Table(factName).Schema().Columns {
+		if z, ok := po.Shards()[0].Zone(c.Name); ok {
+			_ = z
+			numeric = append(numeric, c.Name)
+		}
+	}
+	if len(numeric) == 0 {
+		t.Fatal("fact table has no zone-mapped columns")
+	}
+	for i := range po.Shards() {
+		so, sg := po.Shards()[i], pg.Shards()[i]
+		if so.Lo != sg.Lo || so.Hi != sg.Hi {
+			t.Fatalf("shard %d range [%d,%d) vs [%d,%d)", i, so.Lo, so.Hi, sg.Lo, sg.Hi)
+		}
+		for _, col := range numeric {
+			zo, ok1 := so.Zone(col)
+			zg, ok2 := sg.Zone(col)
+			if !ok1 || !ok2 {
+				t.Fatalf("shard %d missing zone for %s (orig=%v reload=%v)", i, col, ok1, ok2)
+			}
+			if zo != zg {
+				t.Fatalf("shard %d zone %s: [%g,%g] vs [%g,%g]",
+					i, col, zo.Min, zo.Max, zg.Min, zg.Max)
+			}
+		}
+	}
+}

@@ -69,6 +69,11 @@ type Options struct {
 	// AnswerCacheTTL expires cached answers this long after insertion;
 	// zero keeps them until evicted or invalidated.
 	AnswerCacheTTL time.Duration
+	// Shards partitions each warehouse's fact table into this many
+	// contiguous row-range shards with zone maps, enabling shard-pruned
+	// scatter-gather execution; <= 1 keeps monolithic scans. Results are
+	// byte-identical either way.
+	Shards int
 }
 
 // DefaultOptions returns the defaults New uses: no deadline, no
@@ -143,6 +148,9 @@ func NewWithOptions(warehouses map[string]*dataset.Warehouse, opts Options) *Ser
 		}
 		e := kdapcore.NewEngine(wh.Graph, wh.Index, m, olap.Sum)
 		e.SetAnswerCache(opts.AnswerCacheSize, opts.AnswerCacheTTL)
+		if opts.Shards > 1 {
+			e.SetShards(opts.Shards)
+		}
 		s.engines[name] = e
 		s.factRows[name] = fact.Len()
 		s.wireEngineMetrics(name, e)

@@ -164,6 +164,16 @@ func (s *Server) wireEngineMetrics(db string, e *kdapcore.Engine) {
 		"Cold fact-aligned column materializations by kind.",
 		func() float64 { return float64(st().FloatColBuilds) }, "kind", "float", "db", db)
 
+	s.reg.CounterFunc("kdap_shards_scanned_total",
+		"Shards the scatter-gather planner let through to a scan.",
+		func() float64 { return float64(st().ShardsScanned) }, "db", db)
+	s.reg.CounterFunc("kdap_shards_pruned_total",
+		"Shards skipped by the planner, by evidence: a zone map missing the predicate's bound interval, or a constraint bitset empty over the shard's row range.",
+		func() float64 { return float64(st().ShardsPrunedZone) }, "reason", "zone", "db", db)
+	s.reg.CounterFunc("kdap_shards_pruned_total",
+		"Shards skipped by the planner, by evidence: a zone map missing the predicate's bound interval, or a constraint bitset empty over the shard's row range.",
+		func() float64 { return float64(st().ShardsPrunedBits) }, "reason", "bits", "db", db)
+
 	s.reg.RegisterHistogram("kdap_fulltext_probe_seconds",
 		"Full-text index probe latency (Search and SearchPhrase).",
 		e.Index().ProbeHistogram(), "db", db)

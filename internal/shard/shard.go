@@ -1,0 +1,214 @@
+// Package shard partitions a fact table into contiguous row-range
+// shards, each carrying zone maps — min/max summaries per numeric
+// column, foreign-key code columns included — built once at load. The
+// OLAP executor plans scans over the partition: a shard whose zone map
+// cannot overlap a numeric drill bound, or in which no constraint
+// bitset has a single surviving fact row, is skipped wholesale; the
+// shards that remain execute independently and their results gather in
+// shard order, so output stays deterministic and byte-identical to the
+// monolithic scan.
+//
+// The design follows the disk-based keyword-search literature (EMBANKS)
+// and the partitioned star-schema processing the chase-based analytic
+// work assumes: per-partition min/max structures are tiny (a handful of
+// float64s per shard), cost nothing to consult, and turn a selective
+// drill-down over an ingest-clustered column into a scan of a few
+// shards instead of the whole dataspace.
+package shard
+
+import (
+	"math"
+
+	"kdap/internal/bitset"
+	"kdap/internal/relation"
+)
+
+// ZoneMap is the min/max summary of one numeric column over one
+// shard's row range, ignoring NULLs and non-numeric values. A zone
+// with no numeric rows has Min > Max (the empty interval), so it
+// overlaps nothing and the shard is always prunable on that column.
+type ZoneMap struct {
+	Min, Max float64
+}
+
+// emptyZone is the identity for zone accumulation: overlaps nothing.
+func emptyZone() ZoneMap {
+	return ZoneMap{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Overlaps reports whether any value in [z.Min, z.Max] could fall in
+// the closed interval [lo, hi]. Conservative by construction: a true
+// result only means the shard must be scanned, never that it matches.
+func (z ZoneMap) Overlaps(lo, hi float64) bool {
+	if z.Min > z.Max {
+		return false // empty zone: no numeric rows in the shard
+	}
+	return z.Min <= hi && z.Max >= lo
+}
+
+// observe folds one value into the zone.
+func (z *ZoneMap) observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < z.Min {
+		z.Min = v
+	}
+	if v > z.Max {
+		z.Max = v
+	}
+}
+
+// Shard is one contiguous row range [Lo, Hi) of the fact table with its
+// per-column zone maps.
+type Shard struct {
+	Lo, Hi int
+	zones  map[string]ZoneMap
+}
+
+// Len returns the shard's row count.
+func (s *Shard) Len() int { return s.Hi - s.Lo }
+
+// Zone returns the shard's zone map for a column built at load time
+// (numeric fact columns, foreign keys included). ok is false for
+// columns without a zone map — the planner must then scan the shard.
+func (s *Shard) Zone(col string) (ZoneMap, bool) {
+	z, ok := s.zones[col]
+	return z, ok
+}
+
+// Partition is a fixed division of n fact rows into contiguous shards.
+// It is immutable after Build and safe for concurrent use.
+type Partition struct {
+	n      int
+	shards []Shard
+}
+
+// Build partitions the table into count contiguous row-range shards
+// (the last one absorbs the remainder) and computes zone maps for
+// every numeric column — measures and foreign-key code columns alike —
+// in one pass over the table's dense float views. count is clamped to
+// [1, rows]; an empty table yields a single empty shard.
+func Build(t *relation.Table, count int) *Partition {
+	n := t.Len()
+	if count < 1 {
+		count = 1
+	}
+	if count > n && n > 0 {
+		count = n
+	}
+	cols := make(map[string][]float64)
+	for _, c := range t.Schema().Columns {
+		if c.Kind == relation.KindInt || c.Kind == relation.KindFloat {
+			cols[c.Name] = t.FloatColumn(c.Name)
+		}
+	}
+	p := &Partition{n: n, shards: make([]Shard, count)}
+	size := (n + count - 1) / count
+	if size == 0 {
+		size = 1
+	}
+	for i := range p.shards {
+		lo := i * size
+		hi := min(lo+size, n)
+		if lo > n {
+			lo = n
+		}
+		sh := Shard{Lo: lo, Hi: hi, zones: make(map[string]ZoneMap, len(cols))}
+		for name, vec := range cols {
+			z := emptyZone()
+			for _, v := range vec[lo:hi] {
+				z.observe(v)
+			}
+			sh.zones[name] = z
+		}
+		p.shards[i] = sh
+	}
+	return p
+}
+
+// ZonesOver computes per-shard zone maps for an arbitrary fact-aligned
+// float column (NaN marks NULL/absent) — the executor uses it to build
+// lazy zone maps over memoized dimension-attribute columns, which are
+// not part of the fact table and so have no load-time zones.
+func ZonesOver(vals []float64, p *Partition) []ZoneMap {
+	out := make([]ZoneMap, len(p.shards))
+	for i := range p.shards {
+		sh := &p.shards[i]
+		z := emptyZone()
+		lo, hi := sh.Lo, min(sh.Hi, len(vals))
+		for lo < hi {
+			z.observe(vals[lo])
+			lo++
+		}
+		out[i] = z
+	}
+	return out
+}
+
+// Count returns the number of shards.
+func (p *Partition) Count() int { return len(p.shards) }
+
+// NumRows returns the partitioned universe size (fact rows).
+func (p *Partition) NumRows() int { return p.n }
+
+// Shards returns the shards in row order. The slice is shared and must
+// not be modified.
+func (p *Partition) Shards() []Shard { return p.shards }
+
+// Bound is a closed-interval restriction [Lo, Hi] on one zone-mapped
+// column, the declarative form of a numeric drill predicate. Callers
+// derive a conservative superset of the predicate's matching values
+// (e.g. "Price>500" becomes [500, +Inf]); exactness stays with the
+// row-level predicate, the bound only licenses skipping shards.
+type Bound struct {
+	Col    string
+	Lo, Hi float64
+}
+
+// Plan is the planner's verdict over one scan: which shards survive and
+// how many were pruned, split by the evidence that pruned them.
+type Plan struct {
+	// Survivors are the indices of shards that must be scanned, ascending.
+	Survivors []int
+	// PrunedZone counts shards skipped because a zone map cannot overlap
+	// a bound; PrunedBits counts shards skipped because a constraint
+	// bitset has no member in the shard's row range.
+	PrunedZone, PrunedBits int
+}
+
+// Scanned returns the number of surviving shards.
+func (pl Plan) Scanned() int { return len(pl.Survivors) }
+
+// Pruned returns the total number of skipped shards.
+func (pl Plan) Pruned() int { return pl.PrunedZone + pl.PrunedBits }
+
+// Plan consults the zone maps against every bound and the constraint
+// bitsets against every shard's row range, returning the shards that
+// could contain qualifying rows. Zone evidence is checked first (it is
+// a few float compares); bit evidence second. Empty bounds and bits
+// mean a full scan: every shard survives.
+func (p *Partition) Plan(bounds []Bound, bits []*bitset.Set) Plan {
+	pl := Plan{Survivors: make([]int, 0, len(p.shards))}
+shards:
+	for i := range p.shards {
+		sh := &p.shards[i]
+		if sh.Lo >= sh.Hi {
+			continue // empty tail shard: nothing to scan, nothing pruned
+		}
+		for _, b := range bounds {
+			if z, ok := sh.zones[b.Col]; ok && !z.Overlaps(b.Lo, b.Hi) {
+				pl.PrunedZone++
+				continue shards
+			}
+		}
+		for _, s := range bits {
+			if !s.AnyInRange(sh.Lo, sh.Hi) {
+				pl.PrunedBits++
+				continue shards
+			}
+		}
+		pl.Survivors = append(pl.Survivors, i)
+	}
+	return pl
+}

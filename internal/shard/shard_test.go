@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"kdap/internal/bitset"
+	"kdap/internal/relation"
+)
+
+// clusteredTable builds a table whose Seq column ascends with the row ID
+// (the ingest-clustered case zone maps exploit) and whose Noise column
+// is uncorrelated with row order.
+func clusteredTable(t *testing.T, n int) *relation.Table {
+	t.Helper()
+	schema, err := relation.NewSchema("F", []relation.Column{
+		{Name: "Seq", Kind: relation.KindInt},
+		{Name: "Noise", Kind: relation.KindFloat},
+		{Name: "Label", Kind: relation.KindString},
+	}, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relation.NewTable(schema)
+	for i := 0; i < n; i++ {
+		noise := float64((i*7919)%100) / 10
+		tab.MustAppend(relation.Int(int64(i)), relation.Float(noise), relation.String("x"))
+	}
+	return tab
+}
+
+func TestBuildShapesAndZones(t *testing.T) {
+	tab := clusteredTable(t, 1000)
+	p := Build(tab, 8)
+	if p.Count() != 8 || p.NumRows() != 1000 {
+		t.Fatalf("Count=%d NumRows=%d", p.Count(), p.NumRows())
+	}
+	prev := 0
+	total := 0
+	for i, sh := range p.Shards() {
+		if sh.Lo != prev {
+			t.Fatalf("shard %d not contiguous: Lo=%d want %d", i, sh.Lo, prev)
+		}
+		prev = sh.Hi
+		total += sh.Len()
+		z, ok := sh.Zone("Seq")
+		if !ok {
+			t.Fatalf("shard %d missing Seq zone", i)
+		}
+		if z.Min != float64(sh.Lo) || z.Max != float64(sh.Hi-1) {
+			t.Fatalf("shard %d Seq zone [%g,%g], rows [%d,%d)", i, z.Min, z.Max, sh.Lo, sh.Hi)
+		}
+		if _, ok := sh.Zone("Label"); ok {
+			t.Fatal("string column must not carry a zone map")
+		}
+	}
+	if prev != 1000 || total != 1000 {
+		t.Fatalf("shards cover %d rows ending at %d", total, prev)
+	}
+}
+
+func TestBuildClamps(t *testing.T) {
+	tab := clusteredTable(t, 5)
+	if got := Build(tab, 64).Count(); got != 5 {
+		t.Errorf("count clamped to rows: got %d", got)
+	}
+	if got := Build(tab, 0).Count(); got != 1 {
+		t.Errorf("count clamped to 1: got %d", got)
+	}
+	empty := relation.NewTable(tab.Schema())
+	p := Build(empty, 4)
+	if p.NumRows() != 0 {
+		t.Errorf("empty NumRows = %d", p.NumRows())
+	}
+	if pl := p.Plan(nil, nil); pl.Scanned() != 0 || pl.Pruned() != 0 {
+		t.Errorf("empty partition plan = %+v", pl)
+	}
+}
+
+func TestZoneOverlaps(t *testing.T) {
+	z := ZoneMap{Min: 10, Max: 20}
+	for _, c := range []struct {
+		lo, hi float64
+		want   bool
+	}{
+		{0, 9, false}, {21, 30, false}, {0, 10, true}, {20, 99, true},
+		{12, 13, true}, {0, math.Inf(1), true}, {math.Inf(-1), 5, false},
+	} {
+		if got := z.Overlaps(c.lo, c.hi); got != c.want {
+			t.Errorf("Overlaps(%g,%g) = %v", c.lo, c.hi, got)
+		}
+	}
+	if emptyZone().Overlaps(math.Inf(-1), math.Inf(1)) {
+		t.Error("empty zone overlapped the whole line")
+	}
+}
+
+func TestPlanZonePruning(t *testing.T) {
+	tab := clusteredTable(t, 1000)
+	p := Build(tab, 10) // shard i covers Seq [100i, 100i+99]
+	pl := p.Plan([]Bound{{Col: "Seq", Lo: 730, Hi: math.Inf(1)}}, nil)
+	if !reflect.DeepEqual(pl.Survivors, []int{7, 8, 9}) {
+		t.Fatalf("survivors = %v", pl.Survivors)
+	}
+	if pl.PrunedZone != 7 || pl.PrunedBits != 0 {
+		t.Fatalf("pruned zone=%d bits=%d", pl.PrunedZone, pl.PrunedBits)
+	}
+	// An uncorrelated column prunes nothing: every shard's zone spans
+	// nearly the full domain.
+	pl = p.Plan([]Bound{{Col: "Noise", Lo: 5, Hi: 6}}, nil)
+	if pl.Scanned() != 10 {
+		t.Fatalf("noise column pruned %d shards", pl.Pruned())
+	}
+	// A column without a zone map never prunes.
+	pl = p.Plan([]Bound{{Col: "Label", Lo: 0, Hi: 1}}, nil)
+	if pl.Scanned() != 10 {
+		t.Fatalf("unmapped column pruned %d shards", pl.Pruned())
+	}
+}
+
+func TestPlanBitsPruning(t *testing.T) {
+	tab := clusteredTable(t, 1000)
+	p := Build(tab, 10)
+	a := bitset.FromSorted(1000, []int{5, 150, 155, 930})
+	b := bitset.FromSorted(1000, []int{150, 930, 999})
+	pl := p.Plan(nil, []*bitset.Set{a, b})
+	// Both constraints have members only in shards 1 and 9.
+	if !reflect.DeepEqual(pl.Survivors, []int{1, 9}) {
+		t.Fatalf("survivors = %v", pl.Survivors)
+	}
+	if pl.PrunedBits != 8 || pl.PrunedZone != 0 {
+		t.Fatalf("pruned zone=%d bits=%d", pl.PrunedZone, pl.PrunedBits)
+	}
+	// Zone and bit evidence compose; zone is consulted first.
+	pl = p.Plan([]Bound{{Col: "Seq", Lo: 900, Hi: 2000}}, []*bitset.Set{a})
+	if !reflect.DeepEqual(pl.Survivors, []int{9}) {
+		t.Fatalf("composed survivors = %v", pl.Survivors)
+	}
+	if pl.PrunedZone != 9 || pl.PrunedBits != 0 {
+		t.Fatalf("composed pruned zone=%d bits=%d", pl.PrunedZone, pl.PrunedBits)
+	}
+}
+
+func TestZoneSkipsNulls(t *testing.T) {
+	schema, err := relation.NewSchema("N", []relation.Column{
+		{Name: "V", Kind: relation.KindFloat},
+	}, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relation.NewTable(schema)
+	tab.MustAppend(relation.Null())
+	tab.MustAppend(relation.Float(3))
+	tab.MustAppend(relation.Null())
+	tab.MustAppend(relation.Null())
+	p := Build(tab, 2)
+	z, _ := p.Shards()[0].Zone("V")
+	if z.Min != 3 || z.Max != 3 {
+		t.Errorf("zone with nulls = [%g,%g]", z.Min, z.Max)
+	}
+	// The all-NULL shard carries the empty zone and is always prunable.
+	z, _ = p.Shards()[1].Zone("V")
+	if z.Overlaps(math.Inf(-1), math.Inf(1)) {
+		t.Error("all-NULL shard zone should overlap nothing")
+	}
+}

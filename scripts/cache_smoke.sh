@@ -13,14 +13,35 @@ TMP="$(mktemp -d)"
 go build -o "$TMP/kdapd" ./cmd/kdapd
 "$TMP/kdapd" -addr "$ADDR" -db ebiz -log json 2>"$TMP/kdapd.log" &
 KDAPD_PID=$!
-cleanup() { kill "$KDAPD_PID" 2>/dev/null || true; rm -rf "$TMP"; }
+cleanup() {
+  status=$?
+  # On any failure, surface the daemon's log — without it a CI failure
+  # here is just "curl: (22)" with nothing to debug.
+  if [ "$status" -ne 0 ] && [ -s "$TMP/kdapd.log" ]; then
+    echo "== kdapd log (smoke test failed with status $status)" >&2
+    cat "$TMP/kdapd.log" >&2
+  fi
+  kill "$KDAPD_PID" 2>/dev/null || true
+  wait "$KDAPD_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+  exit "$status"
+}
 trap cleanup EXIT
 
 for _ in $(seq 1 50); do
+  # Fail fast if the daemon died (bad flag, port in use, panic on
+  # load) instead of burning the whole poll budget against a corpse.
+  if ! kill -0 "$KDAPD_PID" 2>/dev/null; then
+    echo "kdapd exited during startup" >&2
+    exit 1
+  fi
   curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
   sleep 0.2
 done
-curl -sf "http://$ADDR/healthz" >/dev/null
+curl -sf "http://$ADDR/healthz" >/dev/null || {
+  echo "kdapd never became healthy on $ADDR" >&2
+  exit 1
+}
 
 echo "== cold query is a cache miss with a weak ETag"
 curl -sf -D "$TMP/h1" -o /dev/null "http://$ADDR/api/query" -d "$QUERY_BODY"
