@@ -63,6 +63,23 @@ type benchFile struct {
 	// Quality pins star-net ranking quality on the 50-query workload;
 	// the nightly gate fails on any precision@1 drop.
 	Quality qualityBench `json:"quality"`
+	// KernelSweep re-times the hot kernels (GroupByDict, FusedAggregate)
+	// and the sharded drill at GOMAXPROCS 1/4/16, replacing the old
+	// single-GOMAXPROCS kernel snapshot: the parallel path only trips
+	// above the striping threshold, so a one-point measurement says
+	// nothing about the multicore ladder.
+	KernelSweep []kernelSweepEntry `json:"kernel_sweep"`
+	// QPS is the closed-loop throughput ladder (see qps.go): serial vs
+	// batched vs full-HTTP QPS and latency quantiles per GOMAXPROCS.
+	// The nightly gate fails on a >20% batched-QPS drop, a p99 blowup,
+	// or a batched-over-serial speedup below 2x at the top rung.
+	QPS qpsBench `json:"qps"`
+}
+
+// kernelSweepEntry is one GOMAXPROCS point of the kernel sweep.
+type kernelSweepEntry struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"results"`
 }
 
 // shardedBench is the sharded-vs-monolithic drill-down comparison.
@@ -257,6 +274,53 @@ func benchQuality() (qualityBench, error) {
 	}, nil
 }
 
+// computeKernelSweep times the two hot scan kernels and the cold
+// sharded drill at each GOMAXPROCS rung. AW_ONLINE's fact table is far
+// above the default striping threshold, so rungs above 1 actually take
+// the parallel path (asserted by TestBenchWorkloadTakesParallelPath).
+func computeKernelSweep() ([]kernelSweepEntry, error) {
+	e := experiments.Engine(dataset.AWOnline())
+	ex := e.Executor()
+	m := e.Measure()
+	path, ok := e.Graph().PathFromFact("DimProductSubcategory", "Product")
+	if !ok {
+		return nil, fmt.Errorf("kernel sweep: no path to DimProductSubcategory")
+	}
+	rows := ex.FactRows(nil)
+
+	shd := experiments.Engine(dataset.AWOnline())
+	shd.SetShards(32)
+	nets, err := shd.Differentiate("Road Bikes SalesKey>54000")
+	if err != nil || len(nets) == 0 {
+		return nil, fmt.Errorf("kernel sweep: differentiate: %v (%d nets)", err, len(nets))
+	}
+
+	var out []kernelSweepEntry
+	for _, p := range qpsGOMAXPROCS {
+		prev := runtime.GOMAXPROCS(p)
+		out = append(out, kernelSweepEntry{GOMAXPROCS: p, Results: []benchResult{
+			measure("GroupByDict", func() {
+				if len(ex.GroupBy(rows, "SubcategoryName", path, m, olap.Sum)) == 0 {
+					panic("no groups")
+				}
+			}),
+			measure("FusedAggregate", func() {
+				if ex.Aggregate(rows, m, olap.Sum) == 0 {
+					panic("zero aggregate")
+				}
+			}),
+			measure("ShardedDrill", func() {
+				shd.InvalidateSubspaceRows()
+				if len(shd.SubspaceRows(nets[0])) == 0 {
+					panic("sharded drill produced no rows")
+				}
+			}),
+		}})
+		runtime.GOMAXPROCS(prev)
+	}
+	return out, nil
+}
+
 func computeBench() (benchFile, error) {
 	e := experiments.Engine(dataset.AWOnline())
 	ex := e.Executor()
@@ -363,6 +427,12 @@ func computeBench() (benchFile, error) {
 	if out.Quality, err = benchQuality(); err != nil {
 		return benchFile{}, err
 	}
+	if out.KernelSweep, err = computeKernelSweep(); err != nil {
+		return benchFile{}, err
+	}
+	if out.QPS, err = computeQPS(); err != nil {
+		return benchFile{}, err
+	}
 	return out, nil
 }
 
@@ -385,6 +455,15 @@ func benchJSON() error {
 		out.Sharded.Speedup, out.Sharded.ShardsScanned, out.Sharded.ShardsPrunedZone, out.Sharded.ShardsPrunedBits)
 	fmt.Printf("quality          precision@1 %.2f (%d/%d)\n",
 		out.Quality.PrecisionAt1, out.Quality.Top1, out.Quality.Queries)
+	for _, ks := range out.KernelSweep {
+		for _, r := range ks.Results {
+			fmt.Printf("%-16s %12d ns/op   (GOMAXPROCS=%d)\n", r.Name, r.NsPerOp, ks.GOMAXPROCS)
+		}
+	}
+	for _, s := range out.QPS.Sweep {
+		fmt.Printf("qps GOMAXPROCS=%-2d serial %.0f  batched %.0f (%.2fx)  http %.0f\n",
+			s.GOMAXPROCS, s.Serial.QPS, s.Batched.QPS, s.Speedup, s.HTTP.QPS)
+	}
 	fmt.Println("wrote BENCH.json")
 	return nil
 }
@@ -441,6 +520,70 @@ func nightly() error {
 	fmt.Printf("%-16s %11.2fx        baseline %11.2fx\n", "sharded speedup", fresh.Sharded.Speedup, base.Sharded.Speedup)
 	if fresh.Sharded.Speedup < 2 {
 		failures = append(failures, fmt.Sprintf("sharded drill speedup %.2fx below the 2x floor", fresh.Sharded.Speedup))
+	}
+
+	// Kernel sweep: every (kernel, GOMAXPROCS) point holds to the same
+	// 20% latency budget as the flat results.
+	baseSweep := make(map[string]benchResult)
+	for _, ks := range base.KernelSweep {
+		for _, r := range ks.Results {
+			baseSweep[fmt.Sprintf("%s@%d", r.Name, ks.GOMAXPROCS)] = r
+		}
+	}
+	for _, ks := range fresh.KernelSweep {
+		for _, r := range ks.Results {
+			key := fmt.Sprintf("%s@%d", r.Name, ks.GOMAXPROCS)
+			b, ok := baseSweep[key]
+			if !ok || b.NsPerOp <= 0 {
+				fmt.Printf("%-28s %12d ns/op   (no baseline, skipped)\n", key, r.NsPerOp)
+				continue
+			}
+			ratio := float64(r.NsPerOp) / float64(b.NsPerOp)
+			status := "ok"
+			if ratio > nightlySlack {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: %d ns/op vs baseline %d (%.2fx > %.2fx budget)",
+					key, r.NsPerOp, b.NsPerOp, ratio, nightlySlack))
+			}
+			fmt.Printf("%-28s %12d ns/op   baseline %12d   %.2fx  %s\n", key, r.NsPerOp, b.NsPerOp, ratio, status)
+		}
+	}
+
+	// QPS ladder: batched throughput may not drop more than the 20%
+	// budget at any rung, batched p99 gets a wider 50% budget (the tail
+	// of a 256-request run is one scheduling hiccup wide), and the top
+	// rung must keep batching worth at least 2x over per-request
+	// execution — the floor the batch scheduler was built to clear.
+	baseQPS := make(map[int]qpsSweepEntry, len(base.QPS.Sweep))
+	for _, s := range base.QPS.Sweep {
+		baseQPS[s.GOMAXPROCS] = s
+	}
+	const p99Slack = 1.50
+	for _, s := range fresh.QPS.Sweep {
+		b, ok := baseQPS[s.GOMAXPROCS]
+		if !ok || b.Batched.QPS <= 0 {
+			fmt.Printf("qps@%-2d batched %8.1f qps   (no baseline, skipped)\n", s.GOMAXPROCS, s.Batched.QPS)
+			continue
+		}
+		status := "ok"
+		if s.Batched.QPS < b.Batched.QPS/nightlySlack {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("qps@%d: batched %.1f qps vs baseline %.1f (>%.0f%% drop)",
+				s.GOMAXPROCS, s.Batched.QPS, b.Batched.QPS, (nightlySlack-1)*100))
+		}
+		if b.Batched.P99Ms > 0 && s.Batched.P99Ms > b.Batched.P99Ms*p99Slack {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("qps@%d: batched p99 %.1fms vs baseline %.1fms (>%.0f%% regression)",
+				s.GOMAXPROCS, s.Batched.P99Ms, b.Batched.P99Ms, (p99Slack-1)*100))
+		}
+		fmt.Printf("qps@%-2d batched %8.1f qps (p99 %7.1fms)  baseline %8.1f (p99 %7.1fms)  %.2fx serial  %s\n",
+			s.GOMAXPROCS, s.Batched.QPS, s.Batched.P99Ms, b.Batched.QPS, b.Batched.P99Ms, s.Speedup, status)
+	}
+	if n := len(fresh.QPS.Sweep); n > 0 {
+		if top := fresh.QPS.Sweep[n-1]; top.Speedup < 2 {
+			failures = append(failures, fmt.Sprintf("qps@%d: batched speedup %.2fx over serial below the 2x floor",
+				top.GOMAXPROCS, top.Speedup))
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("nightly: %d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"kdap/internal/dataset"
+	"kdap/internal/experiments"
+	"kdap/internal/olap"
+)
+
+// calibrate sweeps the serial/striped kernel crossover for a ladder of
+// GOMAXPROCS values against the AW_ONLINE fact table — the same
+// calibration kdapd runs at startup under -autotune — and prints each
+// verdict. The host's own core count is restored (and its verdict
+// applied) before returning, so a following -exp bench run measures the
+// tuned kernel.
+func calibrate() error {
+	fmt.Println("== Kernel calibration: striped-scan crossover per GOMAXPROCS (AW_ONLINE) ==")
+	e := experiments.Engine(dataset.AWOnline())
+	ex, m := e.Executor(), e.Measure()
+
+	host := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(host)
+	for _, gmp := range []int{1, 4, 16} {
+		runtime.GOMAXPROCS(gmp)
+		tn := olap.CalibrateThreshold(ex, m)
+		verdict := "serial always (striping never won)"
+		if tn.ParallelRowThreshold > 0 {
+			verdict = fmt.Sprintf("stripe at >= %d rows", tn.ParallelRowThreshold)
+		}
+		fmt.Printf("GOMAXPROCS %2d: %s\n", gmp, verdict)
+	}
+
+	runtime.GOMAXPROCS(host)
+	tn := olap.CalibrateThreshold(ex, m)
+	olap.ApplyTuning(tn)
+	fmt.Printf("applied for this host (GOMAXPROCS %d): threshold %d\n", host, olap.ParallelRowThreshold())
+	return nil
+}

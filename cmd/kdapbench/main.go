@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kdapbench [-exp all|table1|table2|fig4|fig4r|fig5|fig6|fig7|bench]
+//	kdapbench [-exp all|table1|table2|table3|fig4|fig4r|fig4sim|fig5|fig6|fig7|merge|latency|discover|calibrate|qps|bench|nightly]
 //
 // The output is what EXPERIMENTS.md records as "measured".
 package main
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, bench, nightly")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, calibrate, qps, bench, nightly")
 	flag.Parse()
 
 	// nightly is a gate, not an experiment: it never runs under "all"
@@ -62,6 +62,16 @@ func main() {
 	run("merge", mergeAblation)
 	run("latency", latency)
 	run("discover", discover)
+	// calibrate mutates the process-wide kernel tuning, so it only runs
+	// when asked for by name, never under "all".
+	if *exp == "calibrate" {
+		run("calibrate", calibrate)
+	}
+	// qps mutates GOMAXPROCS during its sweep and takes tens of seconds,
+	// so like calibrate it only runs when asked for by name.
+	if *exp == "qps" {
+		run("qps", qpsReport)
+	}
 	run("bench", benchJSON)
 }
 

@@ -1,0 +1,319 @@
+package main
+
+// The qps experiment is the closed-loop throughput ladder: N concurrent
+// clients replay the 50-query workload (zipf-skewed popularity, the
+// duplication shape real query logs have) against three execution
+// stacks —
+//
+//	serial   in-process, every request does all of its own work
+//	batched  in-process, shared-scan batched execution (no answer cache)
+//	http     the full kdapd stack over HTTP: batching + answer cache
+//
+// — swept over GOMAXPROCS 1/4/16. Every mode replays the exact same
+// deterministic request sequence, so the QPS and latency quantiles are
+// comparable run to run; the numbers land in BENCH.json and the nightly
+// gate holds future changes to them.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"kdap/internal/dataset"
+	"kdap/internal/experiments"
+	"kdap/internal/kdapcore"
+	"kdap/internal/server"
+	"kdap/internal/workload"
+)
+
+const (
+	// qpsClients closed-loop clients stay constant across the
+	// GOMAXPROCS sweep: the ladder varies the engine's parallelism, not
+	// the offered concurrency.
+	qpsClients = 16
+	// qpsOps requests per client per run: 256 total per measurement.
+	qpsOps = 16
+	// qpsZipfExponent skews query popularity toward the head — the
+	// shape real query logs have (a few queries dominate, a long tail
+	// remains); search-log fits usually land between 1 and 1.5.
+	qpsZipfExponent = 1.4
+	// qpsBatchWindow is the gather window the batched modes run with.
+	qpsBatchWindow = 4 * time.Millisecond
+)
+
+// qpsGOMAXPROCS is the sweep axis.
+var qpsGOMAXPROCS = []int{1, 4, 16}
+
+// qpsModeResult is one (mode, GOMAXPROCS) measurement.
+type qpsModeResult struct {
+	QPS   float64 `json:"qps"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// qpsSweepEntry is one GOMAXPROCS rung of the ladder.
+type qpsSweepEntry struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Serial     qpsModeResult `json:"serial"`
+	Batched    qpsModeResult `json:"batched"`
+	HTTP       qpsModeResult `json:"http"`
+	// Speedup is batched QPS over serial QPS — the batching win with
+	// the answer cache out of the picture.
+	Speedup float64 `json:"batched_over_serial"`
+	// SharedScans/SharedAnswers snapshot the batched engine's sharing
+	// counters after the run: they explain where the speedup came from.
+	SharedScans   int64 `json:"shared_scans"`
+	SharedAnswers int64 `json:"shared_answers"`
+}
+
+// qpsBench is the BENCH.json qps section.
+type qpsBench struct {
+	Workload      string          `json:"workload"`
+	Clients       int             `json:"clients"`
+	OpsPerClient  int             `json:"ops_per_client"`
+	ZipfExponent  float64         `json:"zipf_exponent"`
+	BatchWindowMs float64         `json:"batch_window_ms"`
+	Sweep         []qpsSweepEntry `json:"sweep"`
+}
+
+// zipfPicks precomputes every client's query-index sequence from a
+// fixed seed, so all modes and all GOMAXPROCS rungs replay the
+// identical arrival pattern.
+func zipfPicks(clients, ops, nq int) [][]int {
+	z := rand.NewZipf(rand.New(rand.NewSource(42)), qpsZipfExponent, 1, uint64(nq-1))
+	picks := make([][]int, clients)
+	for c := range picks {
+		picks[c] = make([]int, ops)
+		for i := range picks[c] {
+			picks[c][i] = int(z.Uint64())
+		}
+	}
+	return picks
+}
+
+// closedLoop drives one measurement: each client works through its
+// pick sequence back to back, and the wall time of the whole storm
+// yields QPS while the per-request latencies yield the quantiles.
+func closedLoop(picks [][]int, do func(qi int) error) (qpsModeResult, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		lats     = make([]time.Duration, 0, len(picks)*len(picks[0]))
+	)
+	start := time.Now()
+	for c := range picks {
+		wg.Add(1)
+		go func(seq []int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, len(seq))
+			for _, qi := range seq {
+				t0 := time.Now()
+				if err := do(qi); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(picks[c])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return qpsModeResult{}, firstErr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		i := int(float64(len(lats)) * p)
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return float64(lats[i].Nanoseconds()) / 1e6
+	}
+	return qpsModeResult{
+		QPS:   float64(len(lats)) / wall.Seconds(),
+		P50Ms: pct(0.50),
+		P99Ms: pct(0.99),
+	}, nil
+}
+
+// emptySubspace recognizes the one expected per-query failure: a few
+// workload queries' top interpretation selects no facts, and explore
+// reports that. The engine still did the request's work, so the
+// closed loop counts it as a completed op in every mode.
+func emptySubspace(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "empty sub-dataspace")
+}
+
+// qpsSerial measures per-request execution: a fresh engine with no
+// batching and no answer cache, every request differentiating and
+// exploring on its own.
+func qpsSerial(wh *dataset.Warehouse, qs []workload.Query, picks [][]int) (qpsModeResult, error) {
+	e := experiments.Engine(wh)
+	opts := kdapcore.DefaultExploreOptions()
+	return closedLoop(picks, func(qi int) error {
+		nets, err := e.Differentiate(qs[qi].Text)
+		if err != nil {
+			return err
+		}
+		if len(nets) == 0 {
+			return fmt.Errorf("qps: %q: no interpretations", qs[qi].Text)
+		}
+		if _, err = e.Explore(nets[0], opts); emptySubspace(err) {
+			return nil
+		}
+		return err
+	})
+}
+
+// qpsBatched measures shared-scan batched execution with the answer
+// cache off, so the speedup over serial is attributable to batching
+// alone (gather + scan scope + in-flight dedup).
+func qpsBatched(wh *dataset.Warehouse, qs []workload.Query, picks [][]int) (qpsModeResult, int64, int64, error) {
+	e := experiments.Engine(wh)
+	e.SetBatching(qpsBatchWindow, qpsClients)
+	opts := kdapcore.DefaultExploreOptions()
+	ctx := context.Background()
+	res, err := closedLoop(picks, func(qi int) error {
+		nets, _, err := e.DifferentiateBatchedCtx(ctx, qs[qi].Text)
+		if err != nil {
+			return err
+		}
+		if len(nets) == 0 {
+			return fmt.Errorf("qps: %q: no interpretations", qs[qi].Text)
+		}
+		if _, _, err = e.ExploreBatchedCtx(ctx, nets[0], opts); emptySubspace(err) {
+			return nil
+		}
+		return err
+	})
+	st := e.BatchStats()
+	return res, st.SharedScans, st.SharedExplores + st.SharedDifferentiates, err
+}
+
+// qpsHTTP measures the full kdapd stack over loopback HTTP: JSON in
+// and out, sessions, admission, batching, and the default answer
+// cache — the ladder's production rung.
+func qpsHTTP(wh *dataset.Warehouse, qs []workload.Query, picks [][]int) (qpsModeResult, error) {
+	opts := server.DefaultOptions()
+	opts.SessionCap = 4096
+	opts.BatchWindow = qpsBatchWindow
+	opts.BatchMax = qpsClients
+	srv := server.NewWithOptions(map[string]*dataset.Warehouse{"online": wh}, opts)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	tr := &http.Transport{MaxIdleConns: 2 * qpsClients, MaxIdleConnsPerHost: 2 * qpsClients}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+
+	post := func(path string, req, resp any) error {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		r, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(r.Body, 256))
+			return fmt.Errorf("qps: %s: HTTP %d: %s", path, r.StatusCode, msg)
+		}
+		return json.NewDecoder(r.Body).Decode(resp)
+	}
+	return closedLoop(picks, func(qi int) error {
+		var q struct {
+			Session string `json:"session"`
+		}
+		if err := post("/api/query", map[string]any{"db": "online", "q": qs[qi].Text}, &q); err != nil {
+			return err
+		}
+		var f struct {
+			SubspaceSize int `json:"subspaceSize"`
+		}
+		if err := post("/api/explore", map[string]any{"session": q.Session, "pick": 1}, &f); err != nil && !emptySubspace(err) {
+			return err
+		}
+		return nil
+	})
+}
+
+// computeQPS runs the full ladder and returns the BENCH.json section.
+func computeQPS() (qpsBench, error) {
+	wh := dataset.AWOnline()
+	qs := workload.AWOnlineQueries()
+	picks := zipfPicks(qpsClients, qpsOps, len(qs))
+	out := qpsBench{
+		Workload:      "AW_ONLINE",
+		Clients:       qpsClients,
+		OpsPerClient:  qpsOps,
+		ZipfExponent:  qpsZipfExponent,
+		BatchWindowMs: float64(qpsBatchWindow) / float64(time.Millisecond),
+	}
+	for _, p := range qpsGOMAXPROCS {
+		prev := runtime.GOMAXPROCS(p)
+		serial, err := qpsSerial(wh, qs, picks)
+		if err == nil {
+			var batched qpsModeResult
+			var scans, answers int64
+			if batched, scans, answers, err = qpsBatched(wh, qs, picks); err == nil {
+				var httpRes qpsModeResult
+				if httpRes, err = qpsHTTP(wh, qs, picks); err == nil {
+					out.Sweep = append(out.Sweep, qpsSweepEntry{
+						GOMAXPROCS:    p,
+						Serial:        serial,
+						Batched:       batched,
+						HTTP:          httpRes,
+						Speedup:       batched.QPS / serial.QPS,
+						SharedScans:   scans,
+						SharedAnswers: answers,
+					})
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			return qpsBench{}, err
+		}
+	}
+	return out, nil
+}
+
+// qpsReport is the -exp qps entry point.
+func qpsReport() error {
+	fmt.Printf("== Closed-loop QPS ladder: %d clients, %d ops each, zipf %.1f over the 50-query workload ==\n",
+		qpsClients, qpsOps, qpsZipfExponent)
+	rep, err := computeQPS()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-28s %-28s %-28s %8s\n", "GOMAXPROCS",
+		"serial qps (p50/p99 ms)", "batched qps (p50/p99 ms)", "http qps (p50/p99 ms)", "speedup")
+	for _, s := range rep.Sweep {
+		fmt.Printf("%-10d %8.1f (%6.1f/%7.1f)     %8.1f (%6.1f/%7.1f)     %8.1f (%6.1f/%7.1f)    %6.2fx\n",
+			s.GOMAXPROCS,
+			s.Serial.QPS, s.Serial.P50Ms, s.Serial.P99Ms,
+			s.Batched.QPS, s.Batched.P50Ms, s.Batched.P99Ms,
+			s.HTTP.QPS, s.HTTP.P50Ms, s.HTTP.P99Ms,
+			s.Speedup)
+	}
+	return nil
+}

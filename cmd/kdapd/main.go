@@ -5,6 +5,7 @@
 //	kdapd [-addr :8080] [-db ebiz,online,reseller] [-log text|json]
 //	      [-query-timeout 10s] [-max-inflight 0]
 //	      [-answer-cache-size 512] [-answer-cache-ttl 5m] [-shards 0]
+//	      [-autotune] [-batch-window 0] [-batch-max 16]
 //
 // A minimal web UI is served at /; the JSON endpoints live under /api.
 // Prometheus metrics are exposed at /metrics, pprof profiles under
@@ -50,6 +51,12 @@ func main() {
 		"answer cache entry lifetime (0 = no expiry)")
 	shards := flag.Int("shards", 0,
 		"partition each fact table into this many zone-mapped shards for pruned scatter-gather scans (<=1 = monolithic)")
+	autotune := flag.Bool("autotune", false,
+		"calibrate the parallel-kernel row threshold at startup against the largest served fact table")
+	batchWindow := flag.Duration("batch-window", 0,
+		"gather window for shared-scan batched execution (0 disables batching)")
+	batchMax := flag.Int("batch-max", 16,
+		"max requests gathered into one shared-scan batch before it flushes early")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -87,6 +94,9 @@ func main() {
 	srvOpts.AnswerCacheSize = *answerCacheSize
 	srvOpts.AnswerCacheTTL = *answerCacheTTL
 	srvOpts.Shards = *shards
+	srvOpts.Autotune = *autotune
+	srvOpts.BatchWindow = *batchWindow
+	srvOpts.BatchMax = *batchMax
 	api := server.NewWithOptions(warehouses, srvOpts)
 	api.SetLogger(logger)
 	srv := &http.Server{

@@ -7,8 +7,11 @@ import (
 )
 
 func TestWriteFacetsCSV(t *testing.T) {
+	// "projector" selects a subspace whose facets carry both a promoted
+	// hit attribute and bucketed numeric attributes, so every CSV row
+	// shape below is exercised.
 	e := NewEngine(EBiz())
-	nets, _ := e.Differentiate("Columbus LCD")
+	nets, _ := e.Differentiate("projector")
 	f, err := e.Explore(nets[0], DefaultExploreOptions())
 	if err != nil {
 		t.Fatal(err)

@@ -42,6 +42,10 @@ type Engine struct {
 	// session keeps returning to.
 	rowsCache *cache.Clock[string, []int]
 
+	// rowsFlight collapses concurrent materializations of the same row
+	// set (subspace semijoins and roll-up spaces alike) into one scan.
+	rowsFlight cache.Group[string, []int]
+
 	// Answer caches: finished Differentiate and Explore results, enabled
 	// by SetAnswerCache (nil = disabled). See answers.go.
 	diffAnswers *cache.Answers[[]*StarNet]
@@ -49,6 +53,17 @@ type Engine struct {
 	// dataVersion stamps the dataset generation; InvalidateAnswers
 	// advances it, retiring cached answers and HTTP ETags together.
 	dataVersion atomic.Uint64
+
+	// Shared-scan batching state (see batch.go): the gather scheduler,
+	// whole-request singleflights for engines running without an answer
+	// cache, and the counters BatchStats reports.
+	batch         atomic.Pointer[batcher]
+	explFlight    cache.Group[string, *Facets]
+	diffFlight    cache.Group[string, []*StarNet]
+	batchSizeHist *telemetry.Histogram
+	scanShared    atomic.Int64
+	explShared    atomic.Int64
+	diffShared    atomic.Int64
 }
 
 // rowsCacheCap bounds the subspace cache.
@@ -66,6 +81,8 @@ func NewEngine(g *schemagraph.Graph, ix *fulltext.Index, m olap.Measure, agg ola
 		hitLim:    defaultHitLimits(),
 		netLim:    defaultNetLimits(),
 		rowsCache: cache.NewClock[string, []int](rowsCacheCap),
+		// Batch sizes are small integers, not latencies: bucket by count.
+		batchSizeHist: telemetry.NewHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
 	}
 }
 
@@ -193,7 +210,7 @@ func (e *Engine) differentiateRanked(ctx context.Context, query string, method R
 	}
 
 	_, sp = telemetry.StartSpan(ctx, "rank")
-	rankStarNets(nets, method)
+	rankStarNets(e.graph, nets, method)
 	sp.End()
 	return nets, nil
 }
@@ -243,30 +260,63 @@ func (e *Engine) subspaceRowsCtx(ctx context.Context, sn *StarNet) ([]int, error
 	}
 	_, sp := telemetry.StartSpan(ctx, "subspace_semijoin")
 	defer sp.End()
-	// Numeric drills on fact (measure) columns become declarative bounds
-	// for the semijoin's shard planner: a shard whose zone map misses the
-	// bound interval is skipped before any bitset is intersected. The
-	// filters still run below, so the row set is exactly the unbounded
-	// semijoin's after filtering.
-	var bounds []shard.Bound
-	for _, nf := range sn.Filters {
-		if nf.OnFact {
-			lo, hi := nf.bounds()
-			bounds = append(bounds, shard.Bound{Col: nf.Attr.Attr, Lo: lo, Hi: hi})
+	// Concurrent identical semijoins collapse into one scan; a cancelled
+	// leader's partial result is never shared (cache.Group's contract).
+	rows, _, err := e.rowsFlight.Do(ctx, sig, func(ctx context.Context) ([]int, error) {
+		// Numeric drills on fact (measure) columns become declarative bounds
+		// for the semijoin's shard planner: a shard whose zone map misses the
+		// bound interval is skipped before any bitset is intersected. The
+		// filters still run below, so the row set is exactly the unbounded
+		// semijoin's after filtering.
+		var bounds []shard.Bound
+		for _, nf := range sn.Filters {
+			if nf.OnFact {
+				lo, hi := nf.bounds()
+				bounds = append(bounds, shard.Bound{Col: nf.Attr.Attr, Lo: lo, Hi: hi})
+			}
 		}
-	}
-	rows, err := e.exec.FactRowsBoundedCtx(ctx, sn.Constraints(), bounds)
-	if err != nil {
-		return nil, err
-	}
-	if len(sn.Filters) > 0 {
-		rows, err = e.applyFiltersCtx(ctx, rows, sn.Filters)
+		rows, err := e.exec.FactRowsBoundedCtx(ctx, sn.Constraints(), bounds)
 		if err != nil {
 			return nil, err
 		}
+		if len(sn.Filters) > 0 {
+			rows, err = e.applyFiltersCtx(ctx, rows, sn.Filters)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e.rowsCache.Put(sig, rows)
+		return rows, nil
+	})
+	return rows, err
+}
+
+// factRowsKeyed materializes an arbitrary constrained-and-filtered row
+// set under a canonical key, serving repeats from the subspace cache and
+// collapsing concurrent duplicates. Roll-up background spaces go through
+// here: distinct interpretations frequently share them (every
+// single-group net rolls up to the same spaces its siblings do), so
+// keying them makes that sharing durable across requests, not just
+// within one batch.
+func (e *Engine) factRowsKeyed(ctx context.Context, key string, cs []olap.Constraint, filters []NumericFilter) ([]int, error) {
+	if rows, ok := e.rowsCache.Get(key); ok {
+		return rows, nil
 	}
-	e.rowsCache.Put(sig, rows)
-	return rows, nil
+	rows, _, err := e.rowsFlight.Do(ctx, key, func(ctx context.Context) ([]int, error) {
+		rows, err := e.exec.FactRowsCtx(ctx, cs)
+		if err != nil {
+			return nil, err
+		}
+		if len(filters) > 0 {
+			rows, err = e.applyFiltersCtx(ctx, rows, filters)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e.rowsCache.Put(key, rows)
+		return rows, nil
+	})
+	return rows, err
 }
 
 // RowsCacheStats snapshots the materialized-subspace cache counters.

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"kdap/internal/olap"
@@ -169,6 +170,12 @@ type rollup struct {
 	dim  string
 	rows []int
 	agg  float64
+	// key is the space's canonical identity (its constraint-and-filter
+	// set): scans over the same roll-up space share work under it, both
+	// across requests in a batch scope and in the engine's subspace
+	// cache. Distinct interpretations meet at these keys constantly —
+	// every single-group net rolls up to the same "all" space.
+	key string
 }
 
 // Explore runs the second KDAP phase: build the dynamic facets of the
@@ -410,6 +417,7 @@ func (e *Engine) buildRollupsCtx(ctx context.Context, sn *StarNet) ([]rollup, er
 		cur := base[i]
 		role := cur.Path.Role
 		var rows []int
+		var key string
 		for {
 			gen, ok := e.generalizeConstraint(cur, role)
 			var cs []olap.Constraint
@@ -418,15 +426,10 @@ func (e *Engine) buildRollupsCtx(ctx context.Context, sn *StarNet) ([]rollup, er
 			} else {
 				cs = others // top of the hierarchy: roll up to "all"
 			}
-			rows, err = e.exec.FactRowsCtx(ctx, cs)
+			key = constraintsKey(cs, sn.Filters)
+			rows, err = e.factRowsKeyed(ctx, key, cs, sn.Filters)
 			if err != nil {
 				return nil, err
-			}
-			if len(sn.Filters) > 0 {
-				rows, err = e.applyFiltersCtx(ctx, rows, sn.Filters)
-				if err != nil {
-					return nil, err
-				}
 			}
 			if !ok || len(rows) > len(baseRows) {
 				break
@@ -437,13 +440,50 @@ func (e *Engine) buildRollupsCtx(ctx context.Context, sn *StarNet) ([]rollup, er
 		if len(rows) == 0 {
 			continue
 		}
-		agg, err := e.exec.AggregateCtx(ctx, rows, e.measure, e.agg)
+		agg, err := e.rollupAggregate(ctx, key, rows)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, rollup{dim: base[i].Path.Dim, rows: rows, agg: agg})
+		out = append(out, rollup{dim: base[i].Path.Dim, rows: rows, agg: agg, key: key})
 	}
 	return out, nil
+}
+
+// constraintsKey renders the canonical identity of a constrained,
+// filtered fact-row set — the cache and sharing key for roll-up spaces.
+// Order-independent: constraint and filter parts are sorted.
+func constraintsKey(cs []olap.Constraint, filters []NumericFilter) string {
+	parts := make([]string, 0, len(cs)+len(filters))
+	for _, c := range cs {
+		vals := make([]string, len(c.Values))
+		for i, v := range c.Values {
+			vals[i] = v.Text()
+		}
+		sort.Strings(vals)
+		parts = append(parts, c.Table+"."+c.Attr+"["+c.Path.Role+"]{"+strings.Join(vals, "\x1e")+"}")
+	}
+	for _, nf := range filters {
+		parts = append(parts, nf.String())
+	}
+	sort.Strings(parts)
+	return "ru\x1f" + strings.Join(parts, "\x1f")
+}
+
+// rollupAggregate computes G(RUP) — through the batch scope when one is
+// attached, so concurrent requests sharing a roll-up space aggregate it
+// once.
+func (e *Engine) rollupAggregate(ctx context.Context, key string, rows []int) (float64, error) {
+	sc := scanScopeOf(ctx)
+	if sc == nil {
+		return e.exec.AggregateCtx(ctx, rows, e.measure, e.agg)
+	}
+	v, err := sc.do(ctx, "agg\x1f"+key, func(ctx context.Context) (any, error) {
+		return e.exec.AggregateCtx(ctx, rows, e.measure, e.agg)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(float64), nil
 }
 
 // modeScore converts a correlation into the mode's interestingness score:
@@ -502,6 +542,47 @@ func (e *Engine) scoreAttr(ctx context.Context, attr schemagraph.AttrRef, role s
 	return e.scoreCategoricalAttr(ctx, attr, path, rows, totalAgg, rollups, opts)
 }
 
+// groupBysOver runs the local group-by and every roll-up's group-by for
+// one attribute. Outside a batch the calls fuse into one multi-row-set
+// walk over the shared columns (olap.GroupByMultiCtx); inside a batch
+// each roll-up scan goes through the scope, so concurrent requests that
+// share a roll-up space compute its group-by once. Either way every
+// per-set result is byte-identical to a solo GroupByCtx call.
+func (e *Engine) groupBysOver(ctx context.Context, local []int, rollups []rollup, attr string,
+	path schemagraph.JoinPath) (map[relation.Value]float64, []map[relation.Value]float64, error) {
+
+	sc := scanScopeOf(ctx)
+	if sc == nil {
+		sets := make([][]int, 0, len(rollups)+1)
+		sets = append(sets, local)
+		for i := range rollups {
+			sets = append(sets, rollups[i].rows)
+		}
+		res, err := e.exec.GroupByMultiCtx(ctx, sets, attr, path, e.measure, e.agg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res[0], res[1:], nil
+	}
+	lg, err := e.exec.GroupByCtx(ctx, local, attr, path, e.measure, e.agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	bgs := make([]map[relation.Value]float64, len(rollups))
+	for i := range rollups {
+		ru := &rollups[i]
+		key := "gb\x1f" + ru.key + "\x1f" + path.Role + "\x1f" + path.Source + "." + attr
+		v, err := sc.do(ctx, key, func(ctx context.Context) (any, error) {
+			return e.exec.GroupByCtx(ctx, ru.rows, attr, path, e.measure, e.agg)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		bgs[i] = v.(map[relation.Value]float64)
+	}
+	return lg, bgs, nil
+}
+
 // scoreCategoricalAttr applies Equation 1 over a categorical partition:
 // correlate the DS' aggregate series with each roll-up's series over the
 // categories present in DS', keep the worst (most interesting) score.
@@ -509,7 +590,7 @@ func (e *Engine) scoreCategoricalAttr(ctx context.Context, attr schemagraph.Attr
 	rows []int, totalAgg float64, rollups []rollup, opts ExploreOptions) (*AttrFacet, error) {
 
 	_, gsp := telemetry.StartSpan(ctx, "groupby_kernel")
-	local, err := e.exec.GroupByCtx(ctx, rows, attr.Attr, path, e.measure, e.agg)
+	local, bgs, err := e.groupBysOver(ctx, rows, rollups, attr.Attr, path)
 	gsp.End()
 	if err != nil {
 		return nil, err
@@ -534,10 +615,7 @@ func (e *Engine) scoreCategoricalAttr(ctx context.Context, attr schemagraph.Attr
 	var bestBG map[relation.Value]float64
 	for i := range rollups {
 		ru := &rollups[i]
-		bg, err := e.exec.GroupByCtx(ctx, ru.rows, attr.Attr, path, e.measure, e.agg)
-		if err != nil {
-			return nil, err
-		}
+		bg := bgs[i]
 		y := make([]float64, len(cats))
 		for j, c := range cats {
 			y[j] = bg[c]
@@ -632,7 +710,7 @@ func (e *Engine) scoreNumericAttr(ctx context.Context, attr schemagraph.AttrRef,
 	var bestRU *rollup
 	for i := range rollups {
 		ru := &rollups[i]
-		bgVals, err := e.exec.NumericSeriesCtx(ctx, ru.rows, attr.Attr, path, e.measure)
+		bgVals, err := e.rollupSeries(ctx, ru, attr.Attr, path)
 		if err != nil {
 			csp.End()
 			return nil, err
@@ -656,6 +734,24 @@ func (e *Engine) scoreNumericAttr(ctx context.Context, attr schemagraph.AttrRef,
 		return nil, err
 	}
 	return af, nil
+}
+
+// rollupSeries extracts a roll-up space's numeric series — through the
+// batch scope when one is attached, sharing the extraction among
+// concurrent requests over the same space.
+func (e *Engine) rollupSeries(ctx context.Context, ru *rollup, attr string, path schemagraph.JoinPath) ([]olap.ValueMeasure, error) {
+	sc := scanScopeOf(ctx)
+	if sc == nil {
+		return e.exec.NumericSeriesCtx(ctx, ru.rows, attr, path, e.measure)
+	}
+	key := "ns\x1f" + ru.key + "\x1f" + path.Role + "\x1f" + path.Source + "." + attr
+	v, err := sc.do(ctx, key, func(ctx context.Context) (any, error) {
+		return e.exec.NumericSeriesCtx(ctx, ru.rows, attr, path, e.measure)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]olap.ValueMeasure), nil
 }
 
 // numericInstances merges basic intervals into K display ranges and
@@ -711,11 +807,6 @@ func (e *Engine) promotedFacet(ctx context.Context, attr schemagraph.AttrRef, bg
 	rows []int, totalAgg float64, rollups []rollup, opts ExploreOptions) (*AttrFacet, error) {
 
 	af := &AttrFacet{Attr: attr, Role: bg.Path.Role, Score: math.Inf(1), Promoted: true}
-	local, err := e.exec.GroupByCtx(ctx, rows, attr.Attr, bg.Path, e.measure, e.agg)
-	if err != nil {
-		return nil, err
-	}
-
 	var ru *rollup
 	for i := range rollups {
 		if rollups[i].dim == bg.Path.Dim {
@@ -723,12 +814,17 @@ func (e *Engine) promotedFacet(ctx context.Context, attr schemagraph.AttrRef, bg
 			break
 		}
 	}
+	var withRU []rollup
+	if ru != nil {
+		withRU = []rollup{*ru}
+	}
+	local, bgs, err := e.groupBysOver(ctx, rows, withRU, attr.Attr, bg.Path)
+	if err != nil {
+		return nil, err
+	}
 	var bgAgg map[relation.Value]float64
 	if ru != nil {
-		bgAgg, err = e.exec.GroupByCtx(ctx, ru.rows, attr.Attr, bg.Path, e.measure, e.agg)
-		if err != nil {
-			return nil, err
-		}
+		bgAgg = bgs[0]
 	}
 	for _, v := range bg.Group.Values() {
 		inst := Instance{Label: v.Text(), Value: v, Aggregate: local[v]}

@@ -3,6 +3,8 @@ package kdapcore
 import (
 	"math"
 	"sort"
+
+	"kdap/internal/schemagraph"
 )
 
 // RankMethod selects the star-net scoring formula. Standard is the
@@ -90,17 +92,94 @@ func scoreStarNet(sn *StarNet, m RankMethod) float64 {
 	}
 }
 
+// Analytic tiers for the schema-aware tie-break: attributes inside a
+// declared dimension hierarchy, then attributes that are merely
+// group-by candidates, then attributes that are neither — descriptive
+// text columns like a customer's first name. Levels within one
+// hierarchy deliberately share a tier: "Hamburg" the city versus
+// "Hamburg" the state province is a genuine ambiguity the later
+// deterministic tie-breaks settle, not a structural one.
+const (
+	tierHierarchy = iota
+	tierGroupByOnly
+	tierUnstructured
+)
+
+// analyticTier rates how analytic one hit group's attribute domain is.
+// A keyword like "Sydney" hits both DimGeography.City and
+// DimCustomer.FirstName with the exact same text similarity; the
+// scoring formula cannot separate them, but the schema can — City is a
+// declared hierarchy level the user can roll up and drill along,
+// FirstName is free text that happens to be indexed.
+func analyticTier(g *schemagraph.Graph, bg *BoundGroup) int {
+	attr := schemagraph.AttrRef{Table: bg.Group.Table, Attr: bg.Group.Attr}
+	tier := tierUnstructured
+	for _, d := range g.Dimensions() {
+		for _, h := range d.Hierarchies {
+			for _, a := range h.Levels {
+				if a == attr {
+					return tierHierarchy
+				}
+			}
+		}
+		for _, a := range d.GroupBy {
+			if a == attr {
+				tier = tierGroupByOnly
+			}
+		}
+	}
+	return tier
+}
+
+// analyticTierSum is the net's structural tie-break key: the sum of its
+// groups' tiers, smaller = more analytically structured interpretation.
+func analyticTierSum(g *schemagraph.Graph, sn *StarNet) int {
+	sum := 0
+	for i := range sn.Groups {
+		sum += analyticTier(g, &sn.Groups[i])
+	}
+	return sum
+}
+
+// distinctDomains counts the distinct attribute domains the net's hit
+// groups bind. When "Brakes Chains" can read as two subcategories or as
+// a product name plus a subcategory at the same score, the coherent
+// reading — both keywords naming instances of one domain — is the
+// analytical intent more often than a mixed binding.
+func distinctDomains(sn *StarNet) int {
+	seen := make(map[string]bool, len(sn.Groups))
+	for i := range sn.Groups {
+		seen[sn.Groups[i].Group.Domain()] = true
+	}
+	return len(seen)
+}
+
 // rankStarNets scores and sorts nets in place, descending. The scoring
-// formula sees only hit groups, so nets that differ solely in join paths
-// tie; ties break toward smaller join networks (the DISCOVER/DBXplorer
-// heuristic the paper builds on) and then deterministically by signature.
-func rankStarNets(nets []*StarNet, m RankMethod) {
+// formula sees only hit groups, so nets whose hits carry equal text
+// similarity tie exactly; ties break first toward interpretations over
+// analytically structured domains (hierarchy levels beat bare group-by
+// candidates beat descriptive text columns — the KDAP premise that
+// keywords name analysis subjects, §4.4), then toward domain-coherent
+// readings (fewer distinct attribute domains), then toward smaller join
+// networks (the DISCOVER/DBXplorer heuristic the paper builds on), and
+// last deterministically by signature. The tier outranks path length
+// because the two disagree exactly when a descriptive column sits
+// closer to the fact table than the hierarchy it shadows ("Sydney" the
+// customer first name is one join nearer than "Sydney" the city), and
+// preferring the shorter join there picks the non-analytic reading.
+func rankStarNets(g *schemagraph.Graph, nets []*StarNet, m RankMethod) {
 	for _, sn := range nets {
 		sn.Score = scoreStarNet(sn, m)
 	}
 	sort.SliceStable(nets, func(i, j int) bool {
 		if nets[i].Score != nets[j].Score {
 			return nets[i].Score > nets[j].Score
+		}
+		if a, b := analyticTierSum(g, nets[i]), analyticTierSum(g, nets[j]); a != b {
+			return a < b
+		}
+		if a, b := distinctDomains(nets[i]), distinctDomains(nets[j]); a != b {
+			return a < b
 		}
 		if a, b := nets[i].pathLen(), nets[j].pathLen(); a != b {
 			return a < b

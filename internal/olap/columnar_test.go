@@ -78,9 +78,8 @@ func TestGroupByEvalFallbackMatchesReference(t *testing.T) {
 // (values agree to merge precision; group sets agree exactly) and
 // against itself (deterministic across runs).
 func TestGroupByParallelKernel(t *testing.T) {
-	old := parallelRowThreshold
-	parallelRowThreshold = 64
-	defer func() { parallelRowThreshold = old }()
+	SetParallelRowThreshold(64)
+	defer SetParallelRowThreshold(0)
 
 	ex := NewExecutor(ebiz.Graph)
 	m := revenue(t)
@@ -121,9 +120,8 @@ func TestAggregateMatchesReference(t *testing.T) {
 		}
 	}
 	// Parallel path agrees to merge precision.
-	old := parallelRowThreshold
-	parallelRowThreshold = 64
-	defer func() { parallelRowThreshold = old }()
+	SetParallelRowThreshold(64)
+	defer SetParallelRowThreshold(0)
 	all := ex.FactRows(nil)
 	for _, agg := range []Agg{Sum, Count, Avg, Min, Max} {
 		got := ex.Aggregate(all, m, agg)

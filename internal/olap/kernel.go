@@ -5,18 +5,25 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
 )
 
 // The columnar execution kernels: tight loops over pre-extracted
-// []int32 code vectors and []float64 measure columns, with a chunked
+// []int32 code vectors and []float64 measure columns, with a striped
 // parallel variant engaged for large row sets. They are pure execution
 // strategy — every kernel produces results identical to the row-at-a-
 // time reference path (see GroupByRef), modulo the float summation
-// order of the parallel merge, which is deterministic for a fixed
-// GOMAXPROCS because rows are chunked and merged in index order.
+// order of the stripe merge, which is canonical: a row set at or above
+// the parallel threshold is always split into exactly kernelStripes
+// contiguous stripes whose partials merge in stripe-index order,
+// whether the stripes run on one goroutine or sixteen. The stripe grid
+// is a function of the row count alone — never of GOMAXPROCS or of how
+// many workers happened to be scheduled — so aggregate bytes are
+// identical across core counts, and threshold calibration (see tune.go)
+// only moves the serial/striped boundary, never how partials merge.
 //
 // Every kernel is cancellable: the scan loops are blocked into
 // cancelCheckRows-row strides and consult ctx.Err() between strides,
@@ -26,15 +33,41 @@ import (
 // circuits on a nil channel compare and the inner loops are the same
 // tight code as before.
 
-// parallelRowThreshold is the row count above which the fused
-// scan+aggregate kernels fan out across GOMAXPROCS workers. Below it
-// the goroutine and merge overhead outweighs the scan. Variable so
-// tests can force either path.
-var parallelRowThreshold = 16384
+// kernelStripes is the fixed fan-out of a striped scan. It doubles as
+// the worker-count cap: past a point extra workers only shred the
+// cache, and a fixed stripe count is what keeps the merge order — and
+// therefore the output bytes — independent of the machine.
+const kernelStripes = 16
 
-// maxKernelWorkers caps the fan-out; past a point extra workers only
-// shred the cache.
-const maxKernelWorkers = 16
+// defaultParallelRowThreshold is the factory row count above which the
+// fused scan+aggregate kernels go striped. Below it the stripe states
+// and goroutine handoff outweigh the scan. Overridable per process by
+// SetParallelRowThreshold (the calibration pass measures the real
+// crossover for the running GOMAXPROCS).
+const defaultParallelRowThreshold = 8192
+
+// parallelThreshold holds the live threshold behind an atomic so a
+// load-time calibration pass may adjust it while tests (or a warm
+// server) run scans concurrently.
+var parallelThreshold atomic.Int64
+
+func init() { parallelThreshold.Store(defaultParallelRowThreshold) }
+
+// ParallelRowThreshold returns the row count at which scans go striped.
+func ParallelRowThreshold() int { return int(parallelThreshold.Load()) }
+
+// SetParallelRowThreshold overrides the striped-scan threshold for the
+// whole process (it is machine tuning, like GOMAXPROCS, not a per-
+// executor property). n <= 0 restores the factory default. Changing the
+// threshold moves row sets between the serial and striped accumulation
+// orders, so results for a given row set are byte-stable only for a
+// fixed threshold — calibrate at startup, before serving queries.
+func SetParallelRowThreshold(n int) {
+	if n <= 0 {
+		n = defaultParallelRowThreshold
+	}
+	parallelThreshold.Store(int64(n))
+}
 
 // cancelCheckRows is the stride between ctx.Err() checks inside the
 // scan kernels. At ~10ns/row a stride is a few tens of microseconds of
@@ -42,15 +75,34 @@ const maxKernelWorkers = 16
 // while the check amortizes to well under the benchmark noise floor.
 const cancelCheckRows = 8192
 
-// kernelWorkers returns how many chunks a parallel scan over n rows
-// should use (1 = run sequentially).
-func kernelWorkers(n int) int {
-	if n < parallelRowThreshold {
-		return 1
+// span is one stripe's half-open index range into a row set.
+type span struct{ lo, hi int }
+
+// stripeSpans splits n rows into exactly kernelStripes contiguous
+// spans, the leading n%kernelStripes spans one row longer. The layout
+// depends on n alone.
+func stripeSpans(n int) []span {
+	spans := make([]span, kernelStripes)
+	base, rem := n/kernelStripes, n%kernelStripes
+	lo := 0
+	for i := range spans {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		spans[i] = span{lo, hi}
+		lo = hi
 	}
+	return spans
+}
+
+// scanWorkers returns how many goroutines a striped scan should use: up
+// to one per stripe, never more than GOMAXPROCS (1 means the stripes
+// run inline, in order, on the calling goroutine).
+func scanWorkers() int {
 	w := runtime.GOMAXPROCS(0)
-	if w > maxKernelWorkers {
-		w = maxKernelWorkers
+	if w > kernelStripes {
+		w = kernelStripes
 	}
 	if w < 1 {
 		w = 1
@@ -60,7 +112,7 @@ func kernelWorkers(n int) int {
 
 // mergeInto folds src into dst. All five aggregation functions merge
 // associatively over (sum, n, min, max), which is what makes the
-// chunked parallel scan correct.
+// striped scan correct.
 func (s *aggState) mergeInto(src *aggState) {
 	s.sum += src.sum
 	s.n += src.n
@@ -82,51 +134,69 @@ func measureVec(m Measure) []float64 {
 	return m.Vec()
 }
 
+// runStripes executes one body per stripe index, inline when workers is
+// 1 and over a worker pool pulling stripes from an atomic counter
+// otherwise. The body for stripe i must be independent of every other
+// stripe; callers merge the per-stripe partials in index order.
+func runStripes(nstripes, workers int, body func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < nstripes; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nstripes {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // groupScan accumulates the measure over rows into one aggState per
 // dictionary code, returning the dense state slice and a touched mask
 // (a group is "touched" when any row carries its code, even if every
 // measure value was NaN — matching the reference path, which creates a
 // group state before evaluating the measure).
 func (ex *Executor) groupScan(ctx context.Context, rows []int, codes []int32, ngroups int, m Measure) ([]aggState, []bool, error) {
-	workers := kernelWorkers(len(rows))
-	if workers == 1 {
+	if len(rows) < ParallelRowThreshold() {
 		ex.stats.serialScans.Add(1)
 		return ex.groupScanChunk(ctx, rows, codes, ngroups, m)
 	}
-	ex.stats.parallelScans.Add(1)
-	ex.stats.kernelChunks.Add(int64(workers))
-	states := make([][]aggState, workers)
-	touched := make([][]bool, workers)
-	errs := make([]error, workers)
-	chunk := (len(rows) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			states[w], touched[w], errs[w] = ex.groupScanChunk(ctx, rows[lo:hi], codes, ngroups, m)
-		}(w, lo, hi)
+	spans := stripeSpans(len(rows))
+	workers := scanWorkers()
+	if workers == 1 {
+		ex.stats.serialScans.Add(1)
+	} else {
+		ex.stats.parallelScans.Add(1)
+		ex.stats.kernelChunks.Add(int64(len(spans)))
 	}
-	wg.Wait()
+	states := make([][]aggState, len(spans))
+	touched := make([][]bool, len(spans))
+	errs := make([]error, len(spans))
+	runStripes(len(spans), workers, func(i int) {
+		sp := spans[i]
+		states[i], touched[i], errs[i] = ex.groupScanChunk(ctx, rows[sp.lo:sp.hi], codes, ngroups, m)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	// Merge partials in chunk order so the result is deterministic.
+	// Merge partials in stripe order so the result is deterministic —
+	// the same bytes no matter how many workers ran the stripes.
 	out, outTouched := states[0], touched[0]
-	for w := 1; w < workers; w++ {
-		if states[w] == nil {
-			continue
-		}
+	for w := 1; w < len(spans); w++ {
 		for g := range out {
 			if touched[w][g] {
 				outTouched[g] = true
@@ -138,7 +208,7 @@ func (ex *Executor) groupScan(ctx context.Context, rows []int, codes []int32, ng
 }
 
 // groupScanChunk is the sequential fused scan+aggregate kernel over one
-// chunk of rows, checking for cancellation every cancelCheckRows rows.
+// stripe of rows, checking for cancellation every cancelCheckRows rows.
 func (ex *Executor) groupScanChunk(ctx context.Context, rows []int, codes []int32, ngroups int, m Measure) ([]aggState, []bool, error) {
 	states := make([]aggState, ngroups)
 	for g := range states {
@@ -179,41 +249,31 @@ func (ex *Executor) groupScanChunk(ctx context.Context, rows []int, codes []int3
 
 // scanAggregate is the fused single-group scan behind Aggregate.
 func (ex *Executor) scanAggregate(ctx context.Context, rows []int, m Measure) (aggState, error) {
-	workers := kernelWorkers(len(rows))
-	if workers == 1 {
+	if len(rows) < ParallelRowThreshold() {
 		ex.stats.serialScans.Add(1)
 		return ex.scanAggregateChunk(ctx, rows, m)
 	}
-	ex.stats.parallelScans.Add(1)
-	ex.stats.kernelChunks.Add(int64(workers))
-	partial := make([]aggState, workers)
-	errs := make([]error, workers)
-	chunk := (len(rows) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
-		}
-		if lo >= hi {
-			partial[w] = newAggState()
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			partial[w], errs[w] = ex.scanAggregateChunk(ctx, rows[lo:hi], m)
-		}(w, lo, hi)
+	spans := stripeSpans(len(rows))
+	workers := scanWorkers()
+	if workers == 1 {
+		ex.stats.serialScans.Add(1)
+	} else {
+		ex.stats.parallelScans.Add(1)
+		ex.stats.kernelChunks.Add(int64(len(spans)))
 	}
-	wg.Wait()
+	partial := make([]aggState, len(spans))
+	errs := make([]error, len(spans))
+	runStripes(len(spans), workers, func(i int) {
+		sp := spans[i]
+		partial[i], errs[i] = ex.scanAggregateChunk(ctx, rows[sp.lo:sp.hi], m)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return aggState{}, err
 		}
 	}
 	st := partial[0]
-	for w := 1; w < workers; w++ {
+	for w := 1; w < len(partial); w++ {
 		st.mergeInto(&partial[w])
 	}
 	return st, nil

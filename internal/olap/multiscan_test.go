@@ -1,0 +1,101 @@
+package olap
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// The fused multi-row-set scan is pure scheduling: every per-set result
+// must be bit-for-bit the solo GroupByCtx result, serial or striped.
+func TestGroupByMultiMatchesSolo(t *testing.T) {
+	ex := NewExecutor(ebiz.Graph)
+	m := revenue(t)
+	path := pathTo(t, "PGROUP", "Product")
+	all := ex.FactRows(nil)
+	var every2, every5 []int
+	for i := 0; i < len(all); i += 2 {
+		every2 = append(every2, all[i])
+	}
+	for i := 0; i < len(all); i += 5 {
+		every5 = append(every5, all[i])
+	}
+	sets := [][]int{all, every2, nil, every5, all[:120]}
+	for _, threshold := range []int{0, 64} { // 0 = factory default (serial on ebiz), 64 = force striping
+		SetParallelRowThreshold(threshold)
+		for _, agg := range []Agg{Sum, Count, Avg, Min, Max} {
+			got, err := ex.GroupByMultiCtx(context.Background(), sets, "GroupName", path, m, agg)
+			if err != nil {
+				t.Fatalf("threshold %d agg %v: %v", threshold, agg, err)
+			}
+			if len(got) != len(sets) {
+				t.Fatalf("%d results, want %d", len(got), len(sets))
+			}
+			for k, rows := range sets {
+				want, err := ex.GroupByCtx(context.Background(), rows, "GroupName", path, m, agg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got[k]) != len(want) {
+					t.Fatalf("set %d agg %v: %d groups, want %d", k, agg, len(got[k]), len(want))
+				}
+				for v, w := range want {
+					if g := got[k][v]; g != w && !(g != g && w != w) { // NaN==NaN for empty Avg states
+						t.Fatalf("set %d agg %v group %v: %v, want %v (must be bit-identical)", k, agg, v, g, w)
+					}
+				}
+			}
+		}
+	}
+	SetParallelRowThreshold(0)
+}
+
+// The stripe grid depends on the row count alone, so group-by and
+// aggregate bytes must be identical across GOMAXPROCS — serial stripes
+// at 1 core, pooled workers at 4 or 16 — with striping forced on.
+func TestKernelDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	SetParallelRowThreshold(64)
+	defer SetParallelRowThreshold(0)
+	ex := NewExecutor(ebiz.Graph)
+	m := revenue(t)
+	path := pathTo(t, "PGROUP", "Product")
+	all := ex.FactRows(nil)
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	type snapshot struct {
+		groups map[string]float64
+		agg    float64
+	}
+	var base *snapshot
+	for _, gmp := range []int{1, 4, 16} {
+		runtime.GOMAXPROCS(gmp)
+		gb, err := ex.GroupByCtx(context.Background(), all, "GroupName", path, m, Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, err := ex.AggregateCtx(context.Background(), all, m, Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := &snapshot{groups: map[string]float64{}, agg: agg}
+		for v, x := range gb {
+			snap.groups[v.Text()] = x
+		}
+		if base == nil {
+			base = snap
+			continue
+		}
+		if snap.agg != base.agg {
+			t.Fatalf("GOMAXPROCS %d: aggregate %x differs from baseline %x", gmp, snap.agg, base.agg)
+		}
+		if len(snap.groups) != len(base.groups) {
+			t.Fatalf("GOMAXPROCS %d: %d groups vs %d", gmp, len(snap.groups), len(base.groups))
+		}
+		for v, x := range base.groups {
+			if snap.groups[v] != x {
+				t.Fatalf("GOMAXPROCS %d group %s: %x, want %x (bytes must not depend on core count)", gmp, v, snap.groups[v], x)
+			}
+		}
+	}
+}

@@ -235,6 +235,8 @@ type execCounters struct {
 	parallelScans  atomic.Int64
 	serialScans    atomic.Int64
 	kernelChunks   atomic.Int64
+	multiScans     atomic.Int64
+	multiRowSets   atomic.Int64
 	codeVecBuilds  atomic.Int64
 	floatColBuilds atomic.Int64
 
@@ -252,9 +254,15 @@ type ExecStats struct {
 	GroupByVec, GroupByEval, GroupByRef int64
 	// Aggregate calls by the same three paths.
 	AggregateVec, AggregateEval, AggregateRef int64
-	// ParallelScans fan out over KernelChunks worker chunks in total;
-	// SerialScans stayed under the parallel row threshold.
+	// ParallelScans fan out over KernelChunks worker stripes in total;
+	// SerialScans stayed under the parallel row threshold (or ran their
+	// stripes inline at GOMAXPROCS=1).
 	ParallelScans, SerialScans, KernelChunks int64
+	// MultiScans counts fused multi-row-set passes (GroupByMultiCtx
+	// calls); MultiRowSets is how many row sets those passes evaluated —
+	// the difference from MultiScans is the scans a non-fused pipeline
+	// would have issued separately.
+	MultiScans, MultiRowSets int64
 	// CodeVecBuilds / FloatColBuilds count cold fact-aligned column
 	// materializations (cache misses in the executor's memos).
 	CodeVecBuilds, FloatColBuilds int64
@@ -277,6 +285,8 @@ func (ex *Executor) Stats() ExecStats {
 		ParallelScans:  ex.stats.parallelScans.Load(),
 		SerialScans:    ex.stats.serialScans.Load(),
 		KernelChunks:   ex.stats.kernelChunks.Load(),
+		MultiScans:     ex.stats.multiScans.Load(),
+		MultiRowSets:   ex.stats.multiRowSets.Load(),
 		CodeVecBuilds:  ex.stats.codeVecBuilds.Load(),
 		FloatColBuilds: ex.stats.floatColBuilds.Load(),
 
@@ -674,7 +684,7 @@ func (ex *Executor) NumericSeriesCtx(ctx context.Context, rows []int, attr strin
 	if ex.g.DB().Table(path.Source).Schema().ColumnIndex(attr) < 0 {
 		panic(fmt.Sprintf("olap: %s has no column %q", path.Source, attr))
 	}
-	if p := ex.partition.Load(); p != nil && len(rows) >= parallelRowThreshold {
+	if p := ex.partition.Load(); p != nil && len(rows) >= ParallelRowThreshold() {
 		return ex.numericSeriesSharded(ctx, p, rows, attr, path, m)
 	}
 	vals := ex.attrFloats(attr, path)

@@ -218,7 +218,7 @@ func (ex *Executor) filterGather(ctx context.Context, rows []int, vals []float64
 	for _, sp := range spans {
 		total += len(sp)
 	}
-	if total < parallelRowThreshold || len(spans) < 2 {
+	if total < ParallelRowThreshold() || len(spans) < 2 {
 		ex.stats.serialScans.Add(1)
 		var out []int
 		for _, span := range spans {
@@ -235,7 +235,7 @@ func (ex *Executor) filterGather(ctx context.Context, rows []int, vals []float64
 	outs := make([][]int, len(spans))
 	errs := make([]error, len(spans))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxKernelWorkers)
+	sem := make(chan struct{}, kernelStripes)
 	for i, span := range spans {
 		if len(span) == 0 {
 			continue
@@ -293,7 +293,7 @@ func (ex *Executor) numericSeriesSharded(ctx context.Context, p *shard.Partition
 	outs := make([][]ValueMeasure, len(spans))
 	errs := make([]error, len(spans))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxKernelWorkers)
+	sem := make(chan struct{}, kernelStripes)
 	for i, span := range spans {
 		if len(span) == 0 {
 			continue

@@ -100,9 +100,8 @@ func TestShardedFilterFactNumericPrunesExactly(t *testing.T) {
 // The parallel gather must agree with the serial one: force the fan-out
 // by dropping the threshold.
 func TestShardedFilterGatherParallelMatchesSerial(t *testing.T) {
-	old := parallelRowThreshold
-	parallelRowThreshold = 64
-	defer func() { parallelRowThreshold = old }()
+	SetParallelRowThreshold(64)
+	defer SetParallelRowThreshold(0)
 
 	shd := NewExecutor(ebiz.Graph)
 	shd.SetShards(8)
@@ -157,9 +156,8 @@ func TestShardedFilterRowsNumericBound(t *testing.T) {
 // The sharded numeric-series scatter must concatenate to exactly the
 // monolithic series.
 func TestShardedNumericSeriesMatches(t *testing.T) {
-	old := parallelRowThreshold
-	parallelRowThreshold = 64
-	defer func() { parallelRowThreshold = old }()
+	SetParallelRowThreshold(64)
+	defer SetParallelRowThreshold(0)
 
 	shd := NewExecutor(ebiz.Graph)
 	shd.SetShards(8)

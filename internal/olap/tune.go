@@ -1,0 +1,133 @@
+package olap
+
+import (
+	"context"
+	"math"
+	"time"
+)
+
+// Kernel autotuning. The factory parallel-row threshold is a guess
+// about where stripe fan-out starts paying for its goroutine handoff
+// and per-stripe states — a number that is really a property of the
+// machine (core count, cache sizes, scheduler). CalibrateThreshold
+// measures the actual crossover for the running GOMAXPROCS by racing
+// the serial kernel against the striped kernel over growing prefixes
+// of the executor's own fact table, and ApplyTuning installs the
+// verdict process-wide.
+//
+// Calibration deliberately runs the same fused scan the hot path runs
+// (scanAggregateChunk vs the striped schedule) rather than a synthetic
+// loop, so the measured crossover includes the real costs: measure
+// vector reads, aggState updates, cancellation strides.
+//
+// Byte-stability note: the threshold decides which row sets accumulate
+// serially and which over the 16-stripe grid, so two processes with
+// different tunings can disagree in the low-order float bits of large
+// aggregates. Calibrate once at startup, before serving; a fleet that
+// needs byte-level agreement across replicas should ship one tuning to
+// all of them.
+
+// Tuning is one calibration verdict.
+type Tuning struct {
+	// GOMAXPROCS the calibration ran under.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// ParallelRowThreshold is the smallest measured row count at which
+	// the striped scan clearly beat the serial scan; 0 means striping
+	// never won (single-core hosts, or fact tables too small to show a
+	// crossover) and scans should stay serial.
+	ParallelRowThreshold int `json:"parallel_row_threshold"`
+}
+
+// calibrateSizes are the candidate thresholds, swept smallest first.
+var calibrateSizes = []int{2048, 4096, 8192, 16384, 32768, 65536}
+
+// calibrateMargin: the striped scan must win by at least this factor
+// before the crossover counts — a few percent of jitter must not flip
+// a fleet's tuning between deploys.
+const calibrateMargin = 1.15
+
+// CalibrateThreshold measures the serial/striped crossover for the
+// current GOMAXPROCS over the executor's fact table. The sweep stops at
+// the first size where striping wins by calibrateMargin; larger sizes
+// only win harder.
+func CalibrateThreshold(ex *Executor, m Measure) Tuning {
+	out := Tuning{GOMAXPROCS: scanWorkers()}
+	rows := ex.FactRows(nil)
+	if scanWorkers() == 1 {
+		// One worker runs the stripes inline: striping is pure overhead.
+		return out
+	}
+	ctx := context.Background()
+	for _, n := range calibrateSizes {
+		if n > len(rows) {
+			break
+		}
+		sub := rows[:n]
+		serial := timeScan(func() {
+			_, _ = ex.scanAggregateChunk(ctx, sub, m)
+		})
+		striped := timeScan(func() {
+			_, _ = ex.scanAggregateStriped(ctx, sub, m)
+		})
+		if striped > 0 && float64(serial) >= float64(striped)*calibrateMargin {
+			out.ParallelRowThreshold = n
+			break
+		}
+	}
+	return out
+}
+
+// scanAggregateStriped forces the striped schedule regardless of the
+// threshold — the calibration probe.
+func (ex *Executor) scanAggregateStriped(ctx context.Context, rows []int, m Measure) (aggState, error) {
+	spans := stripeSpans(len(rows))
+	partial := make([]aggState, len(spans))
+	errs := make([]error, len(spans))
+	runStripes(len(spans), scanWorkers(), func(i int) {
+		sp := spans[i]
+		partial[i], errs[i] = ex.scanAggregateChunk(ctx, rows[sp.lo:sp.hi], m)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return aggState{}, err
+		}
+	}
+	st := partial[0]
+	for w := 1; w < len(partial); w++ {
+		st.mergeInto(&partial[w])
+	}
+	return st, nil
+}
+
+// timeScan returns the minimum per-run wall time of fn over a short
+// adaptive burst: at least 8 runs, continuing until 4ms have been
+// spent. The minimum — not the mean — is the scan's cost with the
+// noise (GC, scheduler preemption) filtered out.
+func timeScan(fn func()) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	var spent time.Duration
+	for i := 0; i < 8 || spent < 4*time.Millisecond; i++ {
+		start := time.Now()
+		fn()
+		d := time.Since(start)
+		spent += d
+		if d < best {
+			best = d
+		}
+		if i > 1000 {
+			break
+		}
+	}
+	return best
+}
+
+// ApplyTuning installs a calibration verdict process-wide: a positive
+// threshold becomes the striping cutoff, a zero threshold pushes the
+// cutoff above any realistic row set (striping never measured a win).
+func ApplyTuning(t Tuning) {
+	if t.ParallelRowThreshold > 0 {
+		SetParallelRowThreshold(t.ParallelRowThreshold)
+		return
+	}
+	SetParallelRowThreshold(math.MaxInt32)
+}

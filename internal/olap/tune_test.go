@@ -1,0 +1,64 @@
+package olap
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// Calibration is a measurement, so the test pins its contract rather
+// than its verdict: the probe kernels agree bitwise, single-core
+// calibration always keeps scans serial, and the verdict is either "no
+// win" or one of the swept sizes, applied correctly.
+func TestCalibrateThreshold(t *testing.T) {
+	ex := NewExecutor(ebiz.Graph)
+	m := revenue(t)
+	all := ex.FactRows(nil)
+
+	serial, err := ex.scanAggregateChunk(context.Background(), all, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	striped, err := ex.scanAggregateStriped(context.Background(), all, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same stripe-ordered merge contract as the production kernel: only
+	// low-order float bits may move between serial and striped, and the
+	// Count component must be exact.
+	if striped.n != serial.n {
+		t.Fatalf("striped probe saw %d values, serial %d", striped.n, serial.n)
+	}
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(1)
+	if tn := CalibrateThreshold(ex, m); tn.ParallelRowThreshold != 0 {
+		t.Fatalf("single-core calibration picked threshold %d, want 0 (never stripe)", tn.ParallelRowThreshold)
+	}
+
+	runtime.GOMAXPROCS(4)
+	tn := CalibrateThreshold(ex, m)
+	if tn.ParallelRowThreshold != 0 {
+		found := false
+		for _, n := range calibrateSizes {
+			if n == tn.ParallelRowThreshold {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("calibration picked %d, not one of the swept sizes", tn.ParallelRowThreshold)
+		}
+	}
+
+	defer SetParallelRowThreshold(0)
+	ApplyTuning(Tuning{ParallelRowThreshold: 4096})
+	if got := ParallelRowThreshold(); got != 4096 {
+		t.Fatalf("ApplyTuning(4096): threshold %d", got)
+	}
+	ApplyTuning(Tuning{ParallelRowThreshold: 0})
+	if got := ParallelRowThreshold(); got <= 1<<20 {
+		t.Fatalf("ApplyTuning(0) should push the threshold out of reach, got %d", got)
+	}
+}

@@ -74,6 +74,21 @@ type Options struct {
 	// scatter-gather execution; <= 1 keeps monolithic scans. Results are
 	// byte-identical either way.
 	Shards int
+	// Autotune calibrates the parallel-kernel row threshold at startup
+	// against the largest served fact table (see olap.CalibrateThreshold)
+	// instead of trusting the factory default. The tuning is process-wide
+	// and decided before the first request, so every response the process
+	// ever serves uses one consistent stripe schedule.
+	Autotune bool
+	// BatchWindow enables shared-scan batched execution: a query-phase
+	// request that misses every cache waits up to this long for other
+	// in-flight requests against the same warehouse, and the batch runs
+	// as one fused scan pass. Zero disables batching. Results are
+	// byte-identical to solo execution.
+	BatchWindow time.Duration
+	// BatchMax caps how many requests one batch may gather before it
+	// flushes early (default 16 when batching is on).
+	BatchMax int
 }
 
 // DefaultOptions returns the defaults New uses: no deadline, no
@@ -151,9 +166,27 @@ func NewWithOptions(warehouses map[string]*dataset.Warehouse, opts Options) *Ser
 		if opts.Shards > 1 {
 			e.SetShards(opts.Shards)
 		}
+		if opts.BatchWindow > 0 {
+			e.SetBatching(opts.BatchWindow, opts.BatchMax)
+		}
 		s.engines[name] = e
 		s.factRows[name] = fact.Len()
 		s.wireEngineMetrics(name, e)
+	}
+	if opts.Autotune {
+		// The threshold is process-wide, so calibrate once against the
+		// largest served fact table — the one whose scans have the most
+		// to gain (or lose) from striping.
+		var big *kdapcore.Engine
+		bigRows := -1
+		for name, e := range s.engines {
+			if s.factRows[name] > bigRows {
+				big, bigRows = e, s.factRows[name]
+			}
+		}
+		if big != nil {
+			olap.ApplyTuning(olap.CalibrateThreshold(big.Executor(), big.Measure()))
+		}
 	}
 	s.handle("GET /{$}", "/", s.handleUI)
 	s.handle("GET /healthz", "/healthz", s.handleHealth)
@@ -370,7 +403,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Every query is traced so /metrics carries per-stage latency; the
 	// tree is serialized into the response only behind ?trace=1.
 	tr, ctx := traceRequest(r, "query")
-	nets, outcome, err := e.DifferentiateCachedCtx(ctx, req.Q)
+	nets, outcome, err := e.DifferentiateBatchedCtx(ctx, req.Q)
 	tr.Finish()
 	s.observeStages(tr)
 	if err != nil {
@@ -521,7 +554,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	tr, ctx := traceRequest(r, "explore")
-	f, outcome, err := e.ExploreCachedCtx(ctx, sn, opts)
+	f, outcome, err := e.ExploreBatchedCtx(ctx, sn, opts)
 	tr.Finish()
 	s.observeStages(tr)
 	if err != nil {
