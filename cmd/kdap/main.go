@@ -23,6 +23,7 @@
 //	pivot N M    cross-tabulate facet attributes N and M
 //	mode X       switch interestingness (surprise / bellwether)
 //	stats        print cache hit rates and sizes for this session
+//	profile      print the execution profile of the last operation
 //	help, quit
 package main
 
@@ -157,6 +158,7 @@ func (r *repl) dispatch(line string) {
 			"  pivot N M    cross-tabulate facet attributes N and M\n" +
 			"  mode X       surprise / bellwether\n" +
 			"  stats        cache hit rates and sizes for this session\n" +
+			"  profile      execution profile of the last query/pick/drill (cache, shards, kernels, stages)\n" +
 			"  quit")
 	case "pick":
 		r.pick(fields[1:])
@@ -178,6 +180,10 @@ func (r *repl) dispatch(line string) {
 		r.pivot(fields[1:])
 	case "stats":
 		r.stats()
+	case "profile":
+		// Profiling is always on (see Session.LastProfile), so this
+		// works retroactively on whatever just ran — no flag needed.
+		fmt.Print(r.s.LastProfile().Render())
 	case "mode":
 		if len(fields) != 2 {
 			fmt.Println("usage: mode surprise|bellwether")

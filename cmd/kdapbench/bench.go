@@ -173,14 +173,26 @@ func snapshotCache(s cache.Stats) cacheSnapshot {
 // counts its steady-state allocations.
 func measure(name string, fn func()) benchResult {
 	fn() // warm caches out of the timed region
-	const minIters = 20
-	iters := 0
-	start := time.Now()
-	for elapsed := time.Duration(0); iters < minIters || elapsed < 200*time.Millisecond; elapsed = time.Since(start) {
-		fn()
-		iters++
+	// Best of three timed blocks: a single block averages in whatever
+	// transient load the machine happens to carry, which makes the
+	// nightly ratio flap; the minimum converges on the kernel's true
+	// cost in both the baseline and the fresh run.
+	const (
+		minIters = 20
+		blocks   = 3
+	)
+	var ns int64
+	for b := 0; b < blocks; b++ {
+		iters := 0
+		start := time.Now()
+		for elapsed := time.Duration(0); iters < minIters || elapsed < 200*time.Millisecond; elapsed = time.Since(start) {
+			fn()
+			iters++
+		}
+		if per := time.Since(start).Nanoseconds() / int64(iters); b == 0 || per < ns {
+			ns = per
+		}
 	}
-	ns := time.Since(start).Nanoseconds() / int64(iters)
 	allocs := testing.AllocsPerRun(5, fn)
 	return benchResult{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
 }
@@ -464,6 +476,9 @@ func benchJSON() error {
 		fmt.Printf("qps GOMAXPROCS=%-2d serial %.0f  batched %.0f (%.2fx)  http %.0f\n",
 			s.GOMAXPROCS, s.Serial.QPS, s.Batched.QPS, s.Speedup, s.HTTP.QPS)
 	}
+	if po := out.QPS.ProfileOverhead; po != nil {
+		fmt.Printf("profiling overhead @GOMAXPROCS=%d: p50 %+.1f%%\n", po.GOMAXPROCS, po.OverheadP50Pct)
+	}
 	fmt.Println("wrote BENCH.json")
 	return nil
 }
@@ -584,6 +599,22 @@ func nightly() error {
 			failures = append(failures, fmt.Sprintf("qps@%d: batched speedup %.2fx over serial below the 2x floor",
 				top.GOMAXPROCS, top.Speedup))
 		}
+	}
+	// Always-on profiling must stay cheap: the wide event's per-request
+	// cost on the top batched rung is bounded at 5% of p50. Gated on the
+	// fresh run alone (profiled vs unprofiled are measured back-to-back
+	// in one process, so the ratio is robust to machine-speed drift).
+	const profileOverheadBudgetPct = 5.0
+	if po := fresh.QPS.ProfileOverhead; po != nil {
+		status := "ok"
+		if po.OverheadP50Pct > profileOverheadBudgetPct {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"qps@%d: profiling overhead %+.1f%% p50 exceeds the %.0f%% budget",
+				po.GOMAXPROCS, po.OverheadP50Pct, profileOverheadBudgetPct))
+		}
+		fmt.Printf("qps@%-2d profiling overhead p50 %+.1f%% (budget %.0f%%)  %s\n",
+			po.GOMAXPROCS, po.OverheadP50Pct, profileOverheadBudgetPct, status)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("nightly: %d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))

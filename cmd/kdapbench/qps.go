@@ -33,6 +33,7 @@ import (
 	"kdap/internal/experiments"
 	"kdap/internal/kdapcore"
 	"kdap/internal/server"
+	"kdap/internal/telemetry/profile"
 	"kdap/internal/workload"
 )
 
@@ -84,6 +85,22 @@ type qpsBench struct {
 	ZipfExponent  float64         `json:"zipf_exponent"`
 	BatchWindowMs float64         `json:"batch_window_ms"`
 	Sweep         []qpsSweepEntry `json:"sweep"`
+	// ProfileOverhead pins the cost of always-on per-request wide-event
+	// profiling: the top-rung batched measurement re-run with a flight
+	// recorder doing Start / context-attach / Complete per request. The
+	// nightly gate bounds the p50 overhead at 5%.
+	ProfileOverhead *qpsProfileOverhead `json:"profile_overhead,omitempty"`
+}
+
+// qpsProfileOverhead is the profiled-vs-unprofiled batched comparison
+// at the top GOMAXPROCS rung.
+type qpsProfileOverhead struct {
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	BaselineQPS    float64 `json:"baseline_qps"`
+	BaselineP50Ms  float64 `json:"baseline_p50_ms"`
+	ProfiledQPS    float64 `json:"profiled_qps"`
+	ProfiledP50Ms  float64 `json:"profiled_p50_ms"`
+	OverheadP50Pct float64 `json:"overhead_p50_pct"`
 }
 
 // zipfPicks precomputes every client's query-index sequence from a
@@ -105,6 +122,17 @@ func zipfPicks(clients, ops, nq int) [][]int {
 // pick sequence back to back, and the wall time of the whole storm
 // yields QPS while the per-request latencies yield the quantiles.
 func closedLoop(picks [][]int, do func(qi int) error) (qpsModeResult, error) {
+	lats, wall, err := closedLoopRun(picks, do)
+	if err != nil {
+		return qpsModeResult{}, err
+	}
+	return modeResult(lats, wall), nil
+}
+
+// closedLoopRun is the raw form of closedLoop: it returns the per-op
+// latencies and the storm's wall time, so callers can pool samples
+// across runs before computing quantiles (the overhead rung does).
+func closedLoopRun(picks [][]int, do func(qi int) error) ([]time.Duration, time.Duration, error) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -137,8 +165,14 @@ func closedLoop(picks [][]int, do func(qi int) error) (qpsModeResult, error) {
 	wg.Wait()
 	wall := time.Since(start)
 	if firstErr != nil {
-		return qpsModeResult{}, firstErr
+		return nil, 0, firstErr
 	}
+	return lats, wall, nil
+}
+
+// modeResult folds latency samples and total wall time into the
+// QPS/quantile summary.
+func modeResult(lats []time.Duration, wall time.Duration) qpsModeResult {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(p float64) float64 {
 		i := int(float64(len(lats)) * p)
@@ -151,7 +185,7 @@ func closedLoop(picks [][]int, do func(qi int) error) (qpsModeResult, error) {
 		QPS:   float64(len(lats)) / wall.Seconds(),
 		P50Ms: pct(0.50),
 		P99Ms: pct(0.99),
-	}, nil
+	}
 }
 
 // emptySubspace recognizes the one expected per-query failure: a few
@@ -187,11 +221,20 @@ func qpsSerial(wh *dataset.Warehouse, qs []workload.Query, picks [][]int) (qpsMo
 // cache off, so the speedup over serial is attributable to batching
 // alone (gather + scan scope + in-flight dedup).
 func qpsBatched(wh *dataset.Warehouse, qs []workload.Query, picks [][]int) (qpsModeResult, int64, int64, error) {
+	lats, wall, scans, answers, err := qpsBatchedRun(wh, qs, picks)
+	if err != nil {
+		return qpsModeResult{}, 0, 0, err
+	}
+	return modeResult(lats, wall), scans, answers, nil
+}
+
+// qpsBatchedRun is qpsBatched returning raw samples (for pooling).
+func qpsBatchedRun(wh *dataset.Warehouse, qs []workload.Query, picks [][]int) ([]time.Duration, time.Duration, int64, int64, error) {
 	e := experiments.Engine(wh)
 	e.SetBatching(qpsBatchWindow, qpsClients)
 	opts := kdapcore.DefaultExploreOptions()
 	ctx := context.Background()
-	res, err := closedLoop(picks, func(qi int) error {
+	lats, wall, err := closedLoopRun(picks, func(qi int) error {
 		nets, _, err := e.DifferentiateBatchedCtx(ctx, qs[qi].Text)
 		if err != nil {
 			return err
@@ -205,7 +248,70 @@ func qpsBatched(wh *dataset.Warehouse, qs []workload.Query, picks [][]int) (qpsM
 		return err
 	})
 	st := e.BatchStats()
-	return res, st.SharedScans, st.SharedExplores + st.SharedDifferentiates, err
+	return lats, wall, st.SharedScans, st.SharedExplores + st.SharedDifferentiates, err
+}
+
+// qpsProfiledRun is qpsBatchedRun with the per-request wide event enabled —
+// Recorder.Start, context attach, instrumentation fan-in, Complete —
+// exactly the per-request work the server's api() wrapper adds. The
+// delta against the plain batched rung is the profiling tax.
+func qpsProfiledRun(wh *dataset.Warehouse, qs []workload.Query, picks [][]int) ([]time.Duration, time.Duration, error) {
+	e := experiments.Engine(wh)
+	e.SetBatching(qpsBatchWindow, qpsClients)
+	opts := kdapcore.DefaultExploreOptions()
+	rec := profile.NewRecorder(64, 64, 64, 250*time.Millisecond, nil)
+	return closedLoopRun(picks, func(qi int) error {
+		p := rec.Start("/api/query", "")
+		p.SetQuery(qs[qi].Text)
+		ctx := profile.NewContext(context.Background(), p)
+		fail := func(err error) error {
+			rec.Complete(p, 0, profile.DispositionError, err)
+			return err
+		}
+		nets, _, err := e.DifferentiateBatchedCtx(ctx, qs[qi].Text)
+		if err != nil {
+			return fail(err)
+		}
+		if len(nets) == 0 {
+			return fail(fmt.Errorf("qps: %q: no interpretations", qs[qi].Text))
+		}
+		if _, _, err = e.ExploreBatchedCtx(ctx, nets[0], opts); err != nil && !emptySubspace(err) {
+			return fail(err)
+		}
+		rec.Complete(p, 200, profile.DispositionOK, nil)
+		return nil
+	})
+}
+
+// qpsOverheadPairs is how many interleaved baseline/profiled run pairs
+// the overhead rung pools before computing quantiles.
+const qpsOverheadPairs = 5
+
+// qpsOverheadPair measures the overhead comparison. A single 256-op
+// batched run's p50 swings by ±15% with scheduler state, so one pair
+// (or best-of-N-runs tricks) flakes a 5% gate in either direction. The
+// two modes instead run strictly interleaved — baseline, profiled,
+// baseline, ... — so slow drift hits both sides equally, and each
+// side's per-op latencies are POOLED across all its runs before the
+// quantile is taken: 5x the samples, one p50 per mode.
+func qpsOverheadPair(wh *dataset.Warehouse, qs []workload.Query, picks [][]int) (baseline, profiled qpsModeResult, err error) {
+	var baseLats, profLats []time.Duration
+	var baseWall, profWall time.Duration
+	for i := 0; i < qpsOverheadPairs; i++ {
+		bl, bw, _, _, err := qpsBatchedRun(wh, qs, picks)
+		if err != nil {
+			return qpsModeResult{}, qpsModeResult{}, err
+		}
+		pl, pw, err := qpsProfiledRun(wh, qs, picks)
+		if err != nil {
+			return qpsModeResult{}, qpsModeResult{}, err
+		}
+		baseLats = append(baseLats, bl...)
+		baseWall += bw
+		profLats = append(profLats, pl...)
+		profWall += pw
+	}
+	return modeResult(baseLats, baseWall), modeResult(profLats, profWall), nil
 }
 
 // qpsHTTP measures the full kdapd stack over loopback HTTP: JSON in
@@ -286,6 +392,26 @@ func computeQPS() (qpsBench, error) {
 						SharedScans:   scans,
 						SharedAnswers: answers,
 					})
+					// The profiling-overhead rung runs only at the top of
+					// the ladder, back-to-back with its baseline so the two
+					// share warm-up and scheduling state. Both sides are
+					// best-of-two: the true cost per request is a handful of
+					// atomic adds, so a single 256-op run is dominated by
+					// scheduler noise, and an asymmetric comparison would
+					// flake the 5% gate in either direction.
+					if p == qpsGOMAXPROCS[len(qpsGOMAXPROCS)-1] {
+						var baseline, profiled qpsModeResult
+						if baseline, profiled, err = qpsOverheadPair(wh, qs, picks); err == nil {
+							out.ProfileOverhead = &qpsProfileOverhead{
+								GOMAXPROCS:     p,
+								BaselineQPS:    baseline.QPS,
+								BaselineP50Ms:  baseline.P50Ms,
+								ProfiledQPS:    profiled.QPS,
+								ProfiledP50Ms:  profiled.P50Ms,
+								OverheadP50Pct: (profiled.P50Ms - baseline.P50Ms) / baseline.P50Ms * 100,
+							}
+						}
+					}
 				}
 			}
 		}
@@ -314,6 +440,11 @@ func qpsReport() error {
 			s.Batched.QPS, s.Batched.P50Ms, s.Batched.P99Ms,
 			s.HTTP.QPS, s.HTTP.P50Ms, s.HTTP.P99Ms,
 			s.Speedup)
+	}
+	if po := rep.ProfileOverhead; po != nil {
+		fmt.Printf("profiling overhead @GOMAXPROCS=%d: p50 %.2fms -> %.2fms (%+.1f%%), qps %.1f -> %.1f\n",
+			po.GOMAXPROCS, po.BaselineP50Ms, po.ProfiledP50Ms, po.OverheadP50Pct,
+			po.BaselineQPS, po.ProfiledQPS)
 	}
 	return nil
 }

@@ -5,7 +5,7 @@
 //	kdapd [-addr :8080] [-db ebiz,online,reseller] [-log text|json]
 //	      [-query-timeout 10s] [-max-inflight 0]
 //	      [-answer-cache-size 512] [-answer-cache-ttl 5m] [-shards 0]
-//	      [-autotune] [-batch-window 0] [-batch-max 16]
+//	      [-autotune] [-batch-window 0] [-batch-max 16] [-slo-target 250ms]
 //
 // A minimal web UI is served at /; the JSON endpoints live under /api.
 // Prometheus metrics are exposed at /metrics, pprof profiles under
@@ -57,6 +57,8 @@ func main() {
 		"gather window for shared-scan batched execution (0 disables batching)")
 	batchMax := flag.Int("batch-max", 16,
 		"max requests gathered into one shared-scan batch before it flushes early")
+	sloTarget := flag.Duration("slo-target", 250*time.Millisecond,
+		"per-request latency target for kdap_slo_* classification and the /debug/queries slow ring")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -97,6 +99,7 @@ func main() {
 	srvOpts.Autotune = *autotune
 	srvOpts.BatchWindow = *batchWindow
 	srvOpts.BatchMax = *batchMax
+	srvOpts.SLOTarget = *sloTarget
 	api := server.NewWithOptions(warehouses, srvOpts)
 	api.SetLogger(logger)
 	srv := &http.Server{

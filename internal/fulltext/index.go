@@ -10,6 +10,7 @@ import (
 
 	"kdap/internal/relation"
 	"kdap/internal/telemetry"
+	"kdap/internal/telemetry/profile"
 )
 
 // Doc identifies one virtual document: a distinct attribute instance. This
@@ -295,6 +296,7 @@ func (ix *Index) searchTerms(ctx context.Context, qterms []string, opts Options)
 	}
 	accs := make(map[int]*acc)
 	var queryNormSq float64
+	touched := 0 // postings scored, for the request's wide event
 
 	for _, qt := range qterms {
 		if done != nil {
@@ -330,6 +332,7 @@ func (ix *Index) searchTerms(ctx context.Context, qterms []string, opts Options)
 		avgdl := ix.avgDocLen()
 		for _, m := range matches {
 			df := len(m.ti.postings)
+			touched += df
 			switch opts.Similarity {
 			case BM25:
 				idf := ix.idfBM25(df)
@@ -387,6 +390,7 @@ func (ix *Index) searchTerms(ctx context.Context, qterms []string, opts Options)
 		}
 		queryNormSq += bestIDF * bestIDF
 	}
+	profile.FromContext(ctx).AddFulltextProbe(touched)
 	if len(accs) == 0 {
 		return nil, nil
 	}
@@ -429,6 +433,7 @@ func (ix *Index) phraseDocs(ctx context.Context, qterms []string) (map[int]struc
 	done := ctx.Done()
 	out := make(map[int]struct{})
 	postings := infos[rarest].postings
+	profile.FromContext(ctx).AddFulltextPostings(len(postings))
 	for base := 0; base < len(postings); base += cancelCheckPostings {
 		if done != nil {
 			if err := ctx.Err(); err != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"kdap/internal/stats"
+	"kdap/internal/telemetry/profile"
 )
 
 // AnnealConfig parameterizes the Algorithm 2 interval merge.
@@ -203,6 +204,7 @@ func MergeIntervalsCtx(ctx context.Context, x, y []float64, cfg AnnealConfig) (M
 		}
 		record()
 	}
+	profile.FromContext(ctx).AddAnneal(cfg.N)
 	final := bestScore
 	return MergeResult{
 		Splits:     best,

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"kdap/internal/telemetry"
+	"kdap/internal/telemetry/profile"
 )
 
 // DefaultBatchMax is the batch-size cap used when SetBatching is given a
@@ -51,6 +52,12 @@ type scanScope struct {
 	mu     sync.Mutex
 	m      map[string]*scopeEntry
 	shared *atomic.Int64 // engine-wide shared-scan counter
+
+	// Batch identity for attribution: batchID is assigned when the batch
+	// opens; size is its final member count, written before the batch's
+	// released channel closes (so members read it race-free after join).
+	batchID uint64
+	size    int
 }
 
 // scopeEntry is one scan's slot: done closes when the computation
@@ -78,15 +85,24 @@ func (sc *scanScope) do(ctx context.Context, key string, fn func(context.Context
 		}
 		if e, ok := sc.m[key]; ok {
 			sc.mu.Unlock()
+			// The wait-and-adopt is a real pipeline stage: record it as a
+			// batch_shared span so a follower's trace shows where its answer
+			// came from instead of an empty tree. The name is constant — the
+			// batch ID lives in the wide event, not in a span name, so the
+			// kdap_stage_seconds label set stays bounded.
+			_, wsp := telemetry.StartSpan(ctx, "batch_shared")
 			select {
 			case <-e.done:
 			case <-ctx.Done():
+				wsp.End()
 				return nil, ctx.Err()
 			}
+			wsp.End()
 			if e.err != nil && isContextErr(e.err) {
 				continue // vacated by the leader; retry, maybe as leader
 			}
 			sc.shared.Add(1)
+			profile.FromContext(ctx).AddSharedScan()
 			return e.v, e.err
 		}
 		e := &scopeEntry{done: make(chan struct{})}
@@ -141,6 +157,7 @@ type batcher struct {
 	mu  sync.Mutex
 	cur *scanBatch
 
+	seq      atomic.Uint64
 	batches  atomic.Int64
 	requests atomic.Int64
 	sizeHist *telemetry.Histogram
@@ -160,6 +177,7 @@ func (b *batcher) release(bt *scanBatch) {
 		bt.timer.Stop()
 		b.batches.Add(1)
 		b.sizeHist.Observe(float64(n))
+		bt.scope.size = n // before close: members read it after <-released
 		close(bt.released)
 	})
 }
@@ -173,7 +191,7 @@ func (b *batcher) join(ctx context.Context) (*scanScope, error) {
 	if bt == nil {
 		bt = &scanBatch{
 			released: make(chan struct{}),
-			scope:    &scanScope{shared: b.shared},
+			scope:    &scanScope{shared: b.shared, batchID: b.seq.Add(1)},
 		}
 		bt.timer = time.AfterFunc(b.window, func() { b.release(bt) })
 		b.cur = bt
@@ -277,6 +295,7 @@ func (e *Engine) ExploreBatchedCtx(ctx context.Context, sn *StarNet, opts Explor
 		return nil, CacheBypass, err
 	}
 	ctx = withScanScope(ctx, scope)
+	profile.FromContext(ctx).SetBatch(scope.batchID, scope.size)
 	if !cacheable {
 		f, err := e.exploreUncached(ctx, sn, opts)
 		return f, CacheBypass, err
@@ -284,8 +303,14 @@ func (e *Engine) ExploreBatchedCtx(ctx context.Context, sn *StarNet, opts Explor
 	if e.explAnswers != nil {
 		// The answer cache's own singleflight already collapses identical
 		// members; the scope still shares partial work across distinct ones.
-		return e.ExploreCachedCtx(ctx, sn, opts)
+		t0 := time.Now()
+		f, oc, err := e.ExploreCachedCtx(ctx, sn, opts)
+		if oc == CacheCoalesced {
+			noteSharedAnswer(ctx, time.Since(t0))
+		}
+		return f, oc, err
 	}
+	t0 := time.Now()
 	f, shared, err := e.explFlight.Do(ctx, key, func(ctx context.Context) (*Facets, error) {
 		return e.exploreUncached(ctx, sn, opts)
 	})
@@ -294,9 +319,21 @@ func (e *Engine) ExploreBatchedCtx(ctx context.Context, sn *StarNet, opts Explor
 	}
 	if shared {
 		e.explShared.Add(1)
+		noteSharedAnswer(ctx, time.Since(t0))
 		return rebindFacets(f, sn), CacheCoalesced, nil
 	}
 	return f, CacheBypass, nil
+}
+
+// noteSharedAnswer marks a follower request: its whole answer was
+// adopted from a batch peer's in-flight computation. Before this, such
+// requests returned an empty span tree under ?trace=1 — the work
+// happened, just in a peer's goroutine — so the wait-and-adopt is
+// recorded as a batch_shared stage and the wide event flips to the
+// follower role.
+func noteSharedAnswer(ctx context.Context, d time.Duration) {
+	telemetry.SpanFromContext(ctx).AddTimed("batch_shared", d)
+	profile.FromContext(ctx).MarkSharedAnswer()
 }
 
 // DifferentiateBatchedCtx is the differentiate counterpart. The phase
@@ -304,11 +341,21 @@ func (e *Engine) ExploreBatchedCtx(ctx context.Context, sn *StarNet, opts Explor
 // only batching win is collapsing identical concurrent queries, which
 // singleflight provides without adding latency.
 func (e *Engine) DifferentiateBatchedCtx(ctx context.Context, query string) ([]*StarNet, CacheOutcome, error) {
-	if e.batch.Load() == nil || e.diffAnswers != nil {
-		// With an answer cache, differentiateCached already coalesces.
+	if e.batch.Load() == nil {
 		return e.DifferentiateCachedCtx(ctx, query)
 	}
+	if e.diffAnswers != nil {
+		// With an answer cache, differentiateCached already coalesces;
+		// mark followers the same way the explore path does.
+		t0 := time.Now()
+		nets, oc, err := e.DifferentiateCachedCtx(ctx, query)
+		if oc == CacheCoalesced {
+			noteSharedAnswer(ctx, time.Since(t0))
+		}
+		return nets, oc, err
+	}
 	key := diffAnswerKey(query, Standard)
+	t0 := time.Now()
 	nets, shared, err := e.diffFlight.Do(ctx, key, func(ctx context.Context) ([]*StarNet, error) {
 		return e.differentiateRanked(ctx, query, Standard)
 	})
@@ -317,6 +364,7 @@ func (e *Engine) DifferentiateBatchedCtx(ctx context.Context, query string) ([]*
 	}
 	if shared {
 		e.diffShared.Add(1)
+		noteSharedAnswer(ctx, time.Since(t0))
 		return nets, CacheCoalesced, nil
 	}
 	return nets, CacheBypass, nil

@@ -12,6 +12,7 @@ import (
 	"kdap/internal/schemagraph"
 	"kdap/internal/shard"
 	"kdap/internal/telemetry"
+	"kdap/internal/telemetry/profile"
 )
 
 // Engine is a KDAP session over one warehouse: it answers keyword queries
@@ -205,6 +206,7 @@ func (e *Engine) differentiateRanked(ctx context.Context, query string, method R
 		sn.Filters = filters
 	}
 	sp.End()
+	profile.FromContext(ctx).AddCandidates(len(nets))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
 	"kdap/internal/telemetry"
+	"kdap/internal/telemetry/profile"
 )
 
 // Session is the interactive state machine of the paper's Figure 1 loop:
@@ -26,9 +27,10 @@ type Session struct {
 	stack  []*StarNet // drill history; top = current subspace
 	facets *Facets
 
-	tracing   bool
-	lastTrace *telemetry.Trace
-	timeout   time.Duration
+	tracing     bool
+	lastTrace   *telemetry.Trace
+	lastProfile *profile.P
+	timeout     time.Duration
 }
 
 // NewSession creates a session over an engine with the given explore
@@ -54,6 +56,18 @@ func (s *Session) Tracing() bool { return s.tracing }
 // or nil when tracing is off or nothing has run yet.
 func (s *Session) LastTrace() *telemetry.Trace { return s.lastTrace }
 
+// LastProfile returns the wide event of the most recent operation, or
+// nil before the first one. Profiling is always on for a session — the
+// per-operation cost is a few dozen atomic adds, far below interactive
+// noise — so the REPL's `profile` command works retroactively on
+// whatever just ran.
+func (s *Session) LastProfile() *profile.Event {
+	if s.lastProfile == nil {
+		return nil
+	}
+	return s.lastProfile.Snapshot()
+}
+
 // SetTimeout sets a per-operation deadline: every subsequent
 // Query/Pick/Drill/Back runs under context.WithTimeout and returns
 // context.DeadlineExceeded when the pipeline overruns it. Zero (the
@@ -64,18 +78,26 @@ func (s *Session) SetTimeout(d time.Duration) { s.timeout = d }
 func (s *Session) Timeout() time.Duration { return s.timeout }
 
 // traceCtx returns the context every session operation runs under —
-// carrying a fresh trace when tracing is on, bounded by the session
-// timeout when one is set. The returned finish func finalizes the root
-// span, publishes the trace to LastTrace, and releases the deadline
-// timer.
+// always carrying a fresh wide event (LastProfile), plus a trace when
+// tracing is on, bounded by the session timeout when one is set. The
+// returned finish func finalizes the root span and profile, publishes
+// them to LastTrace/LastProfile, and releases the deadline timer.
 func (s *Session) traceCtx(op string) (context.Context, func()) {
 	ctx := context.Background()
-	finish := func() {}
+	p := profile.New(op, "")
+	s.lastProfile = p
+	ctx = profile.NewContext(ctx, p)
+	var tr *telemetry.Trace
+	finish := func() { p.Finish(0, profile.DispositionOK, nil) }
 	if s.tracing {
-		tr := telemetry.NewTrace(op)
+		tr = telemetry.NewTrace(op)
 		s.lastTrace = tr
 		ctx = tr.Context(ctx)
-		finish = tr.Finish
+		finish = func() {
+			tr.Finish()
+			p.SetStages(tr.Stages())
+			p.Finish(0, profile.DispositionOK, nil)
+		}
 	}
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
@@ -99,6 +121,7 @@ func (s *Session) SetMode(mode InterestMode) error {
 // Query runs the differentiate phase and resets the navigation state.
 func (s *Session) Query(query string) ([]*StarNet, error) {
 	ctx, finish := s.traceCtx("query")
+	s.lastProfile.SetQuery(query)
 	nets, err := s.engine.DifferentiateCtx(ctx, query)
 	finish()
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
+	"kdap/internal/telemetry/profile"
 )
 
 // The columnar execution kernels: tight loops over pre-extracted
@@ -171,15 +172,18 @@ func runStripes(nstripes, workers int, body func(i int)) {
 func (ex *Executor) groupScan(ctx context.Context, rows []int, codes []int32, ngroups int, m Measure) ([]aggState, []bool, error) {
 	if len(rows) < ParallelRowThreshold() {
 		ex.stats.serialScans.Add(1)
+		profile.FromContext(ctx).AddKernelScan(false, 0, len(rows))
 		return ex.groupScanChunk(ctx, rows, codes, ngroups, m)
 	}
 	spans := stripeSpans(len(rows))
 	workers := scanWorkers()
 	if workers == 1 {
 		ex.stats.serialScans.Add(1)
+		profile.FromContext(ctx).AddKernelScan(false, 0, len(rows))
 	} else {
 		ex.stats.parallelScans.Add(1)
 		ex.stats.kernelChunks.Add(int64(len(spans)))
+		profile.FromContext(ctx).AddKernelScan(true, len(spans), len(rows))
 	}
 	states := make([][]aggState, len(spans))
 	touched := make([][]bool, len(spans))
@@ -251,15 +255,18 @@ func (ex *Executor) groupScanChunk(ctx context.Context, rows []int, codes []int3
 func (ex *Executor) scanAggregate(ctx context.Context, rows []int, m Measure) (aggState, error) {
 	if len(rows) < ParallelRowThreshold() {
 		ex.stats.serialScans.Add(1)
+		profile.FromContext(ctx).AddKernelScan(false, 0, len(rows))
 		return ex.scanAggregateChunk(ctx, rows, m)
 	}
 	spans := stripeSpans(len(rows))
 	workers := scanWorkers()
 	if workers == 1 {
 		ex.stats.serialScans.Add(1)
+		profile.FromContext(ctx).AddKernelScan(false, 0, len(rows))
 	} else {
 		ex.stats.parallelScans.Add(1)
 		ex.stats.kernelChunks.Add(int64(len(spans)))
+		profile.FromContext(ctx).AddKernelScan(true, len(spans), len(rows))
 	}
 	partial := make([]aggState, len(spans))
 	errs := make([]error, len(spans))

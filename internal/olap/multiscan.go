@@ -8,6 +8,7 @@ import (
 
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
+	"kdap/internal/telemetry/profile"
 )
 
 // The multi-row-set fused scan: one pass over a shared attribute code
@@ -92,16 +93,19 @@ func (ex *Executor) GroupByMultiCtx(ctx context.Context, rowSets [][]int, attr s
 		touched[k] = make([][]bool, ns)
 	}
 	// Per-set scan accounting mirrors the solo kernels, so the
-	// serial/parallel counters stay comparable whether or not calls
-	// were fused.
-	for _, ns := range stripesOf {
+	// serial/parallel counters — and the per-request wide event — stay
+	// comparable whether or not calls were fused.
+	prof := profile.FromContext(ctx)
+	for k, ns := range stripesOf {
 		switch {
 		case ns == 0:
 		case ns == 1 || workers == 1:
 			ex.stats.serialScans.Add(1)
+			prof.AddKernelScan(false, 0, len(rowSets[k]))
 		default:
 			ex.stats.parallelScans.Add(1)
 			ex.stats.kernelChunks.Add(int64(ns))
+			prof.AddKernelScan(true, ns, len(rowSets[k]))
 		}
 	}
 	errs := make([]error, len(tasks))

@@ -10,6 +10,7 @@ import (
 	"kdap/internal/schemagraph"
 	"kdap/internal/shard"
 	"kdap/internal/telemetry"
+	"kdap/internal/telemetry/profile"
 )
 
 // Sharded scatter-gather execution. With SetShards the executor
@@ -60,11 +61,13 @@ func (ex *Executor) ShardCount() int {
 	return 0
 }
 
-// noteShardPlan folds one scan's planning verdict into the counters.
-func (ex *Executor) noteShardPlan(pl shard.Plan) {
+// noteShardPlan folds one scan's planning verdict into the counters and
+// the request's wide event, when one rides the context.
+func (ex *Executor) noteShardPlan(ctx context.Context, pl shard.Plan) {
 	ex.stats.shardsScanned.Add(int64(pl.Scanned()))
 	ex.stats.shardsPrunedZone.Add(int64(pl.PrunedZone))
 	ex.stats.shardsPrunedBits.Add(int64(pl.PrunedBits))
+	profile.FromContext(ctx).AddShards(pl.Scanned(), pl.PrunedZone, pl.PrunedBits)
 }
 
 // factRowsSharded gathers the constraint intersection shard by shard:
@@ -78,7 +81,7 @@ func (ex *Executor) factRowsSharded(ctx context.Context, p *shard.Partition, bou
 	_, sp := telemetry.StartSpan(ctx, "shard_scan")
 	defer sp.End()
 	pl := p.Plan(bounds, sets)
-	ex.noteShardPlan(pl)
+	ex.noteShardPlan(ctx, pl)
 	var rows []int
 	done := ctx.Done()
 	for _, si := range pl.Survivors {
@@ -124,7 +127,7 @@ func (ex *Executor) FilterFactNumericCtx(ctx context.Context, rows []int, col st
 	_, sp := telemetry.StartSpan(ctx, "shard_scan")
 	defer sp.End()
 	pl := p.Plan([]shard.Bound{{Col: col, Lo: lo, Hi: hi}}, nil)
-	ex.noteShardPlan(pl)
+	ex.noteShardPlan(ctx, pl)
 	return ex.filterGather(ctx, rows, vals, p, pl.Survivors, pred)
 }
 
@@ -146,7 +149,7 @@ func (ex *Executor) FilterRowsNumericBoundCtx(ctx context.Context, rows []int, a
 	defer sp.End()
 	zones := ex.attrShardZones(attr, path, vals, p)
 	pl := planZones(zones, p, lo, hi)
-	ex.noteShardPlan(pl)
+	ex.noteShardPlan(ctx, pl)
 	return ex.filterGather(ctx, rows, vals, p, pl.Survivors, pred)
 }
 
@@ -220,6 +223,7 @@ func (ex *Executor) filterGather(ctx context.Context, rows []int, vals []float64
 	}
 	if total < ParallelRowThreshold() || len(spans) < 2 {
 		ex.stats.serialScans.Add(1)
+		profile.FromContext(ctx).AddKernelScan(false, 0, total)
 		var out []int
 		for _, span := range spans {
 			matched, err := filterByVals(ctx, span, vals, pred)
@@ -232,6 +236,7 @@ func (ex *Executor) filterGather(ctx context.Context, rows []int, vals []float64
 	}
 	ex.stats.parallelScans.Add(1)
 	ex.stats.kernelChunks.Add(int64(len(spans)))
+	profile.FromContext(ctx).AddKernelScan(true, len(spans), total)
 	outs := make([][]int, len(spans))
 	errs := make([]error, len(spans))
 	var wg sync.WaitGroup
@@ -288,7 +293,7 @@ func (ex *Executor) numericSeriesSharded(ctx context.Context, p *shard.Partition
 	defer sp.End()
 	zones := ex.attrShardZones(attr, path, vals, p)
 	pl := planZones(zones, p, negInf, posInf)
-	ex.noteShardPlan(pl)
+	ex.noteShardPlan(ctx, pl)
 	spans := shardSpans(rows, p, pl.Survivors)
 	outs := make([][]ValueMeasure, len(spans))
 	errs := make([]error, len(spans))

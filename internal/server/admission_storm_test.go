@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kdap/internal/dataset"
+)
+
+// counterSum sums every series of one counter family in an exposition
+// body (label sets differ; the storm only cares about the total).
+func counterSum(t *testing.T, body, family string) float64 {
+	t.Helper()
+	var sum float64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		if rest != "" && rest[0] != '{' && rest[0] != ' ' {
+			continue // a longer family name sharing the prefix
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// A concurrent storm against a tiny admission envelope, with a fraction
+// of clients disconnecting mid-request, must leave no residue: the
+// in-flight and queued gauges converge to zero, and every shed the
+// counter claims corresponds to a real admission rejection (>= the 503s
+// clients actually saw — disconnected clients never see theirs).
+func TestAdmissionMetricsConvergeAfterStorm(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxInflight = 2
+	opts.MaxQueue = 2
+	opts.QueueWait = 20 * time.Millisecond
+	srv := NewWithOptions(map[string]*dataset.Warehouse{"ebiz": dataset.EBiz()}, opts)
+	srv.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const clients = 32
+	var shed503 atomic.Int64
+	var ok200 atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%3 == 0 {
+				// A third of the clients hang up quickly — some while
+				// queued, some mid-pipeline.
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx,
+					time.Duration(1+rand.Intn(5))*time.Millisecond)
+				defer cancel()
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+				ts.URL+"/api/query", strings.NewReader(`{"db":"ebiz","q":"Columbus LCD"}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return // client disconnect; the server side must still clean up
+			}
+			defer resp.Body.Close()
+			_, _ = io.Copy(io.Discard, resp.Body)
+			switch resp.StatusCode {
+			case http.StatusServiceUnavailable:
+				shed503.Add(1)
+			case http.StatusOK:
+				ok200.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The handlers have all returned to their clients; give the server
+	// side a bounded moment to release slots and drain the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.adm.inflight() != 0 || srv.adm.queued() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("admission did not drain: inflight=%d queued=%d",
+				srv.adm.inflight(), srv.adm.queued())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := scrape(t, ts.URL)
+	if !strings.Contains(body, "kdap_requests_inflight 0") {
+		t.Errorf("inflight gauge nonzero:\n%s", grepLines(body, "kdap_requests_inflight"))
+	}
+	if !strings.Contains(body, "kdap_requests_queued 0") {
+		t.Errorf("queued gauge nonzero:\n%s", grepLines(body, "kdap_requests_queued"))
+	}
+	shedTotal := counterSum(t, body, "kdap_requests_shed_total")
+	if shedTotal < float64(shed503.Load()) {
+		t.Errorf("shed counter %v < observed 503s %d", shedTotal, shed503.Load())
+	}
+	if ok200.Load() == 0 {
+		t.Error("storm produced no successful requests; envelope too tight to test convergence")
+	}
+	// Every admitted-and-completed request reached the flight recorder;
+	// shed ones carry the shed disposition there too.
+	if evs := srv.FlightRecorder().InFlight(); len(evs) != 0 {
+		t.Errorf("flight recorder still tracks %d in-flight events", len(evs))
+	}
+}

@@ -236,7 +236,8 @@ func TestPipelineErrorMapping(t *testing.T) {
 	}
 	for _, c := range cases {
 		rec := httptest.NewRecorder()
-		srv.writePipelineError(rec, "/api/explore", c.err, http.StatusUnprocessableEntity)
+		req := httptest.NewRequest(http.MethodPost, "/api/explore", nil)
+		srv.writePipelineError(rec, req, "/api/explore", c.err, http.StatusUnprocessableEntity)
 		if rec.Code != c.status {
 			t.Errorf("%v: status %d, want %d", c.err, rec.Code, c.status)
 		}

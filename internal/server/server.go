@@ -41,6 +41,7 @@ import (
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
 	"kdap/internal/telemetry"
+	"kdap/internal/telemetry/profile"
 )
 
 // Options tune the server's request lifecycle.
@@ -89,6 +90,12 @@ type Options struct {
 	// BatchMax caps how many requests one batch may gather before it
 	// flushes early (default 16 when batching is on).
 	BatchMax int
+	// SLOTarget is the per-request latency target (default 250ms). It
+	// drives the kdap_slo_good_total / kdap_slo_bad_total classification
+	// and doubles as the flight recorder's slow-ring threshold, so the
+	// queries /debug/queries calls "slow" are exactly the ones burning
+	// the error budget.
+	SLOTarget time.Duration
 }
 
 // DefaultOptions returns the defaults New uses: no deadline, no
@@ -99,6 +106,7 @@ func DefaultOptions() Options {
 		SessionCap:      1024,
 		AnswerCacheSize: 512,
 		AnswerCacheTTL:  5 * time.Minute,
+		SLOTarget:       250 * time.Millisecond,
 	}
 }
 
@@ -108,6 +116,7 @@ type Server struct {
 	engines map[string]*kdapcore.Engine
 	opts    Options
 	adm     *admission
+	rec     *profile.Recorder
 
 	reg      *telemetry.Registry
 	logger   *slog.Logger
@@ -139,6 +148,9 @@ func NewWithOptions(warehouses map[string]*dataset.Warehouse, opts Options) *Ser
 	if opts.MaxQueue <= 0 {
 		opts.MaxQueue = 2 * opts.MaxInflight
 	}
+	if opts.SLOTarget <= 0 {
+		opts.SLOTarget = 250 * time.Millisecond
+	}
 	s := &Server{
 		mux:      http.NewServeMux(),
 		engines:  make(map[string]*kdapcore.Engine),
@@ -150,6 +162,7 @@ func NewWithOptions(warehouses map[string]*dataset.Warehouse, opts Options) *Ser
 		factRows: make(map[string]int),
 		sessions: cache.NewClock[string, *session](opts.SessionCap),
 	}
+	s.rec = profile.NewRecorder(flightRecentN, flightSlowN, flightErrN, opts.SLOTarget, s.observeSLO)
 	for name, wh := range warehouses {
 		fact := wh.DB.Table(wh.Graph.FactTable())
 		var m olap.Measure
@@ -199,6 +212,8 @@ func NewWithOptions(warehouses map[string]*dataset.Warehouse, opts Options) *Ser
 	s.handle("POST /api/drill", "/api/drill", s.api("/api/drill", s.handleDrill))
 	s.registerDebugEndpoints()
 	s.wireAdmissionMetrics()
+	s.wireSLOMetrics()
+	s.wireRuntimeMetrics()
 	return s
 }
 
@@ -214,17 +229,27 @@ func queueWaitOf(ctx context.Context) time.Duration {
 }
 
 // api wraps a query-executing handler in the request lifecycle layer:
-// admission control (shed with 503 + Retry-After when saturated), the
-// per-request deadline, and the queue-wait annotation.
+// the per-request wide event (started here, completed here with the
+// response's true status and duration), admission control (shed with
+// 503 + Retry-After when saturated), the per-request deadline, and the
+// queue-wait annotation. The request ID — the client's X-Request-ID or
+// a generated one — is echoed on the response and stamped on the
+// profile so a slow request in /debug/queries can be matched to the
+// client's own logs.
 func (s *Server) api(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		p := s.rec.Start(route, requestID(r))
+		w.Header().Set(requestIDHeader, p.ID())
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		release, wait, admitted := s.adm.acquire(r.Context())
 		if !admitted {
 			s.reg.Counter("kdap_requests_shed_total",
 				"API requests shed by admission control (in-flight cap and queue full or wait expired).",
 				"route", route).Inc()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
+			sr.Header().Set("Retry-After", "1")
+			writeError(sr, http.StatusServiceUnavailable, "server at capacity, retry later")
+			p.SetQueueWait(wait)
+			s.rec.Complete(p, http.StatusServiceUnavailable, profile.DispositionShed, errShed)
 			return
 		}
 		defer release()
@@ -236,8 +261,11 @@ func (s *Server) api(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		if wait > 0 {
 			ctx = context.WithValue(ctx, queueWaitKey{}, wait)
+			p.SetQueueWait(wait)
 		}
-		h(w, r.WithContext(ctx))
+		ctx = profile.NewContext(ctx, p)
+		h(sr, r.WithContext(ctx))
+		s.completeProfile(p, sr.status)
 	}
 }
 
@@ -255,16 +283,22 @@ func traceRequest(r *http.Request, op string) (*telemetry.Trace, context.Context
 // cancelled client context becomes 499 (the de-facto "client closed
 // request" code), an expired deadline 504, anything else the fallback
 // status. Context-ended requests also bump the per-route cancellation
-// counter.
-func (s *Server) writePipelineError(w http.ResponseWriter, route string, err error, fallback int) {
+// counter. The request's wide event is sealed here with the error and
+// its disposition (Finish is first-call-wins, so the api wrapper's
+// Complete keeps what this records).
+func (s *Server) writePipelineError(w http.ResponseWriter, r *http.Request, route string, err error, fallback int) {
+	p := profile.FromContext(r.Context())
 	var status int
 	var reason string
 	switch {
 	case errors.Is(err, context.Canceled):
 		status, reason = 499, "cancelled"
+		p.Finish(status, profile.DispositionCancelled, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		status, reason = http.StatusGatewayTimeout, "deadline"
+		p.Finish(status, profile.DispositionDeadline, err)
 	default:
+		p.Finish(fallback, profile.DispositionError, err)
 		writeError(w, fallback, err.Error())
 		return
 	}
@@ -307,12 +341,14 @@ type HitGroupDTO struct {
 }
 
 // QueryResponse answers /api/query. Trace is present only when the
-// request carried ?trace=1.
+// request carried ?trace=1; Profile (the request's wide event) only
+// behind ?profile=1.
 type QueryResponse struct {
 	Session         string              `json:"session"`
 	Query           string              `json:"query"`
 	Interpretations []InterpretationDTO `json:"interpretations"`
 	Trace           *telemetry.SpanJSON `json:"trace,omitempty"`
+	Profile         *profile.Event      `json:"profile,omitempty"`
 }
 
 // FacetsDTO answers /api/explore. Trace is present only when the
@@ -324,6 +360,7 @@ type FacetsDTO struct {
 	// Partial marks a deadline-degraded response (see exploreRequest.Partial).
 	Partial bool                `json:"partial,omitempty"`
 	Trace   *telemetry.SpanJSON `json:"trace,omitempty"`
+	Profile *profile.Event      `json:"profile,omitempty"`
 }
 
 // DimensionFacetsDTO is one dimension's facets.
@@ -377,6 +414,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	p := profile.FromContext(r.Context())
+	p.SetDB(req.DB)
+	p.SetQuery(req.Q)
 	e, ok := s.engines[req.DB]
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown warehouse %q", req.DB))
@@ -388,14 +428,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// The engine is deterministic, so (warehouse, data version, limit,
 	// canonical query) fully identify the interpretation list — enough
-	// for a weak ETag checked before the pipeline runs. Traced requests
-	// carry per-request span trees and are never revalidated.
+	// for a weak ETag checked before the pipeline runs. Traced and
+	// profiled requests carry per-request payloads and are never
+	// revalidated.
 	var etag string
-	if e.AnswerCacheEnabled() && !wantTrace(r) {
+	if e.AnswerCacheEnabled() && !wantTrace(r) && !wantProfile(r) {
 		etag = answerETag("query", req.DB,
 			strconv.FormatUint(e.DataVersion(), 10),
 			strconv.Itoa(limit), kdapcore.CanonicalQuery(req.Q))
 		if notModified(r, etag) {
+			p.SetCacheOutcome("revalidated")
 			writeNotModified(w, etag)
 			return
 		}
@@ -406,10 +448,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	nets, outcome, err := e.DifferentiateBatchedCtx(ctx, req.Q)
 	tr.Finish()
 	s.observeStages(tr)
+	p.SetStages(tr.Stages())
 	if err != nil {
-		s.writePipelineError(w, "/api/query", err, http.StatusBadRequest)
+		s.writePipelineError(w, r, "/api/query", err, http.StatusBadRequest)
 		return
 	}
+	p.SetCacheOutcome(outcome.String())
 	if len(nets) > limit {
 		nets = nets[:limit]
 	}
@@ -421,6 +465,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp := QueryResponse{Session: id, Query: req.Q}
 	if wantTrace(r) {
 		resp.Trace = tr.JSON()
+	}
+	if wantProfile(r) {
+		// Seal the event now so the inline copy shows the final
+		// disposition; its duration therefore excludes response
+		// serialization (the flight-recorder copy is the same event).
+		p.Finish(http.StatusOK, profile.DispositionOK, nil)
+		resp.Profile = p.Snapshot()
 	}
 	for i, sn := range nets {
 		dto := InterpretationDTO{Rank: i + 1, Score: sn.Score, Signature: sn.DomainSignature()}
@@ -451,6 +502,9 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown warehouse %q", req.DB))
 		return
 	}
+	p := profile.FromContext(r.Context())
+	p.SetDB(req.DB)
+	p.SetQuery(req.Q)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"suggestions": e.SuggestKeywords(req.Q, 3),
 	})
@@ -516,6 +570,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	p := profile.FromContext(r.Context())
+	p.SetDB(db)
+	p.SetQuery(sn.DomainSignature())
 	opts := kdapcore.DefaultExploreOptions()
 	opts.Parallel = true
 	switch req.Mode {
@@ -543,11 +600,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	// data version determine the facets, so an unchanged answer is a 304
 	// without running the pipeline.
 	var etag string
-	if e.AnswerCacheEnabled() && !wantTrace(r) {
+	if e.AnswerCacheEnabled() && !wantTrace(r) && !wantProfile(r) {
 		if key, cacheable := kdapcore.ExploreCacheKey(sn, opts); cacheable {
 			etag = answerETag("explore", db,
 				strconv.FormatUint(e.DataVersion(), 10), key)
 			if notModified(r, etag) {
+				p.SetCacheOutcome("revalidated")
 				writeNotModified(w, etag)
 				return
 			}
@@ -557,10 +615,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	f, outcome, err := e.ExploreBatchedCtx(ctx, sn, opts)
 	tr.Finish()
 	s.observeStages(tr)
+	p.SetStages(tr.Stages())
 	if err != nil {
-		s.writePipelineError(w, "/api/explore", err, http.StatusUnprocessableEntity)
+		s.writePipelineError(w, r, "/api/explore", err, http.StatusUnprocessableEntity)
 		return
 	}
+	p.SetCacheOutcome(outcome.String())
 	// A deadline-degraded body must never be revalidated into
 	// permanence: no ETag on partial responses.
 	if etag != "" && !f.Partial {
@@ -571,13 +631,28 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if wantTrace(r) {
 		dto.Trace = tr.JSON()
 	}
+	if wantProfile(r) {
+		// See handleQuery: sealed before serialization on purpose.
+		p.Finish(http.StatusOK, profile.DispositionOK, nil)
+		dto.Profile = p.Snapshot()
+	}
 	writeJSON(w, http.StatusOK, dto)
 }
 
 // wantTrace reports whether the request asked for its span tree
 // (?trace=1).
 func wantTrace(r *http.Request) bool {
-	switch r.URL.Query().Get("trace") {
+	return queryFlag(r, "trace")
+}
+
+// wantProfile reports whether the request asked for its wide event
+// inline (?profile=1).
+func wantProfile(r *http.Request) bool {
+	return queryFlag(r, "profile")
+}
+
+func queryFlag(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
 	case "1", "true", "yes":
 		return true
 	}
@@ -620,6 +695,7 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	profile.FromContext(r.Context()).SetDB(db)
 	attr := schemagraph.AttrRef{Table: req.Table, Attr: req.Attr}
 	var drilled *kdapcore.StarNet
 	var err error

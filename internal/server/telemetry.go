@@ -15,6 +15,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"kdap/internal/cache"
@@ -243,12 +244,46 @@ func (s *Server) registerDebugEndpoints() {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.reg.WritePrometheus(w)
 	})
+	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+}
+
+// wireRuntimeMetrics registers the Go runtime gauges the SLO runbook
+// leans on (is the process GC-bound or goroutine-leaking?). MemStats
+// reads stop the world briefly, so one read is cached and shared across
+// the gauges for up to memStatsMaxAge — scrape-rate staleness, not
+// request-rate cost.
+func (s *Server) wireRuntimeMetrics() {
+	const memStatsMaxAge = 500 * time.Millisecond
+	var mu sync.Mutex
+	var last time.Time
+	var ms runtime.MemStats
+	read := func() runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(last) > memStatsMaxAge {
+			runtime.ReadMemStats(&ms)
+			last = time.Now()
+		}
+		return ms
+	}
+	s.reg.GaugeFunc("kdap_go_goroutines",
+		"Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.reg.GaugeFunc("kdap_go_heap_alloc_bytes",
+		"Bytes of live heap objects (MemStats.HeapAlloc, cached up to 500ms).",
+		func() float64 { return float64(read().HeapAlloc) })
+	s.reg.CounterFunc("kdap_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(read().PauseTotalNs) / 1e9 })
+	s.reg.CounterFunc("kdap_go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(read().NumGC) })
 }
 
 // buildVersion reports the module version and VCS revision baked into

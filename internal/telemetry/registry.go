@@ -80,8 +80,13 @@ type Histogram struct {
 }
 
 // DefLatencyBuckets are the default latency buckets in seconds, spanning
-// sub-millisecond kernel calls to multi-second cold explores.
+// warm answer-cache hits (a couple of microseconds) through
+// sub-millisecond kernel calls to multi-second cold explores. The
+// sub-10µs bounds exist because the fastest served answers — cache hits
+// around 2.4µs and 304 revalidations — would otherwise all collapse
+// into one bucket and p50/p99 estimates over them would be meaningless.
 var DefLatencyBuckets = []float64{
+	0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
@@ -159,20 +164,27 @@ func (s *sample) value() float64 {
 	}
 }
 
-// family is all series sharing one metric name.
+// family is all series sharing one metric name. ordered mirrors samples
+// sorted by label set, maintained at registration so every scrape walks
+// the same deterministic order without re-sorting.
 type family struct {
 	name    string
 	help    string
 	kind    metricKind
 	samples map[string]*sample
+	ordered []*sample
 }
 
 // Registry holds metric families and renders them as Prometheus text
 // exposition format. Safe for concurrent use; instrument lookups take a
-// read lock, instrument updates are lock-free.
+// read lock, instrument updates are lock-free. ordered mirrors fams
+// sorted by name, maintained at registration time (registration is rare,
+// scrapes are not), which also makes the exposition byte-order
+// deterministic across processes regardless of map iteration order.
 type Registry struct {
-	mu   sync.RWMutex
-	fams map[string]*family
+	mu      sync.RWMutex
+	fams    map[string]*family
+	ordered []*family
 }
 
 // NewRegistry creates an empty registry.
@@ -237,6 +249,10 @@ func (r *Registry) getOrCreate(name, help string, kind metricKind, labels string
 	if f == nil {
 		f = &family{name: name, help: help, kind: kind, samples: make(map[string]*sample)}
 		r.fams[name] = f
+		i := sort.Search(len(r.ordered), func(i int) bool { return r.ordered[i].name >= name })
+		r.ordered = append(r.ordered, nil)
+		copy(r.ordered[i+1:], r.ordered[i:])
+		r.ordered[i] = f
 	}
 	if f.kind != kind {
 		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.kind, kind))
@@ -247,6 +263,10 @@ func (r *Registry) getOrCreate(name, help string, kind metricKind, labels string
 	s = build()
 	s.labels = labels
 	f.samples[labels] = s
+	i := sort.Search(len(f.ordered), func(i int) bool { return f.ordered[i].labels >= labels })
+	f.ordered = append(f.ordered, nil)
+	copy(f.ordered[i+1:], f.ordered[i:])
+	f.ordered[i] = s
 	return s
 }
 
@@ -310,31 +330,18 @@ func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...
 // WritePrometheus renders every family in Prometheus text exposition
 // format (version 0.0.4), families and series in sorted order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.RLock()
-	names := make([]string, 0, len(r.fams))
-	for name := range r.fams {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	// Snapshot the sample lists under the lock; values are read after,
-	// lock-free (they are atomics or caller-owned funcs).
+	// Snapshot the pre-sorted family and sample slices under the lock;
+	// values are read after, lock-free (they are atomics or caller-owned
+	// funcs). Registration maintains sort order, so no per-scrape sorting
+	// and the byte order is identical across scrapes and processes.
 	type famSnap struct {
 		f       *family
 		samples []*sample
 	}
-	snaps := make([]famSnap, 0, len(names))
-	for _, name := range names {
-		f := r.fams[name]
-		keys := make([]string, 0, len(f.samples))
-		for k := range f.samples {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		fs := famSnap{f: f}
-		for _, k := range keys {
-			fs.samples = append(fs.samples, f.samples[k])
-		}
-		snaps = append(snaps, fs)
+	r.mu.RLock()
+	snaps := make([]famSnap, 0, len(r.ordered))
+	for _, f := range r.ordered {
+		snaps = append(snaps, famSnap{f: f, samples: f.ordered})
 	}
 	r.mu.RUnlock()
 

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// The drift gate and any diff-based tooling rely on the exposition being
+// byte-stable: families sorted by name, series sorted by label set,
+// regardless of registration order or map iteration order. Pin it.
+const goldenExposition = `# HELP kdap_batch_size Batch sizes.
+# TYPE kdap_batch_size histogram
+kdap_batch_size_bucket{le="1"} 1
+kdap_batch_size_bucket{le="4"} 2
+kdap_batch_size_bucket{le="+Inf"} 3
+kdap_batch_size_sum 13
+kdap_batch_size_count 3
+# HELP kdap_requests_total Requests served.
+# TYPE kdap_requests_total counter
+kdap_requests_total{code="200",route="/api/explore"} 2
+kdap_requests_total{code="200",route="/api/query"} 5
+kdap_requests_total{code="400",route="/api/query"} 1
+# HELP kdap_sessions Live sessions.
+# TYPE kdap_sessions gauge
+kdap_sessions 3
+# HELP kdap_uptime_seconds Uptime.
+# TYPE kdap_uptime_seconds gauge
+kdap_uptime_seconds 7.5
+`
+
+// populate registers the golden fixture's series following the given
+// order permutation of the four counter series.
+func populateGolden(r *Registry, order []int) {
+	type reg struct {
+		route, code string
+		n           int64
+	}
+	regs := []reg{
+		{"/api/query", "200", 5},
+		{"/api/explore", "200", 2},
+		{"/api/query", "400", 1},
+	}
+	for _, i := range order {
+		rg := regs[i]
+		r.Counter("kdap_requests_total", "Requests served.", "route", rg.route, "code", rg.code).Add(rg.n)
+	}
+	r.Gauge("kdap_sessions", "Live sessions.").Set(3)
+	r.GaugeFunc("kdap_uptime_seconds", "Uptime.", func() float64 { return 7.5 })
+	h := r.Histogram("kdap_batch_size", "Batch sizes.", []float64{1, 4})
+	for _, v := range []float64{1, 4, 8} {
+		h.Observe(v)
+	}
+}
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	populateGolden(r, []int{2, 0, 1})
+	out := render(t, r)
+	if out != goldenExposition {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", out, goldenExposition)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("golden exposition invalid: %v", err)
+	}
+}
+
+// Two registries populated in different registration orders must render
+// byte-identically, and repeated scrapes of one registry must agree.
+func TestExpositionOrderDeterministic(t *testing.T) {
+	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}}
+	var first string
+	for _, ord := range orders {
+		r := NewRegistry()
+		populateGolden(r, ord)
+		out := render(t, r)
+		if first == "" {
+			first = out
+			if again := render(t, r); again != out {
+				t.Error("two scrapes of the same registry differ")
+			}
+			continue
+		}
+		if out != first {
+			t.Errorf("registration order %v changed the exposition:\n%s\nvs\n%s", ord, out, first)
+		}
+	}
+}

@@ -73,6 +73,15 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }
 
+// SpanFromContext returns the current span of ctx, or nil when no trace
+// is attached. Useful with AddTimed for stages whose duration is
+// measured around a call that may or may not have done shared work
+// (e.g. a batched follower adopting a peer's scan).
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
 // AddTimed attaches an already-measured child span — for stages timed
 // outside the traced call tree, like the admission queue wait measured
 // by middleware before the request trace exists. Safe on a nil span.

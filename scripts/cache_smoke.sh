@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Answer-cache smoke test against a live kdapd: the second identical
 # query must be served from the cache (X-KDAP-Cache: hit) with a
-# byte-for-byte identical explore body, If-None-Match must revalidate
-# to 304, and every kdap_* metric family exposed at /metrics must be
-# documented in docs/OPERATIONS.md. Run from the repository root.
+# byte-for-byte identical explore body, and If-None-Match must
+# revalidate to 304. (Metric/doc agreement is scripts/metrics_drift.sh,
+# which checks both directions.) Run from the repository root.
 set -euo pipefail
 
 ADDR="${ADDR:-127.0.0.1:18080}"
@@ -71,15 +71,4 @@ curl -sf -D "$TMP/e2" -o "$TMP/warm.json" "http://$ADDR/api/explore" -d "$EXPLOR
 tr -d '\r' <"$TMP/e2" | grep -qi '^x-kdap-cache: hit$'
 cmp "$TMP/cold.json" "$TMP/warm.json"
 
-echo "== every exposed kdap_* metric family is documented in docs/OPERATIONS.md"
-curl -sf "http://$ADDR/metrics" |
-  grep -o '^kdap_[a-z_]*' |
-  sed -E 's/_(bucket|sum|count)$//' |
-  sort -u >"$TMP/families"
-MISSING=0
-while read -r fam; do
-  grep -q "$fam" docs/OPERATIONS.md || { echo "undocumented metric family: $fam" >&2; MISSING=1; }
-done <"$TMP/families"
-[ "$MISSING" = 0 ]
-
-echo "cache smoke OK ($(wc -l <"$TMP/families") metric families checked)"
+echo "cache smoke OK"
