@@ -74,6 +74,11 @@ type benchFile struct {
 	// The nightly gate fails on a >20% batched-QPS drop, a p99 blowup,
 	// or a batched-over-serial speedup below 2x at the top rung.
 	QPS qpsBench `json:"qps"`
+	// Segments pins the disk-backed segment layer's drill ladder (1M
+	// and 10M facts): cold/warm latency, segment skip rate, and peak
+	// RSS. Written by `-exp segments` (not `-exp bench` — the 10M rung
+	// takes minutes); the nightly gate re-runs the 1M rung.
+	Segments *segmentsBench `json:"segments,omitempty"`
 }
 
 // kernelSweepEntry is one GOMAXPROCS point of the kernel sweep.
@@ -453,6 +458,15 @@ func benchJSON() error {
 	if err != nil {
 		return err
 	}
+	// Carry the pinned segments ladder forward: it is written by
+	// `-exp segments` only (the 10M rung is minutes of work), and a
+	// plain `-exp bench` refresh must not silently drop it.
+	if prev, err := os.ReadFile("BENCH.json"); err == nil {
+		var old benchFile
+		if json.Unmarshal(prev, &old) == nil {
+			out.Segments = old.Segments
+		}
+	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -501,6 +515,13 @@ func nightly() error {
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("nightly: parse baseline: %w", err)
 	}
+	// The segments gate runs first, while VmHWM still reflects the
+	// disk-backed run rather than the resident warehouses computeBench
+	// is about to load.
+	segFailures, err := nightlySegments(base.Segments)
+	if err != nil {
+		return err
+	}
 	fresh, err := computeBench()
 	if err != nil {
 		return err
@@ -510,7 +531,7 @@ func nightly() error {
 	for _, r := range base.Results {
 		baseline[r.Name] = r
 	}
-	var failures []string
+	failures := segFailures
 	for _, r := range fresh.Results {
 		b, ok := baseline[r.Name]
 		if !ok || b.NsPerOp <= 0 {

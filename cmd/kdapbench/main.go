@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kdapbench [-exp all|table1|table2|table3|fig4|fig4r|fig4sim|fig5|fig6|fig7|merge|latency|discover|calibrate|qps|bench|nightly]
+//	kdapbench [-exp all|table1|table2|table3|fig4|fig4r|fig4sim|fig5|fig6|fig7|merge|latency|discover|calibrate|qps|bench|segments|nightly]
 //
 // The output is what EXPERIMENTS.md records as "measured".
 package main
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, calibrate, qps, bench, nightly")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, calibrate, qps, bench, segments, nightly")
 	flag.Parse()
 
 	// nightly is a gate, not an experiment: it never runs under "all"
@@ -71,6 +71,12 @@ func main() {
 	// so like calibrate it only runs when asked for by name.
 	if *exp == "qps" {
 		run("qps", qpsReport)
+	}
+	// segments streams multi-million-row warehouses onto disk and takes
+	// minutes at the 10M rung, so it too only runs when asked by name;
+	// it rewrites only BENCH.json's "segments" section.
+	if *exp == "segments" {
+		run("segments", segmentsJSON)
 	}
 	run("bench", benchJSON)
 }

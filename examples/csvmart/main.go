@@ -9,9 +9,14 @@
 // Run with:
 //
 //	go run ./examples/csvmart
+//
+// With -segments the fact CSV streams into disk segment files instead
+// of loading resident — same answers, bounded memory — and the run
+// reports the store's paging counters at the end.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -20,6 +25,9 @@ import (
 )
 
 func main() {
+	segments := flag.Bool("segments", false, "stream the fact table into disk segments and serve it paged")
+	flag.Parse()
+
 	// Resolve data/ relative to this example's source directory when run
 	// via `go run ./examples/csvmart`, falling back to the working
 	// directory.
@@ -27,7 +35,21 @@ func main() {
 	if _, err := os.Stat(dir); err != nil {
 		dir = "data"
 	}
-	wh, err := kdap.LoadCSVWarehouse(dir)
+	var (
+		wh    *kdap.Warehouse
+		store *kdap.SegmentStore
+		err   error
+	)
+	if *segments {
+		segDir, terr := os.MkdirTemp("", "csvmart-segments-")
+		if terr != nil {
+			panic(terr)
+		}
+		defer os.RemoveAll(segDir)
+		wh, store, err = kdap.LoadCSVWarehouseSegmented(dir, segDir)
+	} else {
+		wh, err = kdap.LoadCSVWarehouse(dir)
+	}
 	if err != nil {
 		panic(err)
 	}
@@ -57,4 +79,10 @@ func main() {
 
 	fmt.Println("\nSQL for the chosen interpretation:")
 	fmt.Println(nets[0].SQL(engine.Measure(), engine.Agg(), "Orders"))
+
+	if store != nil {
+		st := store.Stats()
+		fmt.Printf("\nsegment store: %d cache hits, %d paged in, %d evicted, %d skipped (bloom), %d skipped (zone)\n",
+			st.Resident, st.PagedIn, st.Evicted, st.SkippedBloom, st.SkippedZone)
+	}
 }

@@ -45,9 +45,23 @@ import (
 
 	"kdap/internal/dataset"
 	"kdap/internal/fulltext"
+	"kdap/internal/persist"
 	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
 )
+
+// LoadOptions tune warehouse assembly beyond the manifest.
+type LoadOptions struct {
+	// SegmentDir, when non-empty, streams the fact table's CSV rows
+	// through a segment writer into column files under this directory
+	// and opens the fact table disk-backed: rows never materialize in
+	// memory, and scans page segments in under the store's cache
+	// budget. Dimension tables stay resident.
+	SegmentDir string
+	// SegmentSize is the rows-per-segment for SegmentDir (power of two,
+	// >= 64); zero selects relation.DefaultSegmentSize.
+	SegmentSize int
+}
 
 // ColumnSpec declares one CSV column.
 type ColumnSpec struct {
@@ -175,19 +189,37 @@ func LoadManifest(path string) (*Manifest, error) {
 }
 
 // Load builds a warehouse from a manifest, resolving CSV paths relative
-// to baseDir.
+// to baseDir. Every table is resident.
 func Load(baseDir string, m *Manifest) (*dataset.Warehouse, error) {
+	wh, _, err := LoadWithOptions(baseDir, m, LoadOptions{})
+	return wh, err
+}
+
+// LoadWithOptions builds a warehouse from a manifest. With
+// LoadOptions.SegmentDir set, the fact table streams to disk segments
+// and the returned Store exposes its paging counters and cache-budget
+// knob; otherwise the Store is nil.
+func LoadWithOptions(baseDir string, m *Manifest, opts LoadOptions) (*dataset.Warehouse, *persist.Store, error) {
 	if m.Fact == "" {
-		return nil, fmt.Errorf("csvload: manifest has no fact table")
+		return nil, nil, fmt.Errorf("csvload: manifest has no fact table")
 	}
 	db := relation.NewDatabase(m.Name)
+	var store *persist.Store
 	for _, ts := range m.Tables {
+		if opts.SegmentDir != "" && ts.Name == m.Fact {
+			st, err := loadTableSegmented(db, baseDir, ts, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			store = st
+			continue
+		}
 		if err := loadTable(db, baseDir, ts); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if err := db.Validate(m.Strict); err != nil {
-		return nil, fmt.Errorf("csvload: %w", err)
+		return nil, nil, fmt.Errorf("csvload: %w", err)
 	}
 
 	g := schemagraph.New(db, m.Fact)
@@ -205,11 +237,11 @@ func Load(baseDir string, m *Manifest) (*dataset.Warehouse, error) {
 			d.GroupBy = append(d.GroupBy, schemagraph.AttrRef{Table: gb.Table, Attr: gb.Attr})
 		}
 		if err := g.AddDimension(d); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if err := g.Build(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, el := range m.EdgeLabels {
 		g.LabelEdge(el.Table, el.Column, el.Role, el.Dimension)
@@ -219,7 +251,7 @@ func Load(baseDir string, m *Manifest) (*dataset.Warehouse, error) {
 	ix := fulltext.NewIndex()
 	ix.IndexDatabase(db)
 	ix.Freeze()
-	return &dataset.Warehouse{DB: db, Graph: g, Index: ix}, nil
+	return &dataset.Warehouse{DB: db, Graph: g, Index: ix}, store, nil
 }
 
 // LoadDir is the convenience entry point: read <dir>/manifest.json and
@@ -232,27 +264,28 @@ func LoadDir(dir string) (*dataset.Warehouse, error) {
 	return Load(dir, m)
 }
 
-func loadTable(db *relation.Database, baseDir string, ts TableSpec) error {
+// tableSchema builds the relation schema a table spec declares.
+func tableSchema(ts TableSpec) (*relation.Schema, error) {
 	cols := make([]relation.Column, len(ts.Columns))
-	kinds := make(map[string]relation.Kind, len(ts.Columns))
 	for i, cs := range ts.Columns {
 		k, err := parseKind(cs.Kind)
 		if err != nil {
-			return fmt.Errorf("table %s: %w", ts.Name, err)
+			return nil, fmt.Errorf("table %s: %w", ts.Name, err)
 		}
 		cols[i] = relation.Column{Name: cs.Name, Kind: k, FullText: cs.FullText}
-		kinds[cs.Name] = k
 	}
 	fks := make([]relation.ForeignKey, len(ts.ForeignKeys))
 	for i, fk := range ts.ForeignKeys {
 		fks[i] = relation.ForeignKey{Column: fk.Column, RefTable: fk.RefTable, RefColumn: fk.RefColumn}
 	}
-	schema, err := relation.NewSchema(ts.Name, cols, ts.Key, fks)
-	if err != nil {
-		return err
-	}
-	t := relation.NewTable(schema)
+	return relation.NewSchema(ts.Name, cols, ts.Key, fks)
+}
 
+// streamCSV parses the table's CSV file row by row into emit, in file
+// order. The sink decides where rows land — a resident table or a
+// segment writer — so arbitrarily large files load in constant memory.
+func streamCSV(baseDir string, ts TableSpec, schema *relation.Schema, emit func(row []relation.Value) error) error {
+	cols := schema.Columns
 	f, err := os.Open(filepath.Join(baseDir, ts.File))
 	if err != nil {
 		return fmt.Errorf("table %s: %w", ts.Name, err)
@@ -296,9 +329,54 @@ func loadTable(db *relation.Database, baseDir string, ts TableSpec) error {
 			}
 			row[i] = v
 		}
-		if _, err := t.Append(row); err != nil {
+		if err := emit(row); err != nil {
 			return fmt.Errorf("table %s line %d: %w", ts.Name, line, err)
 		}
 	}
+	return nil
+}
+
+func loadTable(db *relation.Database, baseDir string, ts TableSpec) error {
+	schema, err := tableSchema(ts)
+	if err != nil {
+		return err
+	}
+	t := relation.NewTable(schema)
+	err = streamCSV(baseDir, ts, schema, func(row []relation.Value) error {
+		_, err := t.Append(row)
+		return err
+	})
+	if err != nil {
+		return err
+	}
 	return db.AddTable(t)
+}
+
+// loadTableSegmented streams the table's CSV rows through a segment
+// writer into opts.SegmentDir and registers the disk-backed table.
+func loadTableSegmented(db *relation.Database, baseDir string, ts TableSpec, opts LoadOptions) (*persist.Store, error) {
+	schema, err := tableSchema(ts)
+	if err != nil {
+		return nil, err
+	}
+	w, err := persist.NewSegmentWriter(opts.SegmentDir, schema, persist.SegmentWriterOptions{SegmentSize: opts.SegmentSize})
+	if err != nil {
+		return nil, err
+	}
+	if err := streamCSV(baseDir, ts, schema, w.Append); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	t, store, err := persist.OpenBackedTable(opts.SegmentDir, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.AddTable(t); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return store, nil
 }

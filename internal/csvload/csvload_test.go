@@ -1,11 +1,13 @@
 package csvload
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"kdap/internal/dataset"
 	"kdap/internal/kdapcore"
 	"kdap/internal/olap"
 	"kdap/internal/relation"
@@ -128,6 +130,67 @@ func TestLoadDirEndToEnd(t *testing.T) {
 	}
 	if _, err := e.Explore(nets[0], kdapcore.DefaultExploreOptions()); err != nil {
 		t.Fatalf("explore: %v", err)
+	}
+}
+
+// TestLoadSegmentedMatchesResident loads the fixture twice — resident
+// and with the fact table streamed into disk segments — and requires
+// identical facet bytes for the same interpretation.
+func TestLoadSegmentedMatchesResident(t *testing.T) {
+	dir := writeFixture(t)
+	res, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, store, err := LoadWithOptions(dir, m, LoadOptions{SegmentDir: t.TempDir(), SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store == nil {
+		t.Fatal("segmented load returned no store")
+	}
+	defer store.Close()
+	if seg.DB.Table("Sales").Backing() == nil {
+		t.Fatal("fact table is not backed")
+	}
+	if seg.DB.Table("Product").Backing() != nil {
+		t.Fatal("dimension table was backed")
+	}
+	mkEngine := func(wh *dataset.Warehouse) *kdapcore.Engine {
+		return kdapcore.NewEngine(wh.Graph, wh.Index,
+			olap.ColumnMeasure(wh.DB.Table("Sales"), "Amount"), olap.Sum)
+	}
+	er, es := mkEngine(res), mkEngine(seg)
+	for _, q := range []string{"Bikes", "West", "Helmet", "Amount>400"} {
+		rn, err := er.Differentiate(q)
+		if err != nil {
+			t.Fatalf("%q resident: %v", q, err)
+		}
+		sn, err := es.Differentiate(q)
+		if err != nil {
+			t.Fatalf("%q segmented: %v", q, err)
+		}
+		if len(rn) != len(sn) {
+			t.Fatalf("%q: %d nets resident, %d segmented", q, len(rn), len(sn))
+		}
+		if len(rn) == 0 {
+			continue
+		}
+		fr, errR := er.Explore(rn[0], kdapcore.DefaultExploreOptions())
+		fs, errS := es.Explore(sn[0], kdapcore.DefaultExploreOptions())
+		if (errR == nil) != (errS == nil) {
+			t.Fatalf("%q: explore errors diverge: %v vs %v", q, errR, errS)
+		}
+		if errR != nil {
+			continue
+		}
+		if !bytes.Equal(fr.Fingerprint(), fs.Fingerprint()) {
+			t.Fatalf("%q: segmented facets differ from resident", q)
+		}
 	}
 }
 

@@ -286,11 +286,10 @@ func promotionFor(rng *stats.RNG, p awProduct, month int) int64 {
 	}
 }
 
-func buildAWOnline() *Warehouse {
-	db := relation.NewDatabase("AW_ONLINE")
-	sh := buildAWDimCommon(db, false)
-	rng := stats.NewRNG(2007)
-
+// buildAWOnlineCustomers creates and populates DimCustomer with
+// nCustomers generated rows plus the pinned Fernando row (key
+// nCustomers+1), returning each customer's geography row index.
+func buildAWOnlineCustomers(db *relation.Database, rng *stats.RNG, sh *awShared, nCustomers int) []int {
 	customer := db.MustCreateTable(relation.MustSchema("DimCustomer", []relation.Column{
 		iCol("CustomerKey"), ftCol("FirstName"), ftCol("LastName"),
 		ftCol("AddressLine1"), ftCol("EmailAddress"), ftCol("Phone"),
@@ -300,7 +299,6 @@ func buildAWOnline() *Warehouse {
 		fk("GeographyKey", "DimGeography", "GeographyKey"),
 	}))
 
-	const nCustomers = 2500
 	custGeo := make([]int, nCustomers+1)
 	for ck := 1; ck <= nCustomers; ck++ {
 		fn := awFirstNames[rng.Intn(len(awFirstNames))]
@@ -321,13 +319,17 @@ func buildAWOnline() *Warehouse {
 	// Pin the workload's named customers: fernando35@adventure-works.com
 	// and a first name "Sydney" are guaranteed by construction (Fernando
 	// and Sydney are in the name pool; make one of each explicit).
-	customer.MustAppend(relation.Int(nCustomers+1), relation.String("Fernando"), relation.String("Ruiz"),
+	customer.MustAppend(relation.Int(int64(nCustomers+1)), relation.String("Fernando"), relation.String("Ruiz"),
 		relation.String("2487 Riverside Drive"), relation.String("fernando35@adventure-works.com"),
 		relation.String("1245550139"), relation.String("Bachelors"), relation.String("Professional"),
 		relation.Float(70000), relation.Int(1))
 	custGeo[0] = 0 // unused slot guard
+	return custGeo
+}
 
-	fact := db.MustCreateTable(relation.MustSchema("FactInternetSales", []relation.Column{
+// awOnlineFactSchema returns the FactInternetSales schema.
+func awOnlineFactSchema() *relation.Schema {
+	return relation.MustSchema("FactInternetSales", []relation.Column{
 		iCol("SalesKey"), iCol("ProductKey"), iCol("CustomerKey"),
 		iCol("OrderDateKey"), iCol("PromotionKey"), iCol("CurrencyKey"),
 		iCol("OrderQuantity"), fCol("UnitPrice"),
@@ -337,14 +339,38 @@ func buildAWOnline() *Warehouse {
 		fk("OrderDateKey", "DimDate", "DateKey"),
 		fk("PromotionKey", "DimPromotion", "PromotionKey"),
 		fk("CurrencyKey", "DimCurrency", "CurrencyKey"),
-	}))
+	})
+}
 
-	for sk := int64(1); sk <= AWOnlineFactCount; sk++ {
+// genAWOnlineFacts streams n FactInternetSales rows, in SalesKey order,
+// into emit. The sequence is a pure function of (rng seed, n,
+// clusteredDates, dimensions), so resident and disk-backed builds of
+// the same scale hold byte-identical data. With clusteredDates the
+// order date advances with the sales key (facts arrive in time order,
+// the realistic warehouse-ingest pattern), which is what gives date
+// and key zone maps their pruning power at scale.
+func genAWOnlineFacts(rng *stats.RNG, sh *awShared, custGeo []int, nCustomers, n int, clusteredDates bool, emit func(vals []relation.Value) error) error {
+	dateCount := int(sh.dateCount)
+	for sk := int64(1); sk <= int64(n); sk++ {
 		ck := 1 + rng.Intn(nCustomers)
 		country := sh.geoCountry[custGeo[ck]]
 		pi := pickProduct(rng, country)
 		p := awProducts[pi]
-		dk := int64(1 + rng.Intn(int(sh.dateCount)))
+		var dk int64
+		if clusteredDates {
+			base := int((sk - 1) * int64(dateCount) / int64(n))
+			jitter := rng.Intn(57) - 28
+			d := base + jitter
+			if d < 0 {
+				d = 0
+			}
+			if d >= dateCount {
+				d = dateCount - 1
+			}
+			dk = int64(d + 1)
+		} else {
+			dk = int64(1 + rng.Intn(dateCount))
+		}
 		month := int((dk - 1) / 28 % 12)
 		promoKey := promotionFor(rng, p, month)
 		qty := int64(1)
@@ -352,11 +378,20 @@ func buildAWOnline() *Warehouse {
 			qty = int64(1 + rng.Intn(4))
 		}
 		price := p.dealerPrice * (1.25 + 0.25*rng.Float64())
-		fact.MustAppend(relation.Int(sk), relation.Int(int64(pi+1)), relation.Int(int64(ck)),
+		err := emit([]relation.Value{
+			relation.Int(sk), relation.Int(int64(pi + 1)), relation.Int(int64(ck)),
 			relation.Int(dk), relation.Int(promoKey), relation.Int(currencyForCountry(country)),
-			relation.Int(qty), relation.Float(price))
+			relation.Int(qty), relation.Float(price),
+		})
+		if err != nil {
+			return err
+		}
 	}
+	return nil
+}
 
+// awOnlineGraph builds the AW_ONLINE schema graph over db.
+func awOnlineGraph(db *relation.Database) *schemagraph.Graph {
 	g := schemagraph.New(db, "FactInternetSales")
 	mustAddDim := func(d *schemagraph.Dimension) {
 		if err := g.AddDimension(d); err != nil {
@@ -439,7 +474,24 @@ func buildAWOnline() *Warehouse {
 	if err := g.Build(); err != nil {
 		panic(err)
 	}
+	return g
+}
 
+func buildAWOnline() *Warehouse {
+	db := relation.NewDatabase("AW_ONLINE")
+	sh := buildAWDimCommon(db, false)
+	rng := stats.NewRNG(2007)
+
+	const nCustomers = 2500
+	custGeo := buildAWOnlineCustomers(db, rng, sh, nCustomers)
+
+	fact := db.MustCreateTable(awOnlineFactSchema())
+	_ = genAWOnlineFacts(rng, sh, custGeo, nCustomers, AWOnlineFactCount, false, func(vals []relation.Value) error {
+		fact.MustAppend(vals...)
+		return nil
+	})
+
+	g := awOnlineGraph(db)
 	db.Freeze()
 	ix := fulltext.NewIndex()
 	ix.IndexDatabase(db)

@@ -1,0 +1,88 @@
+package fulltext
+
+import (
+	"testing"
+
+	"kdap/internal/relation"
+)
+
+func TestDocSegmentHints(t *testing.T) {
+	ix := NewIndex()
+	d := Doc{Table: "T", Attr: "Name", Value: relation.String("mountain bike")}
+	if _, ok := ix.DocSegments(d); ok {
+		t.Fatal("hint reported before any was added")
+	}
+	ix.Add("T", "Name", d.Value)
+	ix.AddDocSegments(d, []int32{0, 3, 7})
+	segs, ok := ix.DocSegments(d)
+	if !ok || len(segs) != 3 || segs[1] != 3 {
+		t.Fatalf("DocSegments = %v, %v", segs, ok)
+	}
+	// An explicit empty list is definitive absence, distinct from no hint.
+	empty := Doc{Table: "T", Attr: "Name", Value: relation.String("gone")}
+	ix.AddDocSegments(empty, []int32{})
+	segs, ok = ix.DocSegments(empty)
+	if !ok || len(segs) != 0 {
+		t.Fatalf("empty hint lost: %v, %v", segs, ok)
+	}
+	other := Doc{Table: "T", Attr: "Name", Value: relation.String("road bike")}
+	if _, ok := ix.DocSegments(other); ok {
+		t.Fatal("unrelated doc gained a hint")
+	}
+}
+
+// segmenterBacking is a minimal ColumnBacking + TermSegmenter for
+// driving IndexDatabase's hint collection without disk files.
+type segmenterBacking struct {
+	codes []int32
+	dict  []relation.Value
+	segs  map[relation.Value][]int32
+}
+
+func (b *segmenterBacking) NumRows() int     { return len(b.codes) }
+func (b *segmenterBacking) SegmentSize() int { return relation.DefaultSegmentSize }
+func (b *segmenterBacking) FloatReader(col string) relation.FloatReader {
+	return nil
+}
+func (b *segmenterBacking) DictReader(col string) relation.DictReader {
+	return relation.ResidentCodes(b.codes, b.dict)
+}
+func (b *segmenterBacking) SegmentMayContain(col string, si int, v relation.Value) (bool, bool) {
+	return true, false
+}
+func (b *segmenterBacking) SegmentZoneOverlaps(col string, si int, lo, hi float64) (bool, bool) {
+	return true, false
+}
+func (b *segmenterBacking) NoteSkips(bloom, zone int) {}
+func (b *segmenterBacking) ValueSegments(col string, v relation.Value) ([]int32, bool) {
+	s, ok := b.segs[v]
+	return s, ok
+}
+
+func TestIndexDatabaseCollectsSegmentHints(t *testing.T) {
+	b := &segmenterBacking{
+		codes: []int32{0, 1, 0},
+		dict:  []relation.Value{relation.String("alpha works"), relation.String("beta street")},
+		segs: map[relation.Value][]int32{
+			relation.String("alpha works"): {0},
+			relation.String("beta street"): {0},
+		},
+	}
+	schema := relation.MustSchema("T", []relation.Column{
+		{Name: "Name", Kind: relation.KindString, FullText: true},
+	}, "", nil)
+	tab, err := relation.NewBackedTable(schema, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := relation.NewDatabase("X")
+	if err := db.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex()
+	ix.IndexDatabase(db)
+	segs, ok := ix.DocSegments(Doc{Table: "T", Attr: "Name", Value: relation.String("alpha works")})
+	if !ok || len(segs) != 1 || segs[0] != 0 {
+		t.Fatalf("hint for backed term = %v, %v", segs, ok)
+	}
+}

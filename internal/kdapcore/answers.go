@@ -123,9 +123,11 @@ func diffAnswerKey(query string, method RankMethod) string {
 // ExploreCacheKey renders the canonical cache identity of an Explore
 // call: the net's subspace signature plus every option that shapes the
 // result. ok is false when the call is uncacheable (a CustomScore func
-// cannot be canonicalized). Parallel and PartialOnDeadline are
-// deliberately excluded — Parallel produces identical output by
-// contract, and partial results are never stored.
+// cannot be canonicalized). Parallel, PartialOnDeadline, and
+// SegmentCacheMB are deliberately excluded — Parallel and
+// SegmentCacheMB produce identical output by contract (they shape
+// wall-clock and memory use only), and partial results are never
+// stored.
 func ExploreCacheKey(sn *StarNet, o ExploreOptions) (key string, ok bool) {
 	if o.CustomScore != nil {
 		return "", false

@@ -96,6 +96,24 @@ func NewEngine(g *schemagraph.Graph, ix *fulltext.Index, m olap.Measure, agg ola
 // the rows cache keep the rows they were built with.
 func (e *Engine) SetShards(n int) { e.exec.SetShards(n) }
 
+// cacheBudgeter is implemented by segment backings (internal/persist)
+// whose page cache runs under an adjustable byte budget.
+type cacheBudgeter interface {
+	SetCacheBudget(bytes int64)
+}
+
+// applySegmentBudget threads ExploreOptions.SegmentCacheMB to the fact
+// table's segment backing. A no-op for resident facts, non-positive
+// budgets, and backings without an adjustable cache.
+func (e *Engine) applySegmentBudget(opts ExploreOptions) {
+	if opts.SegmentCacheMB <= 0 {
+		return
+	}
+	if b, ok := e.exec.FactBacking().(cacheBudgeter); ok {
+		b.SetCacheBudget(int64(opts.SegmentCacheMB) << 20)
+	}
+}
+
 // SetTextSimilarity switches the text-relevance model used when probing
 // the full-text index (default: the classic TF-IDF the paper's prototype
 // used). The Figure 4 ablation compares ranking quality across models.

@@ -220,11 +220,13 @@ func (e *Engine) applyFiltersCtx(ctx context.Context, rows []int, filters []Nume
 		if nf.OnFact {
 			// Under a partition the executor's vectorized scan skips
 			// shards whose zone map misses [lo, hi] and reads the dense
-			// float view; both produce exactly the rows the boxed scan
-			// below keeps (NULL is NaN in the float view and matches no
-			// operator). The boxed path is retained monolithically as
+			// float view; over a disk-backed fact table the segment walk
+			// skips segments on zone evidence without paging them in.
+			// Both produce exactly the rows the boxed scan below keeps
+			// (NULL is NaN in the float view and matches no operator).
+			// The boxed path is retained for plain resident tables as
 			// the honest pre-sharding baseline for the benches.
-			if e.exec.Partition() != nil {
+			if e.exec.Partition() != nil || fact.Backing() != nil {
 				var err error
 				rows, err = e.exec.FilterFactNumericCtx(ctx, rows, nf.Attr.Attr, lo, hi, match)
 				if err != nil {

@@ -127,12 +127,22 @@ func (s *aggState) mergeInto(src *aggState) {
 
 // measureVec resolves the measure's fact-aligned column, or nil when
 // the measure only supports row-at-a-time evaluation (hand-built
-// Measure literals).
+// Measure literals) or reads a backed table (Seg path).
 func measureVec(m Measure) []float64 {
 	if m.Vec == nil {
 		return nil
 	}
 	return m.Vec()
+}
+
+// measureCursor returns a fresh segment cursor for a measure without a
+// dense vector, or nil when the measure has no segmented form. Cursors
+// are not safe for concurrent use — the kernels take one per chunk.
+func measureCursor(m Measure) *relation.FloatCursor {
+	if m.Seg == nil {
+		return nil
+	}
+	return relation.NewFloatCursor(m.Seg())
 }
 
 // runStripes executes one body per stripe index, inline when workers is
@@ -221,6 +231,10 @@ func (ex *Executor) groupScanChunk(ctx context.Context, rows []int, codes []int3
 	touched := make([]bool, ngroups)
 	done := ctx.Done()
 	vec := measureVec(m)
+	var cur *relation.FloatCursor
+	if vec == nil && !m.constOne {
+		cur = measureCursor(m)
+	}
 	for base := 0; base < len(rows); base += cancelCheckRows {
 		if done != nil {
 			if err := ctx.Err(); err != nil {
@@ -228,7 +242,8 @@ func (ex *Executor) groupScanChunk(ctx context.Context, rows []int, codes []int3
 			}
 		}
 		end := min(base+cancelCheckRows, len(rows))
-		if vec != nil {
+		switch {
+		case vec != nil:
 			for _, r := range rows[base:end] {
 				c := codes[r]
 				if c < 0 {
@@ -237,7 +252,25 @@ func (ex *Executor) groupScanChunk(ctx context.Context, rows []int, codes []int3
 				touched[c] = true
 				states[c].add(vec[r])
 			}
-		} else {
+		case m.constOne:
+			for _, r := range rows[base:end] {
+				c := codes[r]
+				if c < 0 {
+					continue
+				}
+				touched[c] = true
+				states[c].add(1)
+			}
+		case cur != nil:
+			for _, r := range rows[base:end] {
+				c := codes[r]
+				if c < 0 {
+					continue
+				}
+				touched[c] = true
+				states[c].add(cur.At(r))
+			}
+		default:
 			for _, r := range rows[base:end] {
 				c := codes[r]
 				if c < 0 {
@@ -290,6 +323,10 @@ func (ex *Executor) scanAggregateChunk(ctx context.Context, rows []int, m Measur
 	st := newAggState()
 	done := ctx.Done()
 	vec := measureVec(m)
+	var cur *relation.FloatCursor
+	if vec == nil && !m.constOne {
+		cur = measureCursor(m)
+	}
 	for base := 0; base < len(rows); base += cancelCheckRows {
 		if done != nil {
 			if err := ctx.Err(); err != nil {
@@ -297,11 +334,20 @@ func (ex *Executor) scanAggregateChunk(ctx context.Context, rows []int, m Measur
 			}
 		}
 		end := min(base+cancelCheckRows, len(rows))
-		if vec != nil {
+		switch {
+		case vec != nil:
 			for _, r := range rows[base:end] {
 				st.add(vec[r])
 			}
-		} else {
+		case m.constOne:
+			for range rows[base:end] {
+				st.add(1)
+			}
+		case cur != nil:
+			for _, r := range rows[base:end] {
+				st.add(cur.At(r))
+			}
+		default:
 			for _, r := range rows[base:end] {
 				st.add(m.Eval(ex.fact.Row(r)))
 			}

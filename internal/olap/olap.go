@@ -46,8 +46,18 @@ type Measure struct {
 	// row as a dense fact-aligned column (NaN where undefined). The
 	// columnar kernels use it to skip per-row boxed evaluation; the
 	// constructors in this package populate it, hand-built Measure
-	// literals may leave it nil and fall back to Eval.
+	// literals may leave it nil and fall back to Eval. Against a backed
+	// fact table the constructors leave Vec nil — materializing a dense
+	// column would defeat the paging budget — and populate Seg instead.
 	Vec func() []float64
+	// Seg, when non-nil, returns a fresh segmented reader over the
+	// measure (the kernels wrap one cursor per worker stripe). The
+	// values a Seg reader yields are bit-identical to Vec's, so the two
+	// paths produce the same output bytes.
+	Seg func() relation.FloatReader
+	// constOne marks a measure whose value is 1 for every row
+	// (CountMeasure); the kernels then never touch fact storage at all.
+	constOne bool
 }
 
 // ColumnMeasure returns a measure that reads a single numeric fact column.
@@ -59,7 +69,10 @@ func ColumnMeasure(t *relation.Table, col string) Measure {
 	return Measure{
 		Name: col,
 		Eval: func(row []relation.Value) float64 { return row[ci].AsFloat() },
-		Vec:  func() []float64 { return t.FloatColumn(col) },
+		Vec: func() []float64 {
+			return t.ResidentFloatColumn(col) // nil when backed
+		},
+		Seg: func() relation.FloatReader { return t.FloatReader(col) },
 	}
 }
 
@@ -79,6 +92,9 @@ func ProductMeasure(t *relation.Table, name, colA, colB string) Measure {
 			return row[a].AsFloat() * row[b].AsFloat()
 		},
 		Vec: func() []float64 {
+			if t.Backing() != nil {
+				return nil
+			}
 			once.Do(func() {
 				ca, cb := t.FloatColumn(colA), t.FloatColumn(colB)
 				vec = make([]float64, len(ca))
@@ -88,12 +104,35 @@ func ProductMeasure(t *relation.Table, name, colA, colB string) Measure {
 			})
 			return vec
 		},
+		Seg: func() relation.FloatReader {
+			return productReader{a: t.FloatReader(colA), b: t.FloatReader(colB)}
+		},
 	}
+}
+
+// productReader is the segmented form of a product measure: each
+// segment is computed on fetch from the two factor segments. A cursor
+// fetches each segment once per contiguous pass, so the recompute cost
+// is one multiply per row — the same work the dense build does, paid
+// per scan instead of up front and resident.
+type productReader struct {
+	a, b relation.FloatReader
+}
+
+func (r productReader) Len() int         { return r.a.Len() }
+func (r productReader) SegmentSize() int { return r.a.SegmentSize() }
+func (r productReader) FloatSegment(si int) []float64 {
+	sa, sb := r.a.FloatSegment(si), r.b.FloatSegment(si)
+	out := make([]float64, len(sa))
+	for i := range out {
+		out[i] = sa[i] * sb[i]
+	}
+	return out
 }
 
 // CountMeasure counts fact rows.
 func CountMeasure() Measure {
-	return Measure{Name: "count", Eval: func([]relation.Value) float64 { return 1 }}
+	return Measure{Name: "count", Eval: func([]relation.Value) float64 { return 1 }, constOne: true}
 }
 
 // Agg selects the aggregation function applied to measure values.
@@ -326,6 +365,11 @@ func (ex *Executor) Graph() *schemagraph.Graph { return ex.g }
 // FactLen returns the number of fact rows (the full dataspace size).
 func (ex *Executor) FactLen() int { return ex.fact.Len() }
 
+// FactBacking returns the fact table's segment backing, or nil when the
+// fact table is resident. Callers use it to tune the backing (segment
+// cache budget) or read its skip counters.
+func (ex *Executor) FactBacking() relation.ColumnBacking { return ex.fact.Backing() }
+
 // MapRows maps row IDs of path.Source to row IDs of path.Target by
 // walking the path's hops; the result is sorted and deduplicated. This is
 // the semijoin primitive: dimension rows in, fact rows out.
@@ -350,6 +394,31 @@ func (ex *Executor) MapRowsCtx(ctx context.Context, rows []int, path schemagraph
 		fromIdx := curTable.Schema().ColumnIndex(hop.FromCol)
 		if fromIdx < 0 {
 			panic(fmt.Sprintf("olap: %s has no column %q", hop.FromTable, hop.FromCol))
+		}
+		if next.Backing() != nil {
+			// A backed hop target has no hash index — per-row Lookup
+			// would rescan the column once per source row. Batch the
+			// distinct hop values and resolve them in one Bloom/zone-
+			// pruned segment scan; LookupIn's ascending deduplicated
+			// output is exactly the bitset union below.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			seen := make(map[relation.Value]struct{}, len(cur))
+			vals := make([]relation.Value, 0, len(cur))
+			for _, r := range cur {
+				v := curTable.Row(r)[fromIdx]
+				if v.IsNull() {
+					continue
+				}
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
+				vals = append(vals, v)
+			}
+			cur, curTable = next.LookupIn(hop.ToCol, vals), next
+			continue
 		}
 		// A bitset over the next table dedups and sorts in one pass —
 		// ToSlice emits ascending row IDs.
@@ -399,7 +468,7 @@ func (ex *Executor) constraintSet(ctx context.Context, c Constraint) (*bitset.Se
 	if t == nil {
 		panic(fmt.Sprintf("olap: constraint references missing table %q", c.Table))
 	}
-	dimRows := t.LookupIn(c.Attr, c.Values)
+	dimRows := lookupHitRows(t, c.Attr, c.Values)
 	mapped, err := ex.MapRowsCtx(ctx, dimRows, c.Path)
 	if err != nil {
 		return nil, err
@@ -407,6 +476,49 @@ func (ex *Executor) constraintSet(ctx context.Context, c Constraint) (*bitset.Se
 	s := bitset.FromSorted(ex.fact.Len(), mapped)
 	ex.constraintBits.Put(sig, s)
 	return s, nil
+}
+
+// lookupHitRows resolves a hit group's value set to rows of its table.
+// On a backed table whose storage records per-term segment lists (the
+// full-text skip lists in the segment manifest), the scan is restricted
+// to the union of the values' segments; otherwise it is a plain
+// LookupIn — which on a backed table still gets Bloom/zone pruning.
+func lookupHitRows(t *relation.Table, attr string, vals []relation.Value) []int {
+	b := t.Backing()
+	if b == nil {
+		return t.LookupIn(attr, vals)
+	}
+	ts, ok := b.(relation.TermSegmenter)
+	if !ok {
+		return t.LookupIn(attr, vals)
+	}
+	segs, ok := unionValueSegments(ts, attr, vals)
+	if !ok {
+		return t.LookupIn(attr, vals)
+	}
+	return t.LookupInSegments(attr, vals, segs)
+}
+
+// unionValueSegments unions the per-value segment lists, ascending and
+// deduplicated. ok is false when any value has no list (the scan must
+// then consider every segment).
+func unionValueSegments(ts relation.TermSegmenter, attr string, vals []relation.Value) ([]int32, bool) {
+	seen := make(map[int32]struct{})
+	for _, v := range vals {
+		segs, ok := ts.ValueSegments(attr, v)
+		if !ok {
+			return nil, false
+		}
+		for _, s := range segs {
+			seen[s] = struct{}{}
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
 }
 
 // FactRows returns the fact rows of the sub-dataspace defined by the
@@ -584,21 +696,25 @@ func (ex *Executor) factToDim(path schemagraph.JoinPath) []int32 {
 		next := ex.g.DB().Table(hop.ToTable)
 		fromIdx := curTable.Schema().ColumnIndex(hop.FromCol)
 		out := make([]int32, len(cur))
-		for f, r := range cur {
-			if r < 0 {
-				out[f] = -1
-				continue
-			}
-			v := curTable.Row(int(r))[fromIdx]
-			if v.IsNull() {
-				out[f] = -1
-				continue
-			}
-			matches := next.Lookup(hop.ToCol, v)
-			if len(matches) == 0 {
-				out[f] = -1
-			} else {
-				out[f] = int32(matches[0])
+		if curTable.Backing() != nil {
+			ex.factToDimBackedHop(curTable, next, hop.FromCol, hop.ToCol, cur, out)
+		} else {
+			for f, r := range cur {
+				if r < 0 {
+					out[f] = -1
+					continue
+				}
+				v := curTable.Row(int(r))[fromIdx]
+				if v.IsNull() {
+					out[f] = -1
+					continue
+				}
+				matches := next.Lookup(hop.ToCol, v)
+				if len(matches) == 0 {
+					out[f] = -1
+				} else {
+					out[f] = int32(matches[0])
+				}
 			}
 		}
 		cur, curTable = out, next
@@ -607,6 +723,71 @@ func (ex *Executor) factToDim(path schemagraph.JoinPath) []int32 {
 	ex.factMap[sig] = cur
 	ex.mu.Unlock()
 	return cur
+}
+
+// factToDimBackedHop resolves one reversed hop when the current table
+// is backed: the hop column is read through a segment cursor instead of
+// assembling boxed rows, and each distinct value resolves to its target
+// row once through a memo — identical output to the per-row walk, one
+// column of I/O instead of the whole table.
+func (ex *Executor) factToDimBackedHop(curTable, next *relation.Table, fromCol, toCol string, cur, out []int32) {
+	c, _ := curTable.Schema().Column(fromCol)
+	firstOf := func(v relation.Value) int32 {
+		matches := next.Lookup(toCol, v)
+		if len(matches) == 0 {
+			return -1
+		}
+		return int32(matches[0])
+	}
+	if c.Kind == relation.KindInt || c.Kind == relation.KindFloat {
+		cursor := relation.NewFloatCursor(curTable.FloatReader(fromCol))
+		memo := make(map[float64]int32)
+		for f, r := range cur {
+			if r < 0 {
+				out[f] = -1
+				continue
+			}
+			fv := cursor.At(int(r))
+			if math.IsNaN(fv) {
+				out[f] = -1
+				continue
+			}
+			d, ok := memo[fv]
+			if !ok {
+				var v relation.Value
+				if c.Kind == relation.KindInt {
+					v = relation.Int(int64(fv))
+				} else {
+					v = relation.Float(fv)
+				}
+				d = firstOf(v)
+				memo[fv] = d
+			}
+			out[f] = d
+		}
+		return
+	}
+	rd := curTable.DictReader(fromCol)
+	dict := rd.Dict()
+	cursor := relation.NewDictCursor(rd)
+	memo := make([]int32, len(dict))
+	have := make([]bool, len(dict))
+	for f, r := range cur {
+		if r < 0 {
+			out[f] = -1
+			continue
+		}
+		code := cursor.At(int(r))
+		if code < 0 {
+			out[f] = -1
+			continue
+		}
+		if !have[code] {
+			memo[code] = firstOf(dict[code])
+			have[code] = true
+		}
+		out[f] = memo[code]
+	}
 }
 
 // GroupBy partitions the given fact rows by the attribute at the far end
@@ -697,6 +878,10 @@ func (ex *Executor) NumericSeriesCtx(ctx context.Context, rows []int, attr strin
 func seriesOver(ctx context.Context, rows []int, vals, vec []float64, m Measure, fact *relation.Table) ([]ValueMeasure, error) {
 	out := make([]ValueMeasure, 0, len(rows))
 	done := ctx.Done()
+	var cur *relation.FloatCursor
+	if vec == nil && !m.constOne {
+		cur = measureCursor(m)
+	}
 	for base := 0; base < len(rows); base += cancelCheckRows {
 		if done != nil {
 			if err := ctx.Err(); err != nil {
@@ -704,7 +889,8 @@ func seriesOver(ctx context.Context, rows []int, vals, vec []float64, m Measure,
 			}
 		}
 		end := min(base+cancelCheckRows, len(rows))
-		if vec != nil {
+		switch {
+		case vec != nil:
 			for _, r := range rows[base:end] {
 				v := vals[r]
 				if math.IsNaN(v) {
@@ -712,7 +898,23 @@ func seriesOver(ctx context.Context, rows []int, vals, vec []float64, m Measure,
 				}
 				out = append(out, ValueMeasure{Value: v, Measure: vec[r]})
 			}
-		} else {
+		case m.constOne:
+			for _, r := range rows[base:end] {
+				v := vals[r]
+				if math.IsNaN(v) {
+					continue
+				}
+				out = append(out, ValueMeasure{Value: v, Measure: 1})
+			}
+		case cur != nil:
+			for _, r := range rows[base:end] {
+				v := vals[r]
+				if math.IsNaN(v) {
+					continue
+				}
+				out = append(out, ValueMeasure{Value: v, Measure: cur.At(r)})
+			}
+		default:
 			for _, r := range rows[base:end] {
 				v := vals[r]
 				if math.IsNaN(v) {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"kdap/internal/bitset"
+	"kdap/internal/relation"
 	"kdap/internal/schemagraph"
 	"kdap/internal/shard"
 	"kdap/internal/telemetry"
@@ -38,9 +39,15 @@ import (
 // concurrently with queries; in-flight scans finish on the partition
 // they started with.
 func (ex *Executor) SetShards(n int) {
-	if n <= 1 {
+	switch {
+	case n <= 1:
 		ex.partition.Store(nil)
-	} else {
+	case ex.fact.Backing() != nil:
+		// Backed fact tables get shard boundaries aligned to segment
+		// multiples, with zone maps folded from the per-segment zones in
+		// the manifest — no dense column materialization.
+		ex.partition.Store(shard.BuildSegmented(ex.fact, n))
+	default:
 		ex.partition.Store(shard.Build(ex.fact, n))
 	}
 	// Per-(path,attr) shard zones are aligned to the old partition.
@@ -119,6 +126,9 @@ var (
 // (NaN) values never match. rows must be sorted ascending; the result
 // is exactly the monolithic filter's.
 func (ex *Executor) FilterFactNumericCtx(ctx context.Context, rows []int, col string, lo, hi float64, pred func(float64) bool) ([]int, error) {
+	if ex.fact.Backing() != nil {
+		return ex.filterFactNumericBacked(ctx, rows, col, lo, hi, pred)
+	}
 	vals := ex.fact.FloatColumn(col)
 	p := ex.partition.Load()
 	if p == nil || len(rows) == 0 {
@@ -129,6 +139,47 @@ func (ex *Executor) FilterFactNumericCtx(ctx context.Context, rows []int, col st
 	pl := p.Plan([]shard.Bound{{Col: col, Lo: lo, Hi: hi}}, nil)
 	ex.noteShardPlan(ctx, pl)
 	return ex.filterGather(ctx, rows, vals, p, pl.Survivors, pred)
+}
+
+// filterFactNumericBacked is the segment-paged form of the fact-column
+// numeric filter: the sorted row set is walked segment by segment
+// through a cursor, and any segment whose zone map cannot overlap
+// [lo, hi] is dropped wholesale — its rows never page in. The output is
+// exactly the dense path's (pred only accepts values inside the bound,
+// and NULL is NaN either way).
+func (ex *Executor) filterFactNumericBacked(ctx context.Context, rows []int, col string, lo, hi float64, pred func(float64) bool) ([]int, error) {
+	b := ex.fact.Backing()
+	ss := b.SegmentSize()
+	cur := relation.NewFloatCursor(ex.fact.FloatReader(col))
+	var out []int
+	done := ctx.Done()
+	skippedZone := 0
+	i := 0
+	for i < len(rows) {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		si := rows[i] / ss
+		segEnd := (si + 1) * ss
+		if ov, has := b.SegmentZoneOverlaps(col, si, lo, hi); has && !ov {
+			skippedZone++
+			for i < len(rows) && rows[i] < segEnd {
+				i++
+			}
+			continue
+		}
+		for i < len(rows) && rows[i] < segEnd {
+			v := cur.At(rows[i])
+			if !math.IsNaN(v) && pred(v) {
+				out = append(out, rows[i])
+			}
+			i++
+		}
+	}
+	b.NoteSkips(0, skippedZone)
+	return out, nil
 }
 
 // FilterRowsNumericBoundCtx is FilterRowsNumericCtx with a declared

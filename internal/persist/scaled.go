@@ -1,0 +1,96 @@
+package persist
+
+import (
+	"kdap/internal/dataset"
+	"kdap/internal/fulltext"
+	"kdap/internal/relation"
+	"kdap/internal/schemagraph"
+)
+
+// BackedWarehouse rewrites wh's fact table into segment files under dir
+// and returns a warehouse identical to wh except that fact-column reads
+// page segments in from disk. Dimension tables are shared with wh (they
+// are immutable once frozen); the schema graph and full-text index are
+// rebuilt around the backed fact, so term segment lists flow into the
+// new index's skip hints. The source warehouse is untouched — keeping
+// both alive gives tests a resident oracle next to the disk-backed
+// subject.
+func BackedWarehouse(dir string, wh *dataset.Warehouse) (*dataset.Warehouse, *Store, error) {
+	return BackedWarehouseOpts(dir, wh, SegmentWriterOptions{})
+}
+
+// BackedWarehouseOpts is BackedWarehouse with explicit segment-writer
+// options (segment size, primarily).
+func BackedWarehouseOpts(dir string, wh *dataset.Warehouse, opts SegmentWriterOptions) (*dataset.Warehouse, *Store, error) {
+	factName := wh.Graph.FactTable()
+	fact := wh.DB.Table(factName)
+	if err := WriteTableSegments(dir, fact, opts); err != nil {
+		return nil, nil, err
+	}
+	bfact, store, err := OpenBackedTable(dir, fact.Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	db := relation.NewDatabase(wh.DB.Name())
+	for _, name := range wh.DB.TableNames() {
+		t := wh.DB.Table(name)
+		if name == factName {
+			t = bfact
+		}
+		if err := db.AddTable(t); err != nil {
+			return nil, nil, err
+		}
+	}
+	g := schemagraph.New(db, factName)
+	g.SetMaxHops(wh.Graph.MaxHops())
+	g.AddFactExtension(wh.Graph.FactExtensions()...)
+	for _, d := range wh.Graph.Dimensions() {
+		if err := g.AddDimension(d); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := g.Build(); err != nil {
+		return nil, nil, err
+	}
+	for _, el := range wh.Graph.EdgeLabels() {
+		g.LabelEdge(el.Table, el.Column, el.Role, el.Dimension)
+	}
+	db.Freeze()
+	ix := fulltext.NewIndex()
+	ix.IndexDatabase(db)
+	ix.Freeze()
+	return &dataset.Warehouse{DB: db, Graph: g, Index: ix}, store, nil
+}
+
+// AWOnlineScaledBacked builds the scaled AW_ONLINE warehouse with its
+// fact table disk-backed: generated rows stream through a SegmentWriter
+// into column files under dir (zone maps, Bloom filters, and term
+// segment lists accumulate during the stream — the fact table never
+// materializes in memory), and the warehouse's fact table pages
+// segments in on demand under the store's cache budget. segSize <= 0
+// selects relation.DefaultSegmentSize. The returned Store exposes the
+// skip/paging counters and the cache-budget knob.
+func AWOnlineScaledBacked(dir string, n, segSize int) (*dataset.Warehouse, *Store, error) {
+	b := dataset.NewAWOnlineScaledBuild(n)
+	schema := b.FactSchema()
+	w, err := NewSegmentWriter(dir, schema, SegmentWriterOptions{SegmentSize: segSize})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := b.GenerateFacts(w.Append); err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, nil, err
+	}
+	fact, store, err := OpenBackedTable(dir, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	wh, err := b.Finish(fact)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wh, store, nil
+}

@@ -1,0 +1,1132 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"kdap/internal/relation"
+)
+
+// Disk-backed segmented column storage: the on-disk implementation of
+// relation.ColumnBacking. A table is laid out as one raw data file per
+// column (float64 rows for numeric columns, int32 dictionary codes
+// otherwise) plus a binary manifest carrying the dictionaries and the
+// per-segment skip evidence — zone maps over numeric columns, Bloom
+// filters over foreign-key and full-text columns, and per-term segment
+// lists for full-text columns. The SegmentWriter streams rows in (never
+// holding more than one segment's accumulators), and the Store pages
+// individual segments back out through a byte-budgeted LRU cache, so a
+// warehouse orders of magnitude beyond RAM answers drills in bounded
+// residency.
+
+// Manifest magic: format name + version in eight bytes.
+const segMagic = "KDAPSEG1"
+
+const (
+	manifestName  = "manifest.kdseg"
+	colFilePat    = "col_%d.dat"
+	floatRowBytes = 8
+	codeRowBytes  = 4
+)
+
+// DefaultSegmentCacheBytes is the Store's default page-cache budget.
+const DefaultSegmentCacheBytes = 64 << 20
+
+// column flag bits in the manifest.
+const (
+	flagDict     = 1 << 0
+	flagZones    = 1 << 1
+	flagBloom    = 1 << 2
+	flagTermSegs = 1 << 3
+)
+
+// zoneEntry is one segment's min/max over a numeric column. An empty
+// zone (all NULL) has Min > Max and overlaps nothing.
+type zoneEntry struct{ Min, Max float64 }
+
+func emptyZoneEntry() zoneEntry { return zoneEntry{Min: math.Inf(1), Max: math.Inf(-1)} }
+
+// manifest is the decoded form of the manifest file.
+type manifest struct {
+	segSize int
+	numRows int
+	cols    []manifestCol
+}
+
+// manifestCol is one column's manifest record.
+type manifestCol struct {
+	name     string
+	kind     relation.Kind
+	dict     []relation.Value
+	zones    []zoneEntry    // per segment, numeric columns only
+	blooms   []bloomFilter  // per segment, bloom columns only
+	termSegs [][]int32      // per dict code, full-text dict columns only
+	isDict   bool
+}
+
+// numSegs returns the manifest's segment count.
+func (m *manifest) numSegs() int { return relation.NumSegments(m.numRows, m.segSize) }
+
+// ---------------------------------------------------------------------
+// Manifest encoding
+
+type manifestEncoder struct{ b []byte }
+
+func (e *manifestEncoder) u8(v byte)     { e.b = append(e.b, v) }
+func (e *manifestEncoder) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *manifestEncoder) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *manifestEncoder) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *manifestEncoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *manifestEncoder) value(v relation.Value) {
+	e.u8(byte(v.Kind()))
+	switch v.Kind() {
+	case relation.KindString:
+		s := v.Str()
+		e.u32(uint32(len(s)))
+		e.b = append(e.b, s...)
+	case relation.KindInt:
+		e.u64(uint64(v.IntVal()))
+	case relation.KindFloat:
+		e.f64(v.FloatVal())
+	case relation.KindBool:
+		if v.BoolVal() {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	}
+}
+
+// encodeManifest serializes a manifest. The layout is fixed little-
+// endian with length-prefixed variable parts; see decodeManifest for
+// the authoritative grammar.
+func encodeManifest(m *manifest) []byte {
+	e := &manifestEncoder{b: make([]byte, 0, 1<<16)}
+	e.b = append(e.b, segMagic...)
+	e.u32(uint32(m.segSize))
+	e.u64(uint64(m.numRows))
+	e.u32(uint32(len(m.cols)))
+	nseg := m.numSegs()
+	for _, c := range m.cols {
+		e.u16(uint16(len(c.name)))
+		e.b = append(e.b, c.name...)
+		e.u8(byte(c.kind))
+		var flags byte
+		if c.isDict {
+			flags |= flagDict
+		}
+		if c.zones != nil {
+			flags |= flagZones
+		}
+		if c.blooms != nil {
+			flags |= flagBloom
+		}
+		if c.termSegs != nil {
+			flags |= flagTermSegs
+		}
+		e.u8(flags)
+		if c.isDict {
+			e.u32(uint32(len(c.dict)))
+			for _, v := range c.dict {
+				e.value(v)
+			}
+		}
+		if c.zones != nil {
+			for si := 0; si < nseg; si++ {
+				e.f64(c.zones[si].Min)
+				e.f64(c.zones[si].Max)
+			}
+		}
+		if c.blooms != nil {
+			for si := 0; si < nseg; si++ {
+				f := c.blooms[si]
+				e.u32(f.k)
+				e.u32(uint32(len(f.bits)))
+				e.b = append(e.b, f.bits...)
+			}
+		}
+		if c.termSegs != nil {
+			e.u32(uint32(len(c.termSegs)))
+			for _, segs := range c.termSegs {
+				e.u32(uint32(len(segs)))
+				for _, s := range segs {
+					e.u32(uint32(s))
+				}
+			}
+		}
+	}
+	return e.b
+}
+
+// ---------------------------------------------------------------------
+// Manifest decoding. The decoder is the fuzz surface: every length is
+// validated against the remaining input before allocation, and every
+// structural inconsistency returns an error — it must never panic or
+// over-allocate on adversarial bytes.
+
+type manifestDecoder struct {
+	b   []byte
+	off int
+}
+
+var errTruncated = fmt.Errorf("persist: manifest truncated")
+
+func (d *manifestDecoder) remaining() int { return len(d.b) - d.off }
+
+func (d *manifestDecoder) take(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, errTruncated
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out, nil
+}
+
+func (d *manifestDecoder) u8() (byte, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *manifestDecoder) u16() (uint16, error) {
+	b, err := d.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (d *manifestDecoder) u32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *manifestDecoder) u64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *manifestDecoder) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *manifestDecoder) value() (relation.Value, error) {
+	k, err := d.u8()
+	if err != nil {
+		return relation.Value{}, err
+	}
+	switch relation.Kind(k) {
+	case relation.KindNull:
+		return relation.Null(), nil
+	case relation.KindString:
+		n, err := d.u32()
+		if err != nil {
+			return relation.Value{}, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return relation.String(string(b)), nil
+	case relation.KindInt:
+		v, err := d.u64()
+		return relation.Int(int64(v)), err
+	case relation.KindFloat:
+		v, err := d.f64()
+		return relation.Float(v), err
+	case relation.KindBool:
+		b, err := d.u8()
+		return relation.Bool(b != 0), err
+	default:
+		return relation.Value{}, fmt.Errorf("persist: manifest value kind %d", k)
+	}
+}
+
+// maxManifestSegs bounds the segment count implied by a manifest header
+// so a forged (rows, segSize) pair cannot drive huge zone allocations.
+const maxManifestSegs = 1 << 24
+
+// decodeManifest parses a manifest buffer.
+func decodeManifest(data []byte) (*manifest, error) {
+	d := &manifestDecoder{b: data}
+	magic, err := d.take(len(segMagic))
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != segMagic {
+		return nil, fmt.Errorf("persist: bad segment magic %q", magic)
+	}
+	ssz, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if !relation.ValidSegmentSize(int(ssz)) {
+		return nil, fmt.Errorf("persist: invalid segment size %d", ssz)
+	}
+	rows, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if rows > math.MaxInt64/floatRowBytes {
+		return nil, fmt.Errorf("persist: absurd row count %d", rows)
+	}
+	m := &manifest{segSize: int(ssz), numRows: int(rows)}
+	nseg := m.numSegs()
+	if nseg > maxManifestSegs {
+		return nil, fmt.Errorf("persist: %d segments exceeds limit", nseg)
+	}
+	ncols, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for ci := 0; ci < int(ncols); ci++ {
+		var c manifestCol
+		nameLen, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		name, err := d.take(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		c.name = string(name)
+		kind, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		c.kind = relation.Kind(kind)
+		flags, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		c.isDict = flags&flagDict != 0
+		numeric := c.kind == relation.KindInt || c.kind == relation.KindFloat
+		if c.isDict == numeric {
+			return nil, fmt.Errorf("persist: column %q: kind %s with dict=%v", c.name, c.kind, c.isDict)
+		}
+		if c.isDict {
+			dictLen, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			// A dict entry is at least two bytes on the wire; reject
+			// counts the remaining input cannot possibly hold.
+			if int(dictLen) > d.remaining() {
+				return nil, errTruncated
+			}
+			c.dict = make([]relation.Value, 0, dictLen)
+			for i := 0; i < int(dictLen); i++ {
+				v, err := d.value()
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					return nil, fmt.Errorf("persist: column %q: NULL in dictionary", c.name)
+				}
+				c.dict = append(c.dict, v)
+			}
+		}
+		if flags&flagZones != 0 {
+			if !numeric {
+				return nil, fmt.Errorf("persist: column %q: zones on non-numeric column", c.name)
+			}
+			c.zones = make([]zoneEntry, nseg)
+			for si := 0; si < nseg; si++ {
+				if c.zones[si].Min, err = d.f64(); err != nil {
+					return nil, err
+				}
+				if c.zones[si].Max, err = d.f64(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if flags&flagBloom != 0 {
+			c.blooms = make([]bloomFilter, nseg)
+			for si := 0; si < nseg; si++ {
+				k, err := d.u32()
+				if err != nil {
+					return nil, err
+				}
+				if k == 0 || k > 64 {
+					return nil, fmt.Errorf("persist: column %q: bloom k=%d", c.name, k)
+				}
+				nbytes, err := d.u32()
+				if err != nil {
+					return nil, err
+				}
+				bits, err := d.take(int(nbytes))
+				if err != nil {
+					return nil, err
+				}
+				c.blooms[si] = bloomFilter{bits: append([]byte(nil), bits...), k: k}
+			}
+		}
+		if flags&flagTermSegs != 0 {
+			if !c.isDict {
+				return nil, fmt.Errorf("persist: column %q: term segments on non-dict column", c.name)
+			}
+			n, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(n) != len(c.dict) {
+				return nil, fmt.Errorf("persist: column %q: %d term-segment lists for %d dict entries", c.name, n, len(c.dict))
+			}
+			c.termSegs = make([][]int32, n)
+			for i := range c.termSegs {
+				cnt, err := d.u32()
+				if err != nil {
+					return nil, err
+				}
+				if int(cnt) > nseg || int(cnt)*4 > d.remaining() {
+					return nil, errTruncated
+				}
+				segs := make([]int32, cnt)
+				for j := range segs {
+					s, err := d.u32()
+					if err != nil {
+						return nil, err
+					}
+					if int(s) >= nseg {
+						return nil, fmt.Errorf("persist: column %q: term segment %d out of range", c.name, s)
+					}
+					segs[j] = int32(s)
+				}
+				c.termSegs[i] = segs
+			}
+		}
+		m.cols = append(m.cols, c)
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("persist: %d trailing manifest bytes", d.remaining())
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------
+// SegmentWriter: streaming columnar ingest.
+
+// SegmentWriterOptions configure a SegmentWriter.
+type SegmentWriterOptions struct {
+	// SegmentSize is the rows-per-segment (a power of two, min 64).
+	// 0 means relation.DefaultSegmentSize.
+	SegmentSize int
+	// BloomColumns names the columns to carry per-segment Bloom
+	// filters. nil means the schema's foreign-key columns plus every
+	// full-text column; an explicit empty slice disables filters.
+	BloomColumns []string
+}
+
+// SegmentWriter streams rows of one table into segment files under a
+// directory. Rows are validated against the schema exactly like
+// Table.Append (ints widen into float columns); per-segment zone maps,
+// Bloom filters, and term→segment lists accumulate as rows arrive, so
+// nothing larger than one segment's bookkeeping is ever resident.
+// Close finalizes the last partial segment and writes the manifest.
+type SegmentWriter struct {
+	dir     string
+	schema  *relation.Schema
+	segSize int
+	rows    int
+	cols    []*writerCol
+	closed  bool
+}
+
+// writerCol is one column's streaming state.
+type writerCol struct {
+	col     relation.Column
+	numeric bool
+	f       *os.File
+	bw      *bufio.Writer
+
+	// dictionary state (non-numeric columns)
+	codeOf map[relation.Value]int32
+	dict   []relation.Value
+
+	// per-segment accumulators, flushed at each segment boundary
+	zone     zoneEntry
+	zones    []zoneEntry
+	bloomOn  bool
+	segHash  map[uint64]struct{}
+	blooms   []bloomFilter
+	termsOn  bool
+	termSegs [][]int32 // per dict code: segments containing the term
+}
+
+// NewSegmentWriter creates segment files for the schema under dir
+// (created if absent).
+func NewSegmentWriter(dir string, schema *relation.Schema, opts SegmentWriterOptions) (*SegmentWriter, error) {
+	segSize := opts.SegmentSize
+	if segSize == 0 {
+		segSize = relation.DefaultSegmentSize
+	}
+	if !relation.ValidSegmentSize(segSize) {
+		return nil, fmt.Errorf("persist: invalid segment size %d (want a power of two >= 64)", segSize)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	bloomOn := make(map[string]bool)
+	if opts.BloomColumns == nil {
+		for _, fk := range schema.ForeignKeys {
+			bloomOn[fk.Column] = true
+		}
+		for _, name := range schema.FullTextColumns() {
+			bloomOn[name] = true
+		}
+	} else {
+		for _, name := range opts.BloomColumns {
+			if !schema.HasColumn(name) {
+				return nil, fmt.Errorf("persist: bloom column %q not in schema %s", name, schema.Name)
+			}
+			bloomOn[name] = true
+		}
+	}
+	w := &SegmentWriter{dir: dir, schema: schema, segSize: segSize}
+	for ci, c := range schema.Columns {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf(colFilePat, ci)))
+		if err != nil {
+			w.closeFiles()
+			return nil, err
+		}
+		wc := &writerCol{
+			col:     c,
+			numeric: c.Kind == relation.KindInt || c.Kind == relation.KindFloat,
+			f:       f,
+			bw:      bufio.NewWriterSize(f, 1<<16),
+			zone:    emptyZoneEntry(),
+			bloomOn: bloomOn[c.Name],
+		}
+		if !wc.numeric {
+			wc.codeOf = make(map[relation.Value]int32)
+			wc.termsOn = c.FullText
+		}
+		if wc.bloomOn {
+			wc.segHash = make(map[uint64]struct{})
+		}
+		w.cols = append(w.cols, wc)
+	}
+	return w, nil
+}
+
+func (w *SegmentWriter) closeFiles() {
+	for _, wc := range w.cols {
+		if wc.f != nil {
+			wc.f.Close()
+		}
+	}
+}
+
+// SegmentSize returns the writer's rows-per-segment.
+func (w *SegmentWriter) SegmentSize() int { return w.segSize }
+
+// NumRows returns the rows appended so far.
+func (w *SegmentWriter) NumRows() int { return w.rows }
+
+// flushSegment finalizes the per-segment accumulators of every column.
+func (w *SegmentWriter) flushSegment() {
+	for _, wc := range w.cols {
+		if wc.numeric {
+			wc.zones = append(wc.zones, wc.zone)
+			wc.zone = emptyZoneEntry()
+		}
+		if wc.bloomOn {
+			hashes := make([]uint64, 0, len(wc.segHash))
+			for h := range wc.segHash {
+				hashes = append(hashes, h)
+			}
+			wc.blooms = append(wc.blooms, newBloom(hashes))
+			clear(wc.segHash)
+		}
+	}
+}
+
+// Append validates and writes one row.
+func (w *SegmentWriter) Append(row []relation.Value) error {
+	if w.closed {
+		return fmt.Errorf("persist: append after Close")
+	}
+	if len(row) != len(w.schema.Columns) {
+		return fmt.Errorf("persist: %s: row arity %d, want %d", w.schema.Name, len(row), len(w.schema.Columns))
+	}
+	if w.rows > 0 && w.rows%w.segSize == 0 {
+		w.flushSegment()
+	}
+	si := w.rows / w.segSize
+	var buf [8]byte
+	for i, v := range row {
+		wc := w.cols[i]
+		c := wc.col
+		// Validate and widen exactly like Table.Append.
+		stored := v
+		switch {
+		case v.IsNull():
+		case v.Kind() == c.Kind:
+		case c.Kind == relation.KindFloat && v.Kind() == relation.KindInt:
+			stored = relation.Float(float64(v.IntVal()))
+		default:
+			return fmt.Errorf("persist: %s.%s: cannot store %s value %#v in %s column",
+				w.schema.Name, c.Name, v.Kind(), v, c.Kind)
+		}
+		if wc.numeric {
+			f := stored.FloatOrNaN()
+			if !math.IsNaN(f) {
+				if f < wc.zone.Min {
+					wc.zone.Min = f
+				}
+				if f > wc.zone.Max {
+					wc.zone.Max = f
+				}
+			}
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+			if _, err := wc.bw.Write(buf[:8]); err != nil {
+				return err
+			}
+		} else {
+			code := int32(-1)
+			if !stored.IsNull() {
+				var ok bool
+				code, ok = wc.codeOf[stored]
+				if !ok {
+					code = int32(len(wc.dict))
+					wc.codeOf[stored] = code
+					wc.dict = append(wc.dict, stored)
+					if wc.termsOn {
+						wc.termSegs = append(wc.termSegs, nil)
+					}
+				}
+				if wc.termsOn {
+					segs := wc.termSegs[code]
+					if len(segs) == 0 || segs[len(segs)-1] != int32(si) {
+						wc.termSegs[code] = append(segs, int32(si))
+					}
+				}
+			}
+			binary.LittleEndian.PutUint32(buf[:4], uint32(code))
+			if _, err := wc.bw.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+		if wc.bloomOn && !stored.IsNull() {
+			wc.segHash[hashValue(stored)] = struct{}{}
+		}
+	}
+	w.rows++
+	return nil
+}
+
+// Close flushes the final partial segment, writes the manifest, and
+// closes the column files.
+func (w *SegmentWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.rows > 0 {
+		w.flushSegment()
+	}
+	m := &manifest{segSize: w.segSize, numRows: w.rows}
+	for _, wc := range w.cols {
+		mc := manifestCol{name: wc.col.Name, kind: wc.col.Kind, isDict: !wc.numeric}
+		if wc.numeric {
+			mc.zones = wc.zones
+		} else {
+			mc.dict = wc.dict
+			if wc.termsOn {
+				mc.termSegs = wc.termSegs
+			}
+		}
+		if wc.bloomOn {
+			mc.blooms = wc.blooms
+		}
+		m.cols = append(m.cols, mc)
+		if err := wc.bw.Flush(); err != nil {
+			w.closeFiles()
+			return err
+		}
+		if err := wc.f.Close(); err != nil {
+			return err
+		}
+		wc.f = nil
+	}
+	return os.WriteFile(filepath.Join(w.dir, manifestName), encodeManifest(m), 0o644)
+}
+
+// WriteTableSegments streams every row of a resident table into segment
+// files under dir — the migration path from an in-memory warehouse.
+func WriteTableSegments(dir string, t *relation.Table, opts SegmentWriterOptions) error {
+	w, err := NewSegmentWriter(dir, t.Schema(), opts)
+	if err != nil {
+		return err
+	}
+	var appendErr error
+	t.Scan(func(id int, row []relation.Value) bool {
+		appendErr = w.Append(row)
+		return appendErr == nil
+	})
+	if appendErr != nil {
+		w.closeFiles()
+		return appendErr
+	}
+	return w.Close()
+}
+
+// ---------------------------------------------------------------------
+// Store: the pageable read side.
+
+// SegStats is a snapshot of a Store's paging and skip counters, exported
+// as kdap_segments_*_total.
+type SegStats struct {
+	// Resident counts segment reads served from the page cache;
+	// PagedIn counts reads that went to disk; Evicted counts segments
+	// dropped to stay inside the cache budget.
+	Resident, PagedIn, Evicted int64
+	// SkippedBloom / SkippedZone count segments a scan skipped on
+	// Bloom-filter or zone-map evidence without touching their pages.
+	SkippedBloom, SkippedZone int64
+}
+
+// segKey addresses one cached segment.
+type segKey struct{ ci, si int }
+
+// cacheEnt is one cached segment with LRU links (intrusive list).
+type cacheEnt struct {
+	key        segKey
+	f64        []float64
+	i32        []int32
+	size       int64
+	prev, next *cacheEnt
+}
+
+// storeCol is one column's open state.
+type storeCol struct {
+	col     relation.Column
+	numeric bool
+	f       *os.File
+	dict    []relation.Value
+	zones   []zoneEntry
+	blooms  []bloomFilter
+	termSeg [][]int32
+
+	codeOnce sync.Once
+	codeOf   map[relation.Value]int32
+}
+
+// Store opens a segment directory for reading and implements
+// relation.ColumnBacking over it: column readers page 8 KiB–64 KiB
+// segments in on demand through a byte-budgeted LRU, and the manifest's
+// zone maps and Bloom filters answer skip queries without I/O. Safe for
+// concurrent use.
+type Store struct {
+	dir     string
+	segSize int
+	numRows int
+	cols    []*storeCol
+	byName  map[string]int
+
+	mu     sync.Mutex
+	cache  map[segKey]*cacheEnt
+	head   *cacheEnt // most recent
+	tail   *cacheEnt // least recent
+	usage  int64
+	budget int64
+
+	resident     atomic.Int64
+	pagedIn      atomic.Int64
+	evicted      atomic.Int64
+	skippedBloom atomic.Int64
+	skippedZone  atomic.Int64
+}
+
+// OpenStore opens the segment directory and validates it against the
+// schema: every schema column must be present with the matching kind,
+// and every data file must hold exactly the manifest's row count.
+func OpenStore(dir string, schema *relation.Schema) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeManifest(raw)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		dir:     dir,
+		segSize: m.segSize,
+		numRows: m.numRows,
+		cache:   make(map[segKey]*cacheEnt),
+		budget:  DefaultSegmentCacheBytes,
+		byName:  make(map[string]int, len(m.cols)),
+	}
+	if len(m.cols) != len(schema.Columns) {
+		return nil, fmt.Errorf("persist: %s: manifest has %d columns, schema %d", schema.Name, len(m.cols), len(schema.Columns))
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			st.Close()
+		}
+	}()
+	for ci, mc := range m.cols {
+		sc := schema.Columns[ci]
+		if mc.name != sc.Name || mc.kind != sc.Kind {
+			return nil, fmt.Errorf("persist: %s: column %d is %s:%s on disk, %s:%s in schema",
+				schema.Name, ci, mc.name, mc.kind, sc.Name, sc.Kind)
+		}
+		f, err := os.Open(filepath.Join(dir, fmt.Sprintf(colFilePat, ci)))
+		if err != nil {
+			return nil, err
+		}
+		col := &storeCol{
+			col:     sc,
+			numeric: !mc.isDict,
+			f:       f,
+			dict:    mc.dict,
+			zones:   mc.zones,
+			blooms:  mc.blooms,
+			termSeg: mc.termSegs,
+		}
+		width := int64(codeRowBytes)
+		if col.numeric {
+			width = floatRowBytes
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		if fi.Size() != int64(m.numRows)*width {
+			return nil, fmt.Errorf("persist: %s.%s: data file holds %d bytes, want %d",
+				schema.Name, sc.Name, fi.Size(), int64(m.numRows)*width)
+		}
+		st.cols = append(st.cols, col)
+		st.byName[sc.Name] = ci
+	}
+	ok = true
+	return st, nil
+}
+
+// Close releases the column file handles.
+func (st *Store) Close() error {
+	var first error
+	for _, c := range st.cols {
+		if c.f != nil {
+			if err := c.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			c.f = nil
+		}
+	}
+	return first
+}
+
+// SetCacheBudget sets the page-cache byte budget. 0 or negative means
+// unbounded. Shrinking evicts immediately.
+func (st *Store) SetCacheBudget(bytes int64) {
+	st.mu.Lock()
+	st.budget = bytes
+	st.evictLocked(nil)
+	st.mu.Unlock()
+}
+
+// DropCache discards every cached segment page, so the next reads page
+// in from disk again — the cold-cache hook benchmarks use. Unlike
+// budget-pressure eviction, dropped pages are not counted in
+// SegStats.Evicted.
+func (st *Store) DropCache() {
+	st.mu.Lock()
+	st.cache = make(map[segKey]*cacheEnt)
+	st.head, st.tail = nil, nil
+	st.usage = 0
+	st.mu.Unlock()
+}
+
+// Stats snapshots the paging and skip counters.
+func (st *Store) Stats() SegStats {
+	return SegStats{
+		Resident:     st.resident.Load(),
+		PagedIn:      st.pagedIn.Load(),
+		Evicted:      st.evicted.Load(),
+		SkippedBloom: st.skippedBloom.Load(),
+		SkippedZone:  st.skippedZone.Load(),
+	}
+}
+
+// NumRows implements relation.ColumnBacking.
+func (st *Store) NumRows() int { return st.numRows }
+
+// SegmentSize implements relation.ColumnBacking.
+func (st *Store) SegmentSize() int { return st.segSize }
+
+// colIndex resolves a column name, or -1.
+func (st *Store) colIndex(name string) int {
+	if i, ok := st.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// FloatReader implements relation.ColumnBacking.
+func (st *Store) FloatReader(col string) relation.FloatReader {
+	ci := st.colIndex(col)
+	if ci < 0 || !st.cols[ci].numeric {
+		return nil
+	}
+	return storeFloatReader{st: st, ci: ci}
+}
+
+// DictReader implements relation.ColumnBacking.
+func (st *Store) DictReader(col string) relation.DictReader {
+	ci := st.colIndex(col)
+	if ci < 0 || st.cols[ci].numeric {
+		return nil
+	}
+	return storeDictReader{st: st, ci: ci}
+}
+
+// SegmentMayContain implements relation.ColumnBacking: Bloom evidence.
+func (st *Store) SegmentMayContain(col string, si int, v relation.Value) (maybe, hasBloom bool) {
+	ci := st.colIndex(col)
+	if ci < 0 || st.cols[ci].blooms == nil || si >= len(st.cols[ci].blooms) {
+		return true, false
+	}
+	return st.cols[ci].blooms[si].mayContain(hashValue(v)), true
+}
+
+// SegmentZoneOverlaps implements relation.ColumnBacking: zone evidence.
+func (st *Store) SegmentZoneOverlaps(col string, si int, lo, hi float64) (overlaps, hasZone bool) {
+	ci := st.colIndex(col)
+	if ci < 0 || st.cols[ci].zones == nil || si >= len(st.cols[ci].zones) {
+		return true, false
+	}
+	z := st.cols[ci].zones[si]
+	if z.Min > z.Max {
+		return false, true
+	}
+	return z.Min <= hi && z.Max >= lo, true
+}
+
+// NoteSkips implements relation.ColumnBacking.
+func (st *Store) NoteSkips(bloom, zone int) {
+	if bloom > 0 {
+		st.skippedBloom.Add(int64(bloom))
+	}
+	if zone > 0 {
+		st.skippedZone.Add(int64(zone))
+	}
+}
+
+// SegmentZones returns per-segment min/max pairs for a numeric column
+// (empty zones have min > max), or nil when the column carries none.
+func (st *Store) SegmentZones(col string) (mins, maxs []float64) {
+	ci := st.colIndex(col)
+	if ci < 0 || st.cols[ci].zones == nil {
+		return nil, nil
+	}
+	z := st.cols[ci].zones
+	mins = make([]float64, len(z))
+	maxs = make([]float64, len(z))
+	for i := range z {
+		mins[i], maxs[i] = z[i].Min, z[i].Max
+	}
+	return mins, maxs
+}
+
+// ValueSegments implements relation.TermSegmenter: the ascending list
+// of segments in which a full-text column holds v. ok is false when the
+// column carries no term lists or v is outside its dictionary (an
+// absent value occupies no segment — callers get an empty scan).
+func (st *Store) ValueSegments(col string, v relation.Value) ([]int32, bool) {
+	ci := st.colIndex(col)
+	if ci < 0 {
+		return nil, false
+	}
+	c := st.cols[ci]
+	if c.termSeg == nil {
+		return nil, false
+	}
+	c.codeOnce.Do(func() {
+		c.codeOf = make(map[relation.Value]int32, len(c.dict))
+		for code, dv := range c.dict {
+			c.codeOf[dv] = int32(code)
+		}
+	})
+	code, ok := c.codeOf[v]
+	if !ok {
+		return nil, true // definitively nowhere
+	}
+	return c.termSeg[code], true
+}
+
+// rowsInSeg returns the row count of segment si.
+func (st *Store) rowsInSeg(si int) int {
+	lo := si * st.segSize
+	return min(st.segSize, st.numRows-lo)
+}
+
+// ---------------------------------------------------------------------
+// Page cache.
+
+// lruUnlink removes e from the LRU list.
+func (st *Store) lruUnlink(e *cacheEnt) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		st.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		st.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// lruPushFront makes e the most recent entry.
+func (st *Store) lruPushFront(e *cacheEnt) {
+	e.next = st.head
+	if st.head != nil {
+		st.head.prev = e
+	}
+	st.head = e
+	if st.tail == nil {
+		st.tail = e
+	}
+}
+
+// evictLocked drops least-recent entries until usage fits the budget,
+// never evicting keep (the entry being returned to a caller).
+func (st *Store) evictLocked(keep *cacheEnt) {
+	if st.budget <= 0 {
+		return
+	}
+	for st.usage > st.budget && st.tail != nil {
+		victim := st.tail
+		if victim == keep {
+			break
+		}
+		st.lruUnlink(victim)
+		delete(st.cache, victim.key)
+		st.usage -= victim.size
+		st.evicted.Add(1)
+	}
+}
+
+// loadSegment returns the cached or freshly paged segment (ci, si).
+func (st *Store) loadSegment(ci, si int) *cacheEnt {
+	key := segKey{ci, si}
+	st.mu.Lock()
+	if e, ok := st.cache[key]; ok {
+		if st.head != e {
+			st.lruUnlink(e)
+			st.lruPushFront(e)
+		}
+		st.mu.Unlock()
+		st.resident.Add(1)
+		return e
+	}
+	st.mu.Unlock()
+
+	// Page in outside the lock: concurrent misses on the same segment
+	// may both read, but only one result is kept.
+	c := st.cols[ci]
+	n := st.rowsInSeg(si)
+	if n < 0 {
+		panic(fmt.Sprintf("persist: segment %d out of range for %d rows", si, st.numRows))
+	}
+	e := &cacheEnt{key: key}
+	if c.numeric {
+		buf := make([]byte, n*floatRowBytes)
+		if _, err := c.f.ReadAt(buf, int64(si)*int64(st.segSize)*floatRowBytes); err != nil {
+			panic(fmt.Sprintf("persist: %s segment %d: %v", c.col.Name, si, err))
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		e.f64, e.size = vals, int64(n*floatRowBytes)
+	} else {
+		buf := make([]byte, n*codeRowBytes)
+		if _, err := c.f.ReadAt(buf, int64(si)*int64(st.segSize)*codeRowBytes); err != nil {
+			panic(fmt.Sprintf("persist: %s segment %d: %v", c.col.Name, si, err))
+		}
+		codes := make([]int32, n)
+		for i := range codes {
+			codes[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		e.i32, e.size = codes, int64(n*codeRowBytes)
+	}
+	st.pagedIn.Add(1)
+
+	st.mu.Lock()
+	if prior, ok := st.cache[key]; ok {
+		e = prior // lost the page-in race; keep the published segment
+		if st.head != e {
+			st.lruUnlink(e)
+			st.lruPushFront(e)
+		}
+	} else {
+		st.cache[key] = e
+		st.lruPushFront(e)
+		st.usage += e.size
+		st.evictLocked(e)
+	}
+	st.mu.Unlock()
+	return e
+}
+
+// storeFloatReader implements relation.FloatReader over one column.
+type storeFloatReader struct {
+	st *Store
+	ci int
+}
+
+func (r storeFloatReader) Len() int         { return r.st.numRows }
+func (r storeFloatReader) SegmentSize() int { return r.st.segSize }
+func (r storeFloatReader) FloatSegment(si int) []float64 {
+	return r.st.loadSegment(r.ci, si).f64
+}
+
+// storeDictReader implements relation.DictReader over one column.
+type storeDictReader struct {
+	st *Store
+	ci int
+}
+
+func (r storeDictReader) Len() int              { return r.st.numRows }
+func (r storeDictReader) SegmentSize() int      { return r.st.segSize }
+func (r storeDictReader) Dict() []relation.Value { return r.st.cols[r.ci].dict }
+func (r storeDictReader) CodeSegment(si int) []int32 {
+	return r.st.loadSegment(r.ci, si).i32
+}
+
+// OpenBackedTable opens dir as the storage of a backed relation.Table.
+// The returned Store is also the table's Backing(); callers keep it to
+// set the cache budget and poll paging stats.
+func OpenBackedTable(dir string, schema *relation.Schema) (*relation.Table, *Store, error) {
+	st, err := OpenStore(dir, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := relation.NewBackedTable(schema, st)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return t, st, nil
+}

@@ -1,0 +1,97 @@
+package relation
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidSegmentSize(t *testing.T) {
+	for _, n := range []int{64, 128, 8192, 1 << 20} {
+		if !ValidSegmentSize(n) {
+			t.Errorf("ValidSegmentSize(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, 1, 32, 63, 100, 8191, -64} {
+		if ValidSegmentSize(n) {
+			t.Errorf("ValidSegmentSize(%d) = true", n)
+		}
+	}
+}
+
+func TestNumSegments(t *testing.T) {
+	cases := []struct{ n, ss, want int }{
+		{0, 8192, 0}, {1, 8192, 1}, {8192, 8192, 1}, {8193, 8192, 2},
+		{100, 64, 2}, {-5, 64, 0},
+	}
+	for _, c := range cases {
+		if got := NumSegments(c.n, c.ss); got != c.want {
+			t.Errorf("NumSegments(%d, %d) = %d, want %d", c.n, c.ss, got, c.want)
+		}
+	}
+}
+
+func TestResidentReadersAndCursors(t *testing.T) {
+	n := 2*DefaultSegmentSize + 37 // three segments, short tail
+	vals := make([]float64, n)
+	codes := make([]int32, n)
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+		codes[i] = int32(i % 7)
+	}
+	vals[5] = math.NaN()
+	codes[6] = -1
+	dict := []Value{String("a"), String("b"), String("c"), String("d"), String("e"), String("f"), String("g")}
+
+	fr := ResidentFloats(vals)
+	dr := ResidentCodes(codes, dict)
+	if fr.Len() != n || dr.Len() != n {
+		t.Fatalf("reader lengths %d/%d, want %d", fr.Len(), dr.Len(), n)
+	}
+	if got := len(fr.FloatSegment(2)); got != 37 {
+		t.Fatalf("tail segment has %d rows, want 37", got)
+	}
+
+	fc := NewFloatCursor(fr)
+	dc := NewDictCursor(dr)
+	// Sequential pass, then backward jumps — cursors must refetch.
+	for _, r := range []int{0, 1, 5, 6, DefaultSegmentSize - 1, DefaultSegmentSize, n - 1, 3, n - 1} {
+		fv := fc.At(r)
+		if !(fv == vals[r] || (math.IsNaN(fv) && math.IsNaN(vals[r]))) {
+			t.Fatalf("FloatCursor.At(%d) = %v, want %v", r, fv, vals[r])
+		}
+		if cv := dc.At(r); cv != codes[r] {
+			t.Fatalf("DictCursor.At(%d) = %d, want %d", r, cv, codes[r])
+		}
+	}
+}
+
+func TestCursorRejectsBadSegmentSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFloatCursor accepted a non-power-of-two segment size")
+		}
+	}()
+	NewFloatCursor(badSizeReader{})
+}
+
+type badSizeReader struct{}
+
+func (badSizeReader) Len() int                   { return 10 }
+func (badSizeReader) SegmentSize() int           { return 100 }
+func (badSizeReader) FloatSegment(int) []float64 { return nil }
+
+// TestResidentLookupInSegments checks the segment-restricted lookup on
+// a resident table scans everything (resident tables keep hash-exact
+// semantics; the restriction is only meaningful for backed storage).
+func TestResidentLookupInSegments(t *testing.T) {
+	schema := MustSchema("T", []Column{{Name: "A", Kind: KindInt}}, "", nil)
+	tab := NewTable(schema)
+	for i := 0; i < 100; i++ {
+		tab.MustAppend(Int(int64(i % 10)))
+	}
+	want := tab.Lookup("A", Int(3))
+	got := tab.LookupInSegments("A", []Value{Int(3)}, []int32{0})
+	if len(want) != len(got) {
+		t.Fatalf("LookupInSegments on resident table returned %d rows, want %d", len(got), len(want))
+	}
+}

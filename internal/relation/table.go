@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 )
@@ -30,6 +31,16 @@ type Table struct {
 	colMu     sync.RWMutex
 	floatCols map[int][]float64
 	dictCols  map[int]*dictColumn
+
+	// backing, when non-nil, makes this a backed table: rows is empty
+	// and every access goes through the segmented column readers (see
+	// segment.go). Backed tables are immutable, carry no hash indexes
+	// (lookups are Bloom/zone-pruned segment scans), and never
+	// materialize whole dense columns.
+	backing ColumnBacking
+	// dictIdx caches, per backed dict column, the value→code map used
+	// to translate lookup values into codes. Guarded by colMu.
+	dictIdx map[int]map[Value]int32
 }
 
 // dictColumn is a dictionary-encoded column view: codes[row] indexes
@@ -48,6 +59,28 @@ func NewTable(schema *Schema) *Table {
 	}
 }
 
+// NewBackedTable creates an immutable table whose column storage lives
+// behind the given backing (typically persist's segment store). The
+// backing must provide a reader for every schema column: FloatReader
+// for numeric columns, DictReader otherwise.
+func NewBackedTable(schema *Schema, backing ColumnBacking) (*Table, error) {
+	for _, c := range schema.Columns {
+		if c.Kind == KindInt || c.Kind == KindFloat {
+			if backing.FloatReader(c.Name) == nil {
+				return nil, fmt.Errorf("relation: %s: backing has no float reader for column %q", schema.Name, c.Name)
+			}
+		} else if backing.DictReader(c.Name) == nil {
+			return nil, fmt.Errorf("relation: %s: backing has no dict reader for column %q", schema.Name, c.Name)
+		}
+	}
+	return &Table{schema: schema, backing: backing, dictIdx: make(map[int]map[Value]int32)}, nil
+}
+
+// Backing returns the table's column backing, or nil for a resident
+// table. Execution layers use it to reach the per-segment skip evidence
+// and the paging counters.
+func (t *Table) Backing() ColumnBacking { return t.backing }
+
 // Schema returns the table's schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
@@ -55,11 +88,19 @@ func (t *Table) Schema() *Schema { return t.schema }
 func (t *Table) Name() string { return t.schema.Name }
 
 // Len returns the number of rows.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int {
+	if t.backing != nil {
+		return t.backing.NumRows()
+	}
+	return len(t.rows)
+}
 
 // Append validates the row against the schema and appends it, returning
 // the new row ID. Int values are widened into float columns.
 func (t *Table) Append(row []Value) (int, error) {
+	if t.backing != nil {
+		return 0, fmt.Errorf("relation: %s: backed tables are immutable", t.Name())
+	}
 	if len(row) != len(t.schema.Columns) {
 		return 0, fmt.Errorf("relation: %s: row arity %d, want %d", t.Name(), len(row), len(t.schema.Columns))
 	}
@@ -110,9 +151,40 @@ func (t *Table) MustAppend(row ...Value) int {
 }
 
 // Row returns the stored row for id. The returned slice must not be
-// modified.
+// modified. On a backed table the row is assembled from the column
+// segments — correct but per-value; kernels should read columns through
+// FloatReader/DictReader instead.
 func (t *Table) Row(id int) []Value {
+	if t.backing != nil {
+		row := make([]Value, len(t.schema.Columns))
+		for ci, c := range t.schema.Columns {
+			row[ci] = t.backedValue(id, ci, c)
+		}
+		return row
+	}
 	return t.rows[id]
+}
+
+// backedValue reads one cell of a backed table through its column reader.
+func (t *Table) backedValue(id, ci int, c Column) Value {
+	ss := t.backing.SegmentSize()
+	si, off := id/ss, id%ss
+	if c.Kind == KindInt || c.Kind == KindFloat {
+		f := t.backing.FloatReader(c.Name).FloatSegment(si)[off]
+		if math.IsNaN(f) {
+			return Null()
+		}
+		if c.Kind == KindInt {
+			return Int(int64(f))
+		}
+		return Float(f)
+	}
+	rd := t.backing.DictReader(c.Name)
+	code := rd.CodeSegment(si)[off]
+	if code < 0 {
+		return Null()
+	}
+	return rd.Dict()[code]
 }
 
 // Value returns the value at (row id, column name). It panics if the
@@ -122,6 +194,9 @@ func (t *Table) Value(id int, col string) Value {
 	if ci < 0 {
 		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
 	}
+	if t.backing != nil {
+		return t.backedValue(id, ci, t.schema.Columns[ci])
+	}
 	return t.rows[id][ci]
 }
 
@@ -129,6 +204,9 @@ func (t *Table) Value(id int, col string) Value {
 // columnar views, a cold build is safe mid-read: concurrent callers may
 // both build, but only one result is kept.
 func (t *Table) index(col string) map[Value][]int {
+	if t.backing != nil {
+		panic(fmt.Sprintf("relation: %s is backed; lookups are segment scans, not hash indexes", t.Name()))
+	}
 	t.idxMu.RLock()
 	idx, ok := t.indexes[col]
 	t.idxMu.RUnlock()
@@ -160,6 +238,11 @@ func (t *Table) index(col string) map[Value][]int {
 // cold build safe mid-read) since most string columns are never grouped
 // by.
 func (t *Table) Freeze() {
+	if t.backing != nil {
+		// Backed tables carry no hash indexes and never materialize
+		// dense views; there is nothing to pre-build.
+		return
+	}
 	if t.schema.Key != "" {
 		t.index(t.schema.Key)
 	}
@@ -181,6 +264,13 @@ func (t *Table) FloatColumn(col string) []float64 {
 	ci := t.schema.ColumnIndex(col)
 	if ci < 0 {
 		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
+	}
+	if t.backing != nil {
+		// Materializing a whole backed column would defeat the paging
+		// budget; every caller on the backed path must go through
+		// FloatReader. Panicking here turns a missed call site into a
+		// loud test failure instead of a silent RSS blowup.
+		panic(fmt.Sprintf("relation: %s is backed; use FloatReader(%q) instead of FloatColumn", t.Name(), col))
 	}
 	t.colMu.RLock()
 	c := t.floatCols[ci]
@@ -209,6 +299,9 @@ func (t *Table) DictColumn(col string) (codes []int32, dict []Value) {
 	ci := t.schema.ColumnIndex(col)
 	if ci < 0 {
 		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
+	}
+	if t.backing != nil {
+		panic(fmt.Sprintf("relation: %s is backed; use DictReader(%q) instead of DictColumn", t.Name(), col))
 	}
 	t.colMu.RLock()
 	dc := t.dictCols[ci]
@@ -242,14 +335,24 @@ func (t *Table) DictColumn(col string) (codes []int32, dict []Value) {
 }
 
 // Lookup returns the IDs of rows whose col equals v, using (and caching) a
-// hash index. The returned slice is shared and must not be modified.
+// hash index. On a backed table it is a Bloom/zone-pruned segment scan.
+// The returned slice is shared and must not be modified.
 func (t *Table) Lookup(col string, v Value) []int {
+	if t.backing != nil {
+		return t.lookupScan(col, []Value{v}, nil)
+	}
 	return t.index(col)[v]
 }
 
 // LookupIn returns the IDs of rows whose col equals any of vals, in
-// ascending row order without duplicates.
+// ascending row order without duplicates. On a backed table the whole
+// value set is resolved in one segment scan, skipping segments that the
+// column's Bloom filters or zone maps prove cannot contain any of the
+// values.
 func (t *Table) LookupIn(col string, vals []Value) []int {
+	if t.backing != nil {
+		return t.lookupScan(col, vals, nil)
+	}
 	idx := t.index(col)
 	var out []int
 	for _, v := range vals {
@@ -259,9 +362,247 @@ func (t *Table) LookupIn(col string, vals []Value) []int {
 	return dedupSorted(out)
 }
 
+// LookupInSegments is LookupIn restricted to the given segments of a
+// backed table (ascending, deduplicated segment indices) — the hook for
+// posting-level skip lists, where an upstream index already knows which
+// segments can contain a value. On a resident table segs is ignored.
+func (t *Table) LookupInSegments(col string, vals []Value, segs []int32) []int {
+	if t.backing != nil {
+		return t.lookupScan(col, vals, segs)
+	}
+	return t.LookupIn(col, vals)
+}
+
+// FloatReader returns the segmented float view of a numeric column:
+// the backing's pageable reader for a backed table, a zero-copy wrapper
+// over the cached dense view otherwise.
+func (t *Table) FloatReader(col string) FloatReader {
+	if t.backing != nil {
+		rd := t.backing.FloatReader(col)
+		if rd == nil {
+			panic(fmt.Sprintf("relation: %s: no float backing for column %q", t.Name(), col))
+		}
+		return rd
+	}
+	return ResidentFloats(t.FloatColumn(col))
+}
+
+// DictReader returns the segmented dictionary view of a column.
+func (t *Table) DictReader(col string) DictReader {
+	if t.backing != nil {
+		rd := t.backing.DictReader(col)
+		if rd == nil {
+			panic(fmt.Sprintf("relation: %s: no dict backing for column %q", t.Name(), col))
+		}
+		return rd
+	}
+	codes, dict := t.DictColumn(col)
+	return ResidentCodes(codes, dict)
+}
+
+// ResidentFloatColumn returns the dense float view of col, or nil when
+// the table is backed — the measure constructors use it so vectorized
+// fast paths engage only when the column is truly resident.
+func (t *Table) ResidentFloatColumn(col string) []float64 {
+	if t.backing != nil {
+		return nil
+	}
+	return t.FloatColumn(col)
+}
+
+// dictCodeMap returns (building and caching on first use) the value→code
+// map of a backed dict column, used to translate lookup values into
+// codes. Values outside the dictionary match nothing.
+func (t *Table) dictCodeMap(ci int, rd DictReader) map[Value]int32 {
+	t.colMu.RLock()
+	m := t.dictIdx[ci]
+	t.colMu.RUnlock()
+	if m != nil {
+		return m
+	}
+	dict := rd.Dict()
+	m = make(map[Value]int32, len(dict))
+	for c, v := range dict {
+		m[v] = int32(c)
+	}
+	t.colMu.Lock()
+	if prior, ok := t.dictIdx[ci]; ok {
+		m = prior
+	} else {
+		t.dictIdx[ci] = m
+	}
+	t.colMu.Unlock()
+	return m
+}
+
+// lookupScan resolves a value-set lookup against a backed column by
+// scanning its segments in row order, consulting per-segment Bloom
+// filters (and, for numeric columns, zone maps over the values' span)
+// to skip segments that provably contain none of the wanted values.
+// segs, when non-nil, restricts the scan to those segments. Matching is
+// kind-exact, mirroring the resident hash index: an Int value never
+// matches a Float column and vice versa.
+func (t *Table) lookupScan(col string, vals []Value, segs []int32) []int {
+	ci := t.schema.ColumnIndex(col)
+	if ci < 0 {
+		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
+	}
+	c := t.schema.Columns[ci]
+	ss := t.backing.SegmentSize()
+	nseg := NumSegments(t.Len(), ss)
+	iter := func(body func(si int)) {
+		if segs != nil {
+			for _, si := range segs {
+				if int(si) < nseg {
+					body(int(si))
+				}
+			}
+			return
+		}
+		for si := 0; si < nseg; si++ {
+			body(si)
+		}
+	}
+
+	var out []int
+	skippedBloom, skippedZone := 0, 0
+	defer func() { t.backing.NoteSkips(skippedBloom, skippedZone) }()
+
+	if c.Kind == KindInt || c.Kind == KindFloat {
+		// Numeric column: wanted values become exact float targets.
+		// Kind-mismatched values are dropped; NULL matches NaN cells.
+		wantNull := false
+		targets := make([]float64, 0, len(vals))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			if v.IsNull() {
+				wantNull = true
+				continue
+			}
+			if v.Kind() != c.Kind {
+				continue
+			}
+			f := v.AsFloat()
+			targets = append(targets, f)
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		if len(targets) == 0 && !wantNull {
+			return nil
+		}
+		rd := t.backing.FloatReader(col)
+		iter(func(si int) {
+			if !wantNull {
+				if ov, has := t.backing.SegmentZoneOverlaps(col, si, lo, hi); has && !ov {
+					skippedZone++
+					return
+				}
+				if ok, has := t.segMayContainAny(col, si, vals, c.Kind); has && !ok {
+					skippedBloom++
+					return
+				}
+			}
+			seg := rd.FloatSegment(si)
+			base := si * ss
+			for i, f := range seg {
+				if math.IsNaN(f) {
+					if wantNull {
+						out = append(out, base+i)
+					}
+					continue
+				}
+				for _, tg := range targets {
+					if f == tg {
+						out = append(out, base+i)
+						break
+					}
+				}
+			}
+		})
+		return out
+	}
+
+	// Dictionary column: translate values to codes once, then scan codes.
+	rd := t.backing.DictReader(col)
+	codeOf := t.dictCodeMap(ci, rd)
+	wantNull := false
+	want := make(map[int32]struct{}, len(vals))
+	for _, v := range vals {
+		if v.IsNull() {
+			wantNull = true
+			continue
+		}
+		if code, ok := codeOf[v]; ok {
+			want[code] = struct{}{}
+		}
+	}
+	if len(want) == 0 && !wantNull {
+		return nil
+	}
+	iter(func(si int) {
+		if !wantNull {
+			if ok, has := t.segMayContainAny(col, si, vals, c.Kind); has && !ok {
+				skippedBloom++
+				return
+			}
+		}
+		seg := rd.CodeSegment(si)
+		base := si * ss
+		for i, code := range seg {
+			if code < 0 {
+				if wantNull {
+					out = append(out, base+i)
+				}
+				continue
+			}
+			if _, hit := want[code]; hit {
+				out = append(out, base+i)
+			}
+		}
+	})
+	return out
+}
+
+// segMayContainAny folds Bloom evidence over a value set: the segment
+// may be skipped only when the filter proves every wanted value absent.
+// Kind-mismatched and out-of-dictionary values are still probed — the
+// Bloom filter is keyed on canonical value encodings, so they simply
+// miss.
+func (t *Table) segMayContainAny(col string, si int, vals []Value, kind Kind) (maybe, has bool) {
+	has = false
+	for _, v := range vals {
+		if v.IsNull() || ((kind == KindInt || kind == KindFloat) && v.Kind() != kind) {
+			continue
+		}
+		m, ok := t.backing.SegmentMayContain(col, si, v)
+		if !ok {
+			return true, false
+		}
+		has = true
+		if m {
+			return true, true
+		}
+	}
+	return false, has
+}
+
 // Scan calls fn for every row ID in insertion order, stopping early if fn
-// returns false.
+// returns false. On a backed table each row is assembled from its column
+// segments — use the readers directly for anything hot.
 func (t *Table) Scan(fn func(id int, row []Value) bool) {
+	if t.backing != nil {
+		n := t.Len()
+		for id := 0; id < n; id++ {
+			if !fn(id, t.Row(id)) {
+				return
+			}
+		}
+		return
+	}
 	for id, row := range t.rows {
 		if !fn(id, row) {
 			return
@@ -272,6 +613,15 @@ func (t *Table) Scan(fn func(id int, row []Value) bool) {
 // Filter returns the IDs of rows satisfying pred, in insertion order.
 func (t *Table) Filter(pred func(row []Value) bool) []int {
 	var out []int
+	if t.backing != nil {
+		n := t.Len()
+		for id := 0; id < n; id++ {
+			if pred(t.Row(id)) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
 	for id, row := range t.rows {
 		if pred(row) {
 			out = append(out, id)
@@ -286,6 +636,38 @@ func (t *Table) DistinctValues(col string) []Value {
 	ci := t.schema.ColumnIndex(col)
 	if ci < 0 {
 		panic(fmt.Sprintf("relation: %s has no column %q", t.Name(), col))
+	}
+	if t.backing != nil {
+		c := t.schema.Columns[ci]
+		if c.Kind != KindInt && c.Kind != KindFloat {
+			// A dict column's dictionary is exactly its distinct non-NULL
+			// values in first-seen order.
+			dict := t.backing.DictReader(c.Name).Dict()
+			out := make([]Value, len(dict))
+			copy(out, dict)
+			return out
+		}
+		rd := t.backing.FloatReader(c.Name)
+		seen := make(map[float64]struct{})
+		var out []Value
+		nseg := NumSegments(t.Len(), t.backing.SegmentSize())
+		for si := 0; si < nseg; si++ {
+			for _, f := range rd.FloatSegment(si) {
+				if math.IsNaN(f) {
+					continue
+				}
+				if _, ok := seen[f]; ok {
+					continue
+				}
+				seen[f] = struct{}{}
+				if c.Kind == KindInt {
+					out = append(out, Int(int64(f)))
+				} else {
+					out = append(out, Float(f))
+				}
+			}
+		}
+		return out
 	}
 	seen := make(map[Value]struct{})
 	var out []Value

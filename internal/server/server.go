@@ -90,6 +90,11 @@ type Options struct {
 	// BatchMax caps how many requests one batch may gather before it
 	// flushes early (default 16 when batching is on).
 	BatchMax int
+	// SegmentCacheMB bounds each disk-backed warehouse's segment page
+	// cache, in MiB (zero keeps the store's own default). It only
+	// applies to warehouses whose fact table carries a column backing
+	// with a cache budget — resident warehouses ignore it.
+	SegmentCacheMB int
 	// SLOTarget is the per-request latency target (default 250ms). It
 	// drives the kdap_slo_good_total / kdap_slo_bad_total classification
 	// and doubles as the flight recorder's slow-ring threshold, so the
@@ -181,6 +186,14 @@ func NewWithOptions(warehouses map[string]*dataset.Warehouse, opts Options) *Ser
 		}
 		if opts.BatchWindow > 0 {
 			e.SetBatching(opts.BatchWindow, opts.BatchMax)
+		}
+		if b := fact.Backing(); b != nil {
+			if opts.SegmentCacheMB > 0 {
+				if bud, ok := b.(interface{ SetCacheBudget(bytes int64) }); ok {
+					bud.SetCacheBudget(int64(opts.SegmentCacheMB) << 20)
+				}
+			}
+			s.wireSegmentMetrics(name, b)
 		}
 		s.engines[name] = e
 		s.factRows[name] = fact.Len()

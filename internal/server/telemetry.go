@@ -20,6 +20,8 @@ import (
 
 	"kdap/internal/cache"
 	"kdap/internal/kdapcore"
+	"kdap/internal/persist"
+	"kdap/internal/relation"
 	"kdap/internal/telemetry"
 )
 
@@ -234,6 +236,32 @@ func (s *Server) wireEngineMetrics(db string, e *kdapcore.Engine) {
 				func() float64 { return float64(fn().Bytes) }, "phase", p.phase, "db", db)
 		}
 	}
+}
+
+// wireSegmentMetrics bridges a disk-backed fact table's segment store
+// counters into the registry, labeled by warehouse. The backing is
+// matched structurally so the server stays agnostic of the concrete
+// store type; backings without stats register nothing.
+func (s *Server) wireSegmentMetrics(db string, b relation.ColumnBacking) {
+	st, ok := b.(interface{ Stats() persist.SegStats })
+	if !ok {
+		return
+	}
+	s.reg.CounterFunc("kdap_segments_resident_total",
+		"Segment reads served from the resident page cache, by warehouse.",
+		func() float64 { return float64(st.Stats().Resident) }, "db", db)
+	s.reg.CounterFunc("kdap_segments_paged_in_total",
+		"Segment pages read from disk into the cache, by warehouse.",
+		func() float64 { return float64(st.Stats().PagedIn) }, "db", db)
+	s.reg.CounterFunc("kdap_segments_evicted_total",
+		"Segment pages evicted to stay under the cache budget, by warehouse.",
+		func() float64 { return float64(st.Stats().Evicted) }, "db", db)
+	s.reg.CounterFunc("kdap_segments_skipped_bloom_total",
+		"Segments skipped because a per-segment Bloom filter ruled the probed value out, by warehouse.",
+		func() float64 { return float64(st.Stats().SkippedBloom) }, "db", db)
+	s.reg.CounterFunc("kdap_segments_skipped_zone_total",
+		"Segments skipped because the per-segment zone map missed the predicate's bound interval, by warehouse.",
+		func() float64 { return float64(st.Stats().SkippedZone) }, "db", db)
 }
 
 // registerDebugEndpoints mounts /metrics, the pprof profile handlers,

@@ -127,6 +127,86 @@ func Build(t *relation.Table, count int) *Partition {
 	return p
 }
 
+// SegmentZoner is implemented by segment stores (internal/persist) that
+// recorded per-segment min/max summaries at write time; BuildSegmented
+// folds those into shard zones without paging any column data in.
+type SegmentZoner interface {
+	SegmentZones(col string) (mins, maxs []float64)
+}
+
+// BuildSegmented partitions a disk-backed fact table into count shards
+// whose boundaries fall on segment multiples, so a shard is a whole
+// number of storage segments and pruning one never strands a partial
+// page. Zone maps come from the backing: folded from the manifest's
+// per-segment zones when the store exposes them (the normal case — zero
+// I/O), or accumulated from the segmented float readers otherwise.
+// count is clamped so every shard holds at least one segment.
+func BuildSegmented(t *relation.Table, count int) *Partition {
+	b := t.Backing()
+	if b == nil {
+		return Build(t, count)
+	}
+	n := t.Len()
+	ss := b.SegmentSize()
+	nseg := relation.NumSegments(n, ss)
+	if count < 1 {
+		count = 1
+	}
+	if count > nseg && nseg > 0 {
+		count = nseg
+	}
+	type segZones struct {
+		mins, maxs []float64
+		rd         relation.FloatReader
+	}
+	cols := make(map[string]segZones)
+	zoner, _ := b.(SegmentZoner)
+	for _, c := range t.Schema().Columns {
+		if c.Kind != relation.KindInt && c.Kind != relation.KindFloat {
+			continue
+		}
+		sz := segZones{}
+		if zoner != nil {
+			sz.mins, sz.maxs = zoner.SegmentZones(c.Name)
+		}
+		if sz.mins == nil {
+			sz.rd = t.FloatReader(c.Name)
+		}
+		cols[c.Name] = sz
+	}
+	p := &Partition{n: n, shards: make([]Shard, count)}
+	segsPer := (nseg + count - 1) / count
+	if segsPer == 0 {
+		segsPer = 1
+	}
+	for i := range p.shards {
+		sLo := i * segsPer
+		sHi := min(sLo+segsPer, nseg)
+		if sLo > nseg {
+			sLo = nseg
+		}
+		sh := Shard{Lo: min(sLo*ss, n), Hi: min(sHi*ss, n), zones: make(map[string]ZoneMap, len(cols))}
+		for name, sz := range cols {
+			z := emptyZone()
+			for si := sLo; si < sHi; si++ {
+				if sz.mins != nil {
+					if sz.mins[si] <= sz.maxs[si] {
+						z.observe(sz.mins[si])
+						z.observe(sz.maxs[si])
+					}
+					continue
+				}
+				for _, v := range sz.rd.FloatSegment(si) {
+					z.observe(v)
+				}
+			}
+			sh.zones[name] = z
+		}
+		p.shards[i] = sh
+	}
+	return p
+}
+
 // ZonesOver computes per-shard zone maps for an arbitrary fact-aligned
 // float column (NaN marks NULL/absent) — the executor uses it to build
 // lazy zone maps over memoized dimension-attribute columns, which are

@@ -27,6 +27,7 @@ package kdap
 
 import (
 	"io"
+	"path/filepath"
 
 	"kdap/internal/cache"
 	"kdap/internal/csvload"
@@ -254,6 +255,25 @@ type NumericFilter = kdapcore.NumericFilter
 // hierarchies — see internal/csvload for the manifest format. This is the
 // bring-your-own-data entry point.
 func LoadCSVWarehouse(dir string) (*Warehouse, error) { return csvload.LoadDir(dir) }
+
+// SegmentStore is the paged column store behind a disk-backed fact
+// table: skip/paging counters (Stats) and the cache-budget knob
+// (SetCacheBudget).
+type SegmentStore = persist.Store
+
+// LoadCSVWarehouseSegmented is LoadCSVWarehouse with the fact table
+// disk-backed: fact CSV rows stream through a segment writer into
+// column files under segDir (with per-segment zone maps, Bloom
+// filters, and term segment lists) and scans page segments in on
+// demand, so fact data larger than memory loads and serves in bounded
+// RSS. Facet output is byte-identical to the resident load.
+func LoadCSVWarehouseSegmented(dir, segDir string) (*Warehouse, *SegmentStore, error) {
+	m, err := csvload.LoadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return csvload.LoadWithOptions(dir, m, csvload.LoadOptions{SegmentDir: segDir})
+}
 
 // SaveWarehouse snapshots a complete warehouse (data, schema, dimension
 // metadata) to w; reopen it with LoadWarehouse.

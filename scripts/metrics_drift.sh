@@ -6,7 +6,8 @@
 # means the docs promise telemetry the server no longer serves (or a
 # subsystem stopped registering at startup). The daemon runs with every
 # optional subsystem enabled — sharding, batching, admission control,
-# the answer cache — so conditionally-registered families are all on.
+# the answer cache, disk-backed segmented storage — so
+# conditionally-registered families are all on.
 # Run from the repository root.
 set -euo pipefail
 
@@ -17,6 +18,7 @@ TMP="$(mktemp -d)"
 go build -o "$TMP/kdapd" ./cmd/kdapd
 "$TMP/kdapd" -addr "$ADDR" -db ebiz -log json \
   -shards 8 -batch-window 2ms -max-inflight 8 -slo-target 250ms \
+  -mmap-dir "$TMP/segments" -segment-size 1024 -segment-cache-mb 16 \
   2>"$TMP/kdapd.log" &
 KDAPD_PID=$!
 cleanup() {
