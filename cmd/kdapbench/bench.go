@@ -79,6 +79,12 @@ type benchFile struct {
 	// RSS. Written by `-exp segments` (not `-exp bench` — the 10M rung
 	// takes minutes); the nightly gate re-runs the 1M rung.
 	Segments *segmentsBench `json:"segments,omitempty"`
+	// Ingest pins the streaming-append path (see ingest.go): sustained
+	// facts/sec while the query storm runs, ingesting-vs-idle p50, and
+	// post-stream fingerprint parity against a from-scratch build.
+	// Written by `-exp ingest`; the nightly gate re-runs the whole
+	// measurement.
+	Ingest *ingestBench `json:"ingest,omitempty"`
 }
 
 // kernelSweepEntry is one GOMAXPROCS point of the kernel sweep.
@@ -458,13 +464,15 @@ func benchJSON() error {
 	if err != nil {
 		return err
 	}
-	// Carry the pinned segments ladder forward: it is written by
-	// `-exp segments` only (the 10M rung is minutes of work), and a
-	// plain `-exp bench` refresh must not silently drop it.
+	// Carry the pinned segments ladder and ingest section forward: they
+	// are written by `-exp segments` / `-exp ingest` only (both are
+	// minutes of work), and a plain `-exp bench` refresh must not
+	// silently drop them.
 	if prev, err := os.ReadFile("BENCH.json"); err == nil {
 		var old benchFile
 		if json.Unmarshal(prev, &old) == nil {
 			out.Segments = old.Segments
+			out.Ingest = old.Ingest
 		}
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
@@ -637,6 +645,16 @@ func nightly() error {
 		fmt.Printf("qps@%-2d profiling overhead p50 %+.1f%% (budget %.0f%%)  %s\n",
 			po.GOMAXPROCS, po.OverheadP50Pct, profileOverheadBudgetPct, status)
 	}
+	// The ingest gate runs last: it builds two 512k-row warehouses whose
+	// live heap would skew the absolute-latency gates above, while its
+	// own verdicts — append throughput, the idle-vs-ingesting p50 ratio,
+	// fingerprint parity — are measured back-to-back inside its own run
+	// and tolerate ambient heap pressure.
+	ingFailures, err := nightlyIngest(base.Ingest)
+	if err != nil {
+		return err
+	}
+	failures = append(failures, ingFailures...)
 	if len(failures) > 0 {
 		return fmt.Errorf("nightly: %d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
 	}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kdapbench [-exp all|table1|table2|table3|fig4|fig4r|fig4sim|fig5|fig6|fig7|merge|latency|discover|calibrate|qps|bench|segments|nightly]
+//	kdapbench [-exp all|table1|table2|table3|fig4|fig4r|fig4sim|fig5|fig6|fig7|merge|latency|discover|calibrate|qps|bench|segments|ingest|nightly]
 //
 // The output is what EXPERIMENTS.md records as "measured".
 package main
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, calibrate, qps, bench, segments, nightly")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, calibrate, qps, bench, segments, ingest, nightly")
 	flag.Parse()
 
 	// nightly is a gate, not an experiment: it never runs under "all"
@@ -77,6 +77,12 @@ func main() {
 	// it rewrites only BENCH.json's "segments" section.
 	if *exp == "segments" {
 		run("segments", segmentsJSON)
+	}
+	// ingest builds two half-million-fact warehouses and runs query
+	// storms against a live append stream, so it also only runs when
+	// asked by name; it rewrites only BENCH.json's "ingest" section.
+	if *exp == "ingest" {
+		run("ingest", ingestJSON)
 	}
 	run("bench", benchJSON)
 }

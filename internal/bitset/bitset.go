@@ -67,33 +67,45 @@ func (s *Set) Clone() *Set {
 	return out
 }
 
-// AndWith intersects s with o in place. The universes must match.
+// Universes need not match for the binary operations below: a set over a
+// smaller universe is treated as the same set over the larger one, with
+// every element past its own Len() absent. Streaming ingest grows the
+// fact-row universe while cached per-constraint sets lag behind, so a
+// mixed intersection naturally truncates to the oldest published prefix
+// — exactly the prefix-consistency contract docs/INGEST.md describes —
+// instead of panicking mid-query.
+
+// AndWith intersects s with o in place. If o covers a smaller universe,
+// every element of s past o's universe is dropped.
 func (s *Set) AndWith(o *Set) {
-	if s.n != o.n {
-		panic("bitset: universe mismatch")
-	}
-	for i := range s.words {
+	n := min(len(s.words), len(o.words))
+	for i := 0; i < n; i++ {
 		s.words[i] &= o.words[i]
+	}
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
 	}
 }
 
-// OrWith unions o into s in place. The universes must match.
+// OrWith unions o into s in place. If o covers a larger universe, s is
+// grown to match so no element of o is lost.
 func (s *Set) OrWith(o *Set) {
-	if s.n != o.n {
-		panic("bitset: universe mismatch")
+	if o.n > s.n {
+		grown := make([]uint64, len(o.words))
+		copy(grown, s.words)
+		s.words, s.n = grown, o.n
 	}
-	for i := range s.words {
+	for i := range o.words {
 		s.words[i] |= o.words[i]
 	}
 }
 
 // AndCount returns |s ∩ o| without materializing the intersection.
+// Elements past the smaller universe count as absent.
 func (s *Set) AndCount(o *Set) int {
-	if s.n != o.n {
-		panic("bitset: universe mismatch")
-	}
+	n := min(len(s.words), len(o.words))
 	c := 0
-	for i := range s.words {
+	for i := 0; i < n; i++ {
 		c += bits.OnesCount64(s.words[i] & o.words[i])
 	}
 	return c
@@ -159,7 +171,8 @@ func (s *Set) AppendRange(dst []int, lo, hi int) []int {
 
 // IntersectRangeAppend appends, in ascending order, the elements of
 // [lo, hi) present in every set, without materializing the
-// intersection. The universes must match. With no sets it appends
+// intersection. Mixed universes truncate to the smallest — an element
+// outside any set's universe is absent from it. With no sets it appends
 // nothing.
 func IntersectRangeAppend(dst []int, lo, hi int, sets []*Set) []int {
 	if len(sets) == 0 {
@@ -173,8 +186,8 @@ func IntersectRangeAppend(dst []int, lo, hi int, sets []*Set) []int {
 		hi = first.n
 	}
 	for _, o := range sets[1:] {
-		if o.n != first.n {
-			panic("bitset: universe mismatch")
+		if o.n < hi {
+			hi = o.n
 		}
 	}
 	for wi := lo >> 6; wi <= (hi-1)>>6 && lo < hi; wi++ {

@@ -72,21 +72,42 @@ func TestSetAlgebra(t *testing.T) {
 	}
 }
 
-func TestUniverseMismatchPanics(t *testing.T) {
-	a, b := New(10), New(20)
-	for name, fn := range map[string]func(){
-		"AndWith":  func() { a.AndWith(b) },
-		"OrWith":   func() { a.OrWith(b) },
-		"AndCount": func() { a.AndCount(b) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			fn()
-		}()
+// Mixed universes arise when streaming ingest grows the fact table while
+// cached per-constraint sets lag behind: the binary operations treat the
+// smaller set as having every element past its own Len() absent.
+func TestUniverseMismatchTruncates(t *testing.T) {
+	big := FromSorted(200, []int{1, 64, 130, 199})
+	small := FromSorted(100, []int{1, 64, 99})
+
+	inter := big.Clone()
+	inter.AndWith(small)
+	if got := inter.ToSlice(); !reflect.DeepEqual(got, []int{1, 64}) {
+		t.Errorf("big∩small = %v", got)
+	}
+	inter2 := small.Clone()
+	inter2.AndWith(big)
+	if got := inter2.ToSlice(); !reflect.DeepEqual(got, []int{1, 64}) {
+		t.Errorf("small∩big = %v", got)
+	}
+	if got := big.AndCount(small); got != 2 {
+		t.Errorf("AndCount = %d", got)
+	}
+	if got := small.AndCount(big); got != 2 {
+		t.Errorf("AndCount reversed = %d", got)
+	}
+
+	union := small.Clone()
+	union.OrWith(big)
+	if union.Len() != 200 {
+		t.Errorf("OrWith did not grow: Len = %d", union.Len())
+	}
+	if got := union.ToSlice(); !reflect.DeepEqual(got, []int{1, 64, 99, 130, 199}) {
+		t.Errorf("small∪big = %v", got)
+	}
+
+	got := IntersectRangeAppend(nil, 0, 200, []*Set{big, small})
+	if !reflect.DeepEqual(got, []int{1, 64}) {
+		t.Errorf("IntersectRangeAppend mixed = %v", got)
 	}
 }
 

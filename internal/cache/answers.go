@@ -33,8 +33,31 @@ type Answers[V any] struct {
 	version atomic.Uint64
 	sf      Group[string, fill[V]]
 
+	// Delta invalidation: EvictIf removes matching entries immediately
+	// and records (seq, pred) in a bounded ring so in-flight
+	// computations that began before the eviction cannot re-publish a
+	// stale answer afterwards — put re-checks every invalidation newer
+	// than the computation's start sequence, and discards outright when
+	// the ring has already shed entries it would need (invalFloor).
+	invalSeq   atomic.Uint64
+	invals     []inval // guarded by mu; ascending seq
+	invalFloor uint64  // guarded by mu; newest seq dropped from the ring
+
 	hits, misses, evictions atomic.Int64
 }
+
+// inval is one recorded delta invalidation: answers whose computation
+// began at or before seq and whose key matches pred are stale.
+type inval struct {
+	seq  uint64
+	pred func(key string) bool
+}
+
+// invalRing bounds how many delta invalidations are retained for
+// in-flight put verification. Computations older than the retained
+// window are discarded rather than trusted — correctness never depends
+// on the ring being large, only throughput of very slow leaders.
+const invalRing = 64
 
 // aentry is one stored answer with its version stamp and expiry.
 type aentry[V any] struct {
@@ -141,12 +164,19 @@ func (a *Answers[V]) liveLocked(e *aentry[V]) bool {
 
 // Put stores v under key at the current version, evicting from the LRU
 // tail when the store is over capacity.
-func (a *Answers[V]) Put(key string, v V) { a.put(key, v, a.version.Load()) }
+func (a *Answers[V]) Put(key string, v V) {
+	a.put(key, v, a.version.Load(), a.invalSeq.Load())
+}
 
 // put stores v stamped with an explicit version — the version the
 // computation began under, so an answer computed against a dataset that
-// was reloaded mid-computation can never be served afterwards.
-func (a *Answers[V]) put(key string, v V, version uint64) {
+// was reloaded mid-computation can never be served afterwards. startSeq
+// is the invalidation sequence at computation start: if any delta
+// invalidation newer than it matches key, or the ring no longer holds
+// enough history to check, the answer is silently dropped instead of
+// stored — a leader that began before an append cannot publish a
+// pre-append answer after the append's eviction pass ran.
+func (a *Answers[V]) put(key string, v V, version, startSeq uint64) {
 	size := int64(a.sizeOf(v))
 	e := &aentry[V]{key: key, v: v, size: size, version: version}
 	if a.ttl > 0 {
@@ -154,6 +184,14 @@ func (a *Answers[V]) put(key string, v V, version uint64) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if startSeq < a.invalFloor {
+		return
+	}
+	for i := len(a.invals) - 1; i >= 0 && a.invals[i].seq > startSeq; i-- {
+		if a.invals[i].pred(key) {
+			return
+		}
+	}
 	if el, ok := a.m[key]; ok {
 		a.removeLocked(el)
 	}
@@ -163,6 +201,33 @@ func (a *Answers[V]) put(key string, v V, version uint64) {
 		a.removeLocked(a.lru.Back())
 		a.evictions.Add(1)
 	}
+}
+
+// EvictIf removes every stored answer whose key matches pred and
+// returns how many were dropped. The predicate is also recorded (see
+// put) so computations already in flight when EvictIf ran cannot
+// re-introduce an answer the eviction targeted. pred must be pure: it
+// is called under the store lock, now and on future puts.
+func (a *Answers[V]) EvictIf(pred func(key string) bool) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seq := a.invalSeq.Add(1)
+	a.invals = append(a.invals, inval{seq: seq, pred: pred})
+	if len(a.invals) > invalRing {
+		a.invalFloor = a.invals[0].seq
+		a.invals = append(a.invals[:0:0], a.invals[1:]...)
+	}
+	n := 0
+	for el := a.lru.Front(); el != nil; {
+		next := el.Next()
+		if pred(el.Value.(*aentry[V]).key) {
+			a.removeLocked(el)
+			a.evictions.Add(1)
+			n++
+		}
+		el = next
+	}
+	return n
 }
 
 // removeLocked unlinks one entry and settles the bytes gauge.
@@ -215,6 +280,7 @@ func (a *Answers[V]) Do(ctx context.Context, key string, fn func(context.Context
 // between the caller's Get and the fill's re-check.
 func (a *Answers[V]) Compute(ctx context.Context, key string, fn func(context.Context) (V, bool, error)) (V, Outcome, error) {
 	ver := a.version.Load()
+	startSeq := a.invalSeq.Load()
 	r, shared, err := a.sf.Do(ctx, key, func(ctx context.Context) (fill[V], error) {
 		if v, ok := a.peek(key); ok {
 			return fill[V]{v: v, fromCache: true}, nil
@@ -224,7 +290,7 @@ func (a *Answers[V]) Compute(ctx context.Context, key string, fn func(context.Co
 			return fill[V]{}, err
 		}
 		if store {
-			a.put(key, v, ver)
+			a.put(key, v, ver, startSeq)
 		}
 		return fill[V]{v: v}, nil
 	})

@@ -84,6 +84,21 @@ func (b *ScaledBuild) Finish(fact *relation.Table) (*Warehouse, error) {
 	if fact.Len() != b.n {
 		return nil, fmt.Errorf("dataset: scaled fact table holds %d rows, want %d", fact.Len(), b.n)
 	}
+	return b.finish(fact)
+}
+
+// FinishPartial is Finish for streaming-ingest scenarios: the fact table
+// may hold any prefix of the generated rows, the rest arriving later
+// through the incremental append path (kdapcore.AppendFacts). Dimensions
+// are sized for the full n-row build, so appended rows always join.
+func (b *ScaledBuild) FinishPartial(fact *relation.Table) (*Warehouse, error) {
+	if fact.Len() > b.n {
+		return nil, fmt.Errorf("dataset: scaled fact table holds %d rows, build generates only %d", fact.Len(), b.n)
+	}
+	return b.finish(fact)
+}
+
+func (b *ScaledBuild) finish(fact *relation.Table) (*Warehouse, error) {
 	if err := b.db.AddTable(fact); err != nil {
 		return nil, err
 	}
@@ -110,4 +125,34 @@ func AWOnlineScaled(n int) *Warehouse {
 		panic(err)
 	}
 	return wh
+}
+
+// AWOnlineScaledPartial builds the AW_ONLINE warehouse holding only the
+// first resident of n generated fact rows, returning the remaining
+// n-resident rows in generation order for streaming append. Because the
+// generator is seeded, the post-append warehouse holds exactly the rows
+// AWOnlineScaled(n) would — the seam the ingest benchmark's fingerprint
+// parity check is built on.
+func AWOnlineScaledPartial(n, resident int) (*Warehouse, [][]relation.Value) {
+	if resident < 0 || resident > n {
+		panic(fmt.Sprintf("dataset: resident %d out of range 0..%d", resident, n))
+	}
+	b := NewAWOnlineScaledBuild(n)
+	fact := relation.NewTable(b.FactSchema())
+	tail := make([][]relation.Value, 0, n-resident)
+	i := 0
+	_ = b.GenerateFacts(func(vals []relation.Value) error {
+		if i < resident {
+			fact.MustAppend(vals...)
+		} else {
+			tail = append(tail, vals)
+		}
+		i++
+		return nil
+	})
+	wh, err := b.FinishPartial(fact)
+	if err != nil {
+		panic(err)
+	}
+	return wh, tail
 }

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"kdap/internal/relation"
@@ -47,16 +49,24 @@ type termInfo struct {
 
 // Index is a positional inverted index over attribute instances. Build it
 // with Add or IndexDatabase, then query with Search / SearchPhrase.
-// An Index is safe for concurrent readers once building has finished.
+// An Index is safe for concurrent use: searches take a read lock for
+// their whole scoring pass, Add and AddDocSegments take the write lock,
+// so streaming ingest can extend postings while probes run — each probe
+// sees either the pre-append or post-append postings, never a torn
+// state.
 type Index struct {
+	mu       sync.RWMutex
 	docs     []Doc
 	docLens  []int
 	totalLen int
 	byKey    map[Doc]int
 	terms    map[string]*termInfo
 
-	sortedTerms []string // lazily rebuilt for prefix expansion
-	termsDirty  bool
+	// sortedTerms is the prefix-expansion snapshot: invalidated (set
+	// nil) by Add, rebuilt on demand under the read lock. An atomic
+	// pointer rather than a lazily mutated field so concurrent searches
+	// never write shared state.
+	sortedTerms atomic.Pointer[[]string]
 
 	// segHints maps a doc to the ascending list of storage segments of
 	// its source column known to contain its value — the skip lists a
@@ -92,19 +102,29 @@ func (ix *Index) ProbeHistogram() *telemetry.Histogram { return ix.probeHist }
 func (ix *Index) ProbeCount() int64 { return ix.probeHist.Count() }
 
 // DocCount returns the number of indexed attribute instances.
-func (ix *Index) DocCount() int { return len(ix.docs) }
+func (ix *Index) DocCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
 
 // TermCount returns the number of distinct indexed terms.
-func (ix *Index) TermCount() int { return len(ix.terms) }
+func (ix *Index) TermCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.terms)
+}
 
 // Add indexes one attribute instance. Re-adding the same (table, attr,
 // value) triple is a no-op, so callers may feed raw column scans.
 func (ix *Index) Add(table, attr string, value relation.Value) {
 	key := Doc{Table: table, Attr: attr, Value: value}
+	toks := Tokenize(value.Text())
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if _, dup := ix.byKey[key]; dup {
 		return
 	}
-	toks := Tokenize(value.Text())
 	if len(toks) == 0 {
 		return
 	}
@@ -113,7 +133,7 @@ func (ix *Index) Add(table, attr string, value relation.Value) {
 	ix.docLens = append(ix.docLens, len(toks))
 	ix.totalLen += len(toks)
 	ix.byKey[key] = id
-	ix.termsDirty = true
+	ix.sortedTerms.Store(nil)
 	for _, tok := range toks {
 		ti := ix.terms[tok.Term]
 		if ti == nil {
@@ -132,6 +152,8 @@ func (ix *Index) Add(table, attr string, value relation.Value) {
 // ascending storage segments of the doc's source column that contain
 // its value. Overwrites any prior hint for the doc.
 func (ix *Index) AddDocSegments(d Doc, segs []int32) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if ix.segHints == nil {
 		ix.segHints = make(map[Doc][]int32)
 	}
@@ -141,6 +163,8 @@ func (ix *Index) AddDocSegments(d Doc, segs []int32) {
 // DocSegments returns the segment skip list recorded for a doc. ok is
 // false when no hint exists and the caller must scan every segment.
 func (ix *Index) DocSegments(d Doc) ([]int32, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	segs, ok := ix.segHints[d]
 	return segs, ok
 }
@@ -255,6 +279,8 @@ func (ix *Index) Search(query string, opts Options) []Hit {
 func (ix *Index) SearchCtx(ctx context.Context, query string, opts Options) ([]Hit, error) {
 	defer ix.observeProbe(time.Now())
 	qterms := Terms(query)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.searchTerms(ctx, qterms, opts)
 }
 
@@ -282,6 +308,8 @@ func (ix *Index) SearchPhraseCtx(ctx context.Context, query string, opts Options
 	if len(qterms) == 0 {
 		return nil, nil
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if len(qterms) == 1 {
 		opts.Prefix = false
 		return ix.searchTerms(ctx, qterms, opts)
@@ -517,24 +545,30 @@ func containsPos(ps []int32, want int32) bool {
 }
 
 // prefixTerms returns the indexed terms having q as a proper or improper
-// prefix, capped to avoid pathological expansion.
+// prefix, capped to avoid pathological expansion. Caller holds the read
+// lock; the sorted snapshot is (re)built here when an Add invalidated
+// it, and published through an atomic pointer — concurrent rebuilders
+// do duplicate work, last store wins, but never mutate shared state.
 func (ix *Index) prefixTerms(q string) []string {
 	const maxExpansion = 64
-	if ix.termsDirty || ix.sortedTerms == nil {
-		ix.sortedTerms = make([]string, 0, len(ix.terms))
+	var sorted []string
+	if p := ix.sortedTerms.Load(); p != nil {
+		sorted = *p
+	} else {
+		sorted = make([]string, 0, len(ix.terms))
 		for t := range ix.terms {
-			ix.sortedTerms = append(ix.sortedTerms, t)
+			sorted = append(sorted, t)
 		}
-		sort.Strings(ix.sortedTerms)
-		ix.termsDirty = false
+		sort.Strings(sorted)
+		ix.sortedTerms.Store(&sorted)
 	}
-	i := sort.SearchStrings(ix.sortedTerms, q)
+	i := sort.SearchStrings(sorted, q)
 	var out []string
-	for ; i < len(ix.sortedTerms) && len(out) < maxExpansion; i++ {
-		if !strings.HasPrefix(ix.sortedTerms[i], q) {
+	for ; i < len(sorted) && len(out) < maxExpansion; i++ {
+		if !strings.HasPrefix(sorted[i], q) {
 			break
 		}
-		out = append(out, ix.sortedTerms[i])
+		out = append(out, sorted[i])
 	}
 	return out
 }
@@ -557,8 +591,11 @@ func sortHits(hits []Hit) {
 	})
 }
 
-// Freeze finalizes the index for concurrent reads by pre-building the
-// sorted term list used by prefix expansion.
+// Freeze pre-builds the sorted term list used by prefix expansion so
+// the first prefix search does not pay for it. Optional: the index is
+// safe for concurrent use either way.
 func (ix *Index) Freeze() {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	ix.prefixTerms("")
 }

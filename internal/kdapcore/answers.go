@@ -72,11 +72,15 @@ func (o CacheOutcome) String() string {
 // Configure at startup — not safe to call concurrently with queries.
 func (e *Engine) SetAnswerCache(entries int, ttl time.Duration) {
 	if entries <= 0 {
-		e.diffAnswers, e.explAnswers = nil, nil
+		e.diffAnswers, e.explAnswers, e.exploreDeps = nil, nil, nil
 		return
 	}
 	e.diffAnswers = cache.NewAnswers[[]*StarNet](entries, ttl, netsFootprint)
 	e.explAnswers = cache.NewAnswers[*Facets](entries, ttl, facetsFootprint)
+	// The explore-key → star-net registry behind delta-scoped append
+	// invalidation (see ingest.go). Sized to the store: a key whose
+	// provenance has been evicted here is evicted conservatively there.
+	e.exploreDeps = cache.NewClock[string, *StarNet](entries)
 }
 
 // AnswerCacheEnabled reports whether SetAnswerCache has been configured.
@@ -206,8 +210,18 @@ func (e *Engine) ExploreCachedCtx(ctx context.Context, sn *StarNet, opts Explore
 	f, ok := e.explAnswers.Get(key)
 	sp.End()
 	if ok {
+		// The key's provenance was registered when the entry was first
+		// computed; re-registering per hit would put a mutex acquisition
+		// on the hot path (measured as a warm-hit + QPS regression). If
+		// the registry entry has aged out in the meantime, an append
+		// simply evicts this key conservatively (ingest.go).
 		return rebindFacets(f, sn), CacheHit, nil
 	}
+	// Record the key's provenance before the fill so a streaming append
+	// can decide whether its rows touch this answer's sub-dataspace
+	// (ingest.go) — present from the moment the entry becomes visible.
+	// Nets are immutable once built, so sharing the pointer is safe.
+	e.exploreDeps.Put(key, sn)
 	f, outcome, err := e.explAnswers.Compute(ctx, key, func(ctx context.Context) (*Facets, bool, error) {
 		f, err := e.exploreUncached(ctx, sn, opts)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"kdap/internal/cache"
@@ -40,8 +41,10 @@ type Engine struct {
 	// The paper's §7 notes subspace aggregation as the cost to optimize;
 	// this is the simplest materialization that helps an interactive
 	// session. Second-chance eviction keeps the interpretations the
-	// session keeps returning to.
-	rowsCache *cache.Clock[string, []int]
+	// session keeps returning to. Each entry records the fact length it
+	// covers; entries left behind by a streaming append are extended
+	// over just the appended rows at next fetch, never rebuilt.
+	rowsCache *cache.Clock[string, rowsEntry]
 
 	// rowsFlight collapses concurrent materializations of the same row
 	// set (subspace semijoins and roll-up spaces alike) into one scan.
@@ -65,6 +68,26 @@ type Engine struct {
 	scanShared    atomic.Int64
 	explShared    atomic.Int64
 	diffShared    atomic.Int64
+
+	// Streaming-ingest state (see ingest.go): the single-writer append
+	// gate, the per-append sequence that feeds HTTP revalidation tags,
+	// the explore-key → star-net registry behind delta-scoped answer
+	// eviction, and the kdap_ingest_* counters.
+	ingestMu      sync.Mutex
+	ingestSeq     atomic.Uint64
+	exploreDeps   *cache.Clock[string, *StarNet]
+	ingestBatches atomic.Int64
+	ingestRows    atomic.Int64
+	ingestTerms   atomic.Int64
+	ingestEvicted atomic.Int64
+	ingestKept    atomic.Int64
+}
+
+// rowsEntry is one materialized fact-row set plus the fact length it
+// was computed (or last extended) against.
+type rowsEntry struct {
+	rows []int
+	upTo int
 }
 
 // rowsCacheCap bounds the subspace cache.
@@ -81,7 +104,7 @@ func NewEngine(g *schemagraph.Graph, ix *fulltext.Index, m olap.Measure, agg ola
 		agg:       agg,
 		hitLim:    defaultHitLimits(),
 		netLim:    defaultNetLimits(),
-		rowsCache: cache.NewClock[string, []int](rowsCacheCap),
+		rowsCache: cache.NewClock[string, rowsEntry](rowsCacheCap),
 		// Batch sizes are small integers, not latencies: bucket by count.
 		batchSizeHist: telemetry.NewHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
 	}
@@ -275,8 +298,12 @@ func (e *Engine) SubspaceRows(sn *StarNet) []int {
 // row sets must not masquerade as the materialized subspace.
 func (e *Engine) subspaceRowsCtx(ctx context.Context, sn *StarNet) ([]int, error) {
 	sig := sn.Signature()
-	if rows, ok := e.rowsCache.Get(sig); ok {
-		return rows, nil
+	n := e.exec.FactLen()
+	if ent, ok := e.rowsCache.Get(sig); ok {
+		if ent.upTo >= n {
+			return ent.rows, nil
+		}
+		return e.extendRowsEntry(ctx, sig, ent, n, sn.Constraints(), sn.Filters)
 	}
 	_, sp := telemetry.StartSpan(ctx, "subspace_semijoin")
 	defer sp.End()
@@ -305,10 +332,61 @@ func (e *Engine) subspaceRowsCtx(ctx context.Context, sn *StarNet) ([]int, error
 				return nil, err
 			}
 		}
-		e.rowsCache.Put(sig, rows)
+		e.rowsCache.Put(sig, rowsEntry{rows: rows, upTo: n})
 		return rows, nil
 	})
 	return rows, err
+}
+
+// extendRowsEntry grows a cached fact-row set to the current fact
+// length: the appended row range is checked against the same constraint
+// bitsets and filters that built the entry, and the qualifying tail
+// rows merge into a fresh slice (copy-on-grow; readers holding the old
+// slice are unaffected). The scan that built the entry may have raced
+// past its recorded coverage — results are ascending and membership is
+// deterministic, so the merge deduplicates any overlap exactly.
+func (e *Engine) extendRowsEntry(ctx context.Context, key string, ent rowsEntry, n int,
+	cs []olap.Constraint, filters []NumericFilter) ([]int, error) {
+
+	_, sp := telemetry.StartSpan(ctx, "subspace_extend")
+	defer sp.End()
+	tail, err := e.exec.FactRowsInRange(ctx, cs, ent.upTo, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(tail) > 0 && len(filters) > 0 {
+		tail, err = e.applyFiltersCtx(ctx, tail, filters)
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := mergeAscUnique(ent.rows, tail)
+	e.rowsCache.Put(key, rowsEntry{rows: merged, upTo: n})
+	return merged, nil
+}
+
+// mergeAscUnique merges two ascending row lists, dropping duplicates.
+// The result is always a fresh slice (never an alias of a), so cached
+// row sets stay immutable for readers already holding them.
+func mergeAscUnique(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // factRowsKeyed materializes an arbitrary constrained-and-filtered row
@@ -319,8 +397,12 @@ func (e *Engine) subspaceRowsCtx(ctx context.Context, sn *StarNet) ([]int, error
 // keying them makes that sharing durable across requests, not just
 // within one batch.
 func (e *Engine) factRowsKeyed(ctx context.Context, key string, cs []olap.Constraint, filters []NumericFilter) ([]int, error) {
-	if rows, ok := e.rowsCache.Get(key); ok {
-		return rows, nil
+	n := e.exec.FactLen()
+	if ent, ok := e.rowsCache.Get(key); ok {
+		if ent.upTo >= n {
+			return ent.rows, nil
+		}
+		return e.extendRowsEntry(ctx, key, ent, n, cs, filters)
 	}
 	rows, _, err := e.rowsFlight.Do(ctx, key, func(ctx context.Context) ([]int, error) {
 		rows, err := e.exec.FactRowsCtx(ctx, cs)
@@ -333,7 +415,7 @@ func (e *Engine) factRowsKeyed(ctx context.Context, key string, cs []olap.Constr
 				return nil, err
 			}
 		}
-		e.rowsCache.Put(key, rows)
+		e.rowsCache.Put(key, rowsEntry{rows: rows, upTo: n})
 		return rows, nil
 	})
 	return rows, err

@@ -374,59 +374,92 @@ type codeColumn struct {
 // attrCodes returns, memoized, the fact-aligned code vector for the
 // attribute at the far end of path: the composition of factToDim with
 // the dimension table's dictionary-encoded column. This is what turns
-// GroupBy into a scan over int32 codes.
+// GroupBy into a scan over int32 codes. The vector always covers the
+// fact row count observed at call time: a memo left short by a
+// streaming append is extended over just the appended rows
+// (copy-on-grow), so kernels never index past a code vector with a row
+// set derived from a newer snapshot.
 func (ex *Executor) attrCodes(attr string, path schemagraph.JoinPath) ([]int32, []relation.Value) {
 	key := attrColKey{path.Signature(), attr}
-	ex.mu.RLock()
-	cc := ex.attrCode[key]
-	ex.mu.RUnlock()
-	if cc != nil {
+	for {
+		n := ex.fact.Len()
+		ex.mu.RLock()
+		cc := ex.attrCode[key]
+		ex.mu.RUnlock()
+		if cc != nil && len(cc.codes) >= n {
+			return cc.codes, cc.dict
+		}
+		ex.stats.codeVecBuilds.Add(1)
+		dimTable := ex.g.DB().Table(path.Source)
+		dimCodes, dict := dimTable.DictColumn(attr)
+		f2d := ex.factToDim(path) // covers ≥ n
+		lo := 0
+		if cc != nil {
+			lo = len(cc.codes)
+		}
+		tail := make([]int32, n-lo)
+		for i := range tail {
+			if d := f2d[lo+i]; d < 0 {
+				tail[i] = -1
+			} else {
+				tail[i] = dimCodes[d]
+			}
+		}
+		ex.mu.Lock()
+		prev := ex.attrCode[key]
+		if (prev == nil) != (cc == nil) || (prev != nil && len(prev.codes) != lo) {
+			ex.mu.Unlock()
+			continue // raced with another builder; retry against its result
+		}
+		var merged []int32
+		if cc != nil {
+			merged = append(cc.codes[:lo:lo], tail...)
+		} else {
+			merged = tail
+		}
+		cc = &codeColumn{codes: merged, dict: dict}
+		ex.attrCode[key] = cc
+		ex.mu.Unlock()
 		return cc.codes, cc.dict
 	}
-	ex.stats.codeVecBuilds.Add(1)
-	dimTable := ex.g.DB().Table(path.Source)
-	dimCodes, dict := dimTable.DictColumn(attr)
-	f2d := ex.factToDim(path)
-	codes := make([]int32, len(f2d))
-	for f, d := range f2d {
-		if d < 0 {
-			codes[f] = -1
-		} else {
-			codes[f] = dimCodes[d]
-		}
-	}
-	cc = &codeColumn{codes: codes, dict: dict}
-	ex.mu.Lock()
-	ex.attrCode[key] = cc
-	ex.mu.Unlock()
-	return cc.codes, cc.dict
 }
 
 // attrFloats returns, memoized, the fact-aligned numeric column for the
 // attribute at the far end of path: NaN where the fact row is unlinked
-// or the attribute value is NULL or non-numeric.
+// or the attribute value is NULL or non-numeric. Coverage-complete like
+// attrCodes: always at least the fact row count observed at call time.
 func (ex *Executor) attrFloats(attr string, path schemagraph.JoinPath) []float64 {
 	key := attrColKey{path.Signature(), attr}
-	ex.mu.RLock()
-	fc := ex.attrFloat[key]
-	ex.mu.RUnlock()
-	if fc != nil {
-		return fc
-	}
-	ex.stats.floatColBuilds.Add(1)
-	dimTable := ex.g.DB().Table(path.Source)
-	dimFloats := dimTable.FloatColumn(attr)
-	f2d := ex.factToDim(path)
-	fc = make([]float64, len(f2d))
-	for f, d := range f2d {
-		if d < 0 {
-			fc[f] = math.NaN()
-		} else {
-			fc[f] = dimFloats[d]
+	for {
+		n := ex.fact.Len()
+		ex.mu.RLock()
+		fc := ex.attrFloat[key]
+		ex.mu.RUnlock()
+		if fc != nil && len(fc) >= n {
+			return fc
 		}
+		ex.stats.floatColBuilds.Add(1)
+		dimTable := ex.g.DB().Table(path.Source)
+		dimFloats := dimTable.FloatColumn(attr)
+		f2d := ex.factToDim(path) // covers ≥ n
+		lo := len(fc)
+		tail := make([]float64, n-lo)
+		for i := range tail {
+			if d := f2d[lo+i]; d < 0 {
+				tail[i] = math.NaN()
+			} else {
+				tail[i] = dimFloats[d]
+			}
+		}
+		ex.mu.Lock()
+		prev := ex.attrFloat[key]
+		if len(prev) != lo {
+			ex.mu.Unlock()
+			continue // raced with another builder; retry against its result
+		}
+		merged := append(prev[:lo:lo], tail...)
+		ex.attrFloat[key] = merged
+		ex.mu.Unlock()
+		return merged
 	}
-	ex.mu.Lock()
-	ex.attrFloat[key] = fc
-	ex.mu.Unlock()
-	return fc
 }

@@ -84,8 +84,8 @@ func ProductMeasure(t *relation.Table, name, colA, colB string) Measure {
 	if a < 0 || b < 0 {
 		panic(fmt.Sprintf("olap: fact table %s lacks %q or %q", t.Name(), colA, colB))
 	}
-	var once sync.Once
-	var vec []float64 // the product column, built once on first vectorized use
+	var mu sync.Mutex
+	var vec []float64 // the product column, built on first vectorized use
 	return Measure{
 		Name: name,
 		Eval: func(row []relation.Value) float64 {
@@ -95,13 +95,20 @@ func ProductMeasure(t *relation.Table, name, colA, colB string) Measure {
 			if t.Backing() != nil {
 				return nil
 			}
-			once.Do(func() {
+			// Extend (copy-on-grow) past appended rows: callers hold the
+			// slice they were handed, so the shared prefix is never
+			// rewritten in place.
+			mu.Lock()
+			defer mu.Unlock()
+			if n := t.Len(); len(vec) < n {
 				ca, cb := t.FloatColumn(colA), t.FloatColumn(colB)
-				vec = make([]float64, len(ca))
-				for i := range vec {
-					vec[i] = ca[i] * cb[i]
+				grown := make([]float64, n)
+				copy(grown, vec)
+				for i := len(vec); i < n; i++ {
+					grown[i] = ca[i] * cb[i]
 				}
-			})
+				vec = grown
+			}
 			return vec
 		},
 		Seg: func() relation.FloatReader {
@@ -243,9 +250,10 @@ type Executor struct {
 	attrCode  map[attrColKey]*codeColumn
 	attrFloat map[attrColKey][]float64
 	// attrZone holds lazily-built per-shard zone maps over the memoized
-	// fact-aligned attribute columns, keyed like attrFloat and rebuilt
-	// when SetShards replaces the partition.
-	attrZone map[attrColKey][]shard.ZoneMap
+	// fact-aligned attribute columns, keyed like attrFloat, rebuilt when
+	// SetShards replaces the partition and extended in place (copy-on-
+	// grow) when a streaming append grows the last shard.
+	attrZone map[attrColKey]*attrZones
 	// constraintBits caches each constraint's fact-row set; candidate
 	// star nets combine a small vocabulary of hit groups, so hit rates
 	// are high during differentiation-heavy workloads.
@@ -354,7 +362,7 @@ func NewExecutor(g *schemagraph.Graph) *Executor {
 		factMap:        make(map[string][]int32),
 		attrCode:       make(map[attrColKey]*codeColumn),
 		attrFloat:      make(map[attrColKey][]float64),
-		attrZone:       make(map[attrColKey][]shard.ZoneMap),
+		attrZone:       make(map[attrColKey]*attrZones),
 		constraintBits: cache.NewClock[string, *bitset.Set](constraintCacheCap),
 	}
 }
@@ -459,10 +467,21 @@ func constraintSig(c Constraint) string {
 // constraint. The cache evicts with second-chance/CLOCK so a hot hit
 // group survives churn from one-off candidate nets. A cancelled semijoin
 // is never cached — partial bitsets must not poison later queries.
+//
+// A cached set left behind by a streaming append (its universe shorter
+// than the fact table) is extended over just the appended rows via the
+// fact→dimension memo — never rebuilt — and re-cached; the shorter set
+// stays intact for readers already holding it.
 func (ex *Executor) constraintSet(ctx context.Context, c Constraint) (*bitset.Set, error) {
+	n := ex.fact.Len()
 	sig := constraintSig(c)
 	if s, ok := ex.constraintBits.Get(sig); ok {
-		return s, nil
+		if s.Len() >= n {
+			return s, nil
+		}
+		ext := ex.extendConstraintSet(c, s, n)
+		ex.constraintBits.Put(sig, ext)
+		return ext, nil
 	}
 	t := ex.g.DB().Table(c.Table)
 	if t == nil {
@@ -473,9 +492,28 @@ func (ex *Executor) constraintSet(ctx context.Context, c Constraint) (*bitset.Se
 	if err != nil {
 		return nil, err
 	}
-	s := bitset.FromSorted(ex.fact.Len(), mapped)
+	s := bitset.FromSorted(n, mapped)
 	ex.constraintBits.Put(sig, s)
 	return s, nil
+}
+
+// extendConstraintSet grows a constraint's fact-row set to universe n:
+// each appended fact row joins the set iff its linked dimension row (via
+// the fact→dimension memo, which star-schema key uniqueness makes
+// equivalent to the forward semijoin) is one of the constraint's hit
+// rows. O(appended rows), independent of the dataspace size.
+func (ex *Executor) extendConstraintSet(c Constraint, s *bitset.Set, n int) *bitset.Set {
+	t := ex.g.DB().Table(c.Table)
+	hit := bitset.FromSorted(t.Len(), lookupHitRows(t, c.Attr, c.Values))
+	f2d := ex.factToDim(c.Path)
+	out := bitset.New(n)
+	out.OrWith(s)
+	for f := s.Len(); f < n && f < len(f2d); f++ {
+		if d := f2d[f]; d >= 0 && hit.Contains(int(d)) {
+			out.Add(f)
+		}
+	}
+	return out
 }
 
 // lookupHitRows resolves a hit group's value set to rows of its table.
@@ -609,6 +647,55 @@ func (ex *Executor) FactRowsBoundedCtx(ctx context.Context, constraints []Constr
 	return rows, nil
 }
 
+// FactRowsInRange returns the fact rows in [lo, hi) satisfying every
+// constraint (every row in the range when constraints is empty). Built
+// for streaming appends: per-constraint bitsets are coverage-complete
+// to the current fact length, so deciding whether an appended row range
+// touches a sub-dataspace costs O(hi-lo), never a dataspace rescan.
+func (ex *Executor) FactRowsInRange(ctx context.Context, constraints []Constraint, lo, hi int) ([]int, error) {
+	if n := ex.fact.Len(); hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil, nil
+	}
+	if len(constraints) == 0 {
+		out := make([]int, hi-lo)
+		for i := range out {
+			out[i] = lo + i
+		}
+		return out, nil
+	}
+	sets := make([]*bitset.Set, len(constraints))
+	for i, c := range constraints {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := ex.constraintSet(ctx, c)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = s
+	}
+	out := sets[0].AppendRange(nil, lo, hi)
+	for _, s := range sets[1:] {
+		if len(out) == 0 {
+			return nil, nil
+		}
+		kept := out[:0]
+		for _, r := range out {
+			if s.Contains(r) {
+				kept = append(kept, r)
+			}
+		}
+		out = kept
+	}
+	return out, nil
+}
+
 // Aggregate applies the measure and aggregation function over fact
 // rows. The scan is fused — measure column read and accumulation in one
 // loop — and fans out across GOMAXPROCS workers for large row sets.
@@ -676,19 +763,45 @@ func (ex *Executor) GroupByCtx(ctx context.Context, rows []int, attr string, pat
 // row for a path from a dimension table to the fact table. Star schemas
 // make the fact→dimension direction many-to-one, so each fact row maps to
 // at most one dimension row (-1 when a foreign key is NULL or dangling).
+//
+// The mapping always covers the fact table's row count observed at call
+// time: a memo left short by a streaming append is extended over just
+// the appended rows (copy-on-grow — callers holding the shorter slice
+// keep a consistent prefix view).
 func (ex *Executor) factToDim(path schemagraph.JoinPath) []int32 {
 	sig := path.Signature()
-	ex.mu.RLock()
-	m, ok := ex.factMap[sig]
-	ex.mu.RUnlock()
-	if ok {
-		return m
+	for {
+		n := ex.fact.Len()
+		ex.mu.RLock()
+		m, ok := ex.factMap[sig]
+		ex.mu.RUnlock()
+		if ok && len(m) >= n {
+			return m
+		}
+		lo := len(m) // 0 on a cold miss
+		tail := ex.buildF2DRange(path, lo, n)
+		ex.mu.Lock()
+		cur := ex.factMap[sig]
+		if len(cur) != lo {
+			// Another goroutine built a different span meanwhile; retry
+			// against its result.
+			ex.mu.Unlock()
+			continue
+		}
+		merged := append(cur[:lo:lo], tail...)
+		ex.factMap[sig] = merged
+		ex.mu.Unlock()
+		return merged
 	}
+}
 
-	// Walk the reversed path fact → ... → dimension, column-at-a-time.
-	cur := make([]int32, ex.fact.Len())
+// buildF2DRange computes the fact→dimension mapping for fact rows
+// [lo, hi) by walking the reversed path fact → ... → dimension,
+// column-at-a-time.
+func (ex *Executor) buildF2DRange(path schemagraph.JoinPath, lo, hi int) []int32 {
+	cur := make([]int32, hi-lo)
 	for i := range cur {
-		cur[i] = int32(i)
+		cur[i] = int32(lo + i)
 	}
 	curTable := ex.fact
 	for i := len(path.Hops) - 1; i >= 0; i-- {
@@ -719,9 +832,6 @@ func (ex *Executor) factToDim(path schemagraph.JoinPath) []int32 {
 		}
 		cur, curTable = out, next
 	}
-	ex.mu.Lock()
-	ex.factMap[sig] = cur
-	ex.mu.Unlock()
 	return cur
 }
 

@@ -52,8 +52,28 @@ func (ex *Executor) SetShards(n int) {
 	}
 	// Per-(path,attr) shard zones are aligned to the old partition.
 	ex.mu.Lock()
-	ex.attrZone = make(map[attrColKey][]shard.ZoneMap)
+	ex.attrZone = make(map[attrColKey]*attrZones)
 	ex.mu.Unlock()
+}
+
+// ExtendForAppend folds appended fact rows [p.NumRows(), newN) into the
+// executor's partition, when one is set: the last shard absorbs the new
+// rows with its zone maps widened from the fact columns. Everything
+// else the executor memoizes — fact→dimension maps, attribute code and
+// float vectors, per-shard attribute zones, per-constraint bitsets — is
+// coverage-checked at fetch time and extends itself lazily, so this is
+// the only eager step. Readers holding the old partition keep a
+// consistent (shorter) prefix view.
+func (ex *Executor) ExtendForAppend(newN int) {
+	for {
+		p := ex.partition.Load()
+		if p == nil || p.NumRows() >= newN {
+			return
+		}
+		if ex.partition.CompareAndSwap(p, p.Extend(ex.fact, newN)) {
+			return
+		}
+	}
 }
 
 // Partition returns the current fact partition, or nil when running
@@ -223,21 +243,47 @@ func planZones(zones []shard.ZoneMap, p *shard.Partition, lo, hi float64) shard.
 	return pl
 }
 
-// attrShardZones returns, memoized per partition, the per-shard min/max
-// of a fact-aligned attribute column.
+// attrZones is one memoized per-shard zone slice plus the row count it
+// covers. SetShards clears the memo outright; Partition.Extend preserves
+// every shard boundary except the last Hi, so an entry left short by a
+// streaming append is brought up to date by folding just the appended
+// rows — which all land in the last shard — into a copy of its zone.
+type attrZones struct {
+	zones []shard.ZoneMap
+	upTo  int
+}
+
+// attrShardZones returns, memoized per partition lineage, the per-shard
+// min/max of a fact-aligned attribute column, covering at least
+// p.NumRows() rows.
 func (ex *Executor) attrShardZones(attr string, path schemagraph.JoinPath, vals []float64, p *shard.Partition) []shard.ZoneMap {
+	n := p.NumRows()
 	key := attrColKey{path.Signature(), attr}
 	ex.mu.RLock()
-	z := ex.attrZone[key]
+	e := ex.attrZone[key]
 	ex.mu.RUnlock()
-	if z != nil {
-		return z
+	if e != nil && e.upTo >= n {
+		return e.zones
 	}
-	z = shard.ZonesOver(vals, p)
 	ex.mu.Lock()
-	ex.attrZone[key] = z
-	ex.mu.Unlock()
-	return z
+	defer ex.mu.Unlock()
+	e = ex.attrZone[key]
+	if e != nil && e.upTo >= n {
+		return e.zones
+	}
+	if e == nil {
+		e = &attrZones{zones: shard.ZonesOver(vals, p), upTo: n}
+		ex.attrZone[key] = e
+		return e.zones
+	}
+	zones := append([]shard.ZoneMap(nil), e.zones...)
+	last := &zones[len(zones)-1]
+	for r := e.upTo; r < n && r < len(vals); r++ {
+		last.Observe(vals[r])
+	}
+	e = &attrZones{zones: zones, upTo: n}
+	ex.attrZone[key] = e
+	return e.zones
 }
 
 // filterByVals is the monolithic vectorized filter: one pass over the

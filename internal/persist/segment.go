@@ -64,9 +64,9 @@ type manifestCol struct {
 	name     string
 	kind     relation.Kind
 	dict     []relation.Value
-	zones    []zoneEntry    // per segment, numeric columns only
-	blooms   []bloomFilter  // per segment, bloom columns only
-	termSegs [][]int32      // per dict code, full-text dict columns only
+	zones    []zoneEntry   // per segment, numeric columns only
+	blooms   []bloomFilter // per segment, bloom columns only
+	termSegs [][]int32     // per dict code, full-text dict columns only
 	isDict   bool
 }
 
@@ -714,7 +714,10 @@ type cacheEnt struct {
 	prev, next *cacheEnt
 }
 
-// storeCol is one column's open state.
+// storeCol is one column's open state. The skip-evidence fields (dict,
+// zones, blooms, termSeg, codeOf) and the open-tail buffers are guarded
+// by the Store's metaMu once the store has been made appendable; before
+// that they are immutable.
 type storeCol struct {
 	col     relation.Column
 	numeric bool
@@ -724,21 +727,46 @@ type storeCol struct {
 	blooms  []bloomFilter
 	termSeg [][]int32
 
-	codeOnce sync.Once
-	codeOf   map[relation.Value]int32
+	codeOf map[relation.Value]int32
+
+	// Append-side state (nil/zero until ensureAppendable). tailF/tailC
+	// hold the open — not yet sealed — segment's values, served to
+	// readers in place of a file read; wf is the write handle used to
+	// seal full segments and flush partial tails.
+	wf       *os.File
+	tailF    []float64
+	tailC    []int32
+	zoneAcc  zoneEntry
+	openHash map[uint64]struct{}
 }
 
 // Store opens a segment directory for reading and implements
 // relation.ColumnBacking over it: column readers page 8 KiB–64 KiB
 // segments in on demand through a byte-budgeted LRU, and the manifest's
 // zone maps and Bloom filters answer skip queries without I/O. Safe for
-// concurrent use.
+// concurrent use, including concurrently with AppendRows: the row count
+// is published atomically after the rows' values and skip evidence, so
+// a reader that observed NumRows() == n can resolve everything below n.
 type Store struct {
 	dir     string
 	segSize int
-	numRows int
+	numRows atomic.Int64
+	schema  *relation.Schema
 	cols    []*storeCol
 	byName  map[string]int
+
+	// metaMu guards the per-column skip evidence and tail buffers
+	// against AppendRows. Read paths hold it briefly; the writer holds
+	// it only while publishing a staged chunk, never during file I/O.
+	metaMu sync.RWMutex
+	// amu serializes appenders; appendable marks that the open tail has
+	// been lifted into the tail buffers and write handles are open.
+	amu        sync.Mutex
+	appendable bool
+	dirty      bool
+	// openSeg is the index of the open (unsealed) segment; -1 when the
+	// store is not appendable. Guarded by metaMu.
+	openSeg int
 
 	mu     sync.Mutex
 	cache  map[segKey]*cacheEnt
@@ -769,11 +797,13 @@ func OpenStore(dir string, schema *relation.Schema) (*Store, error) {
 	st := &Store{
 		dir:     dir,
 		segSize: m.segSize,
-		numRows: m.numRows,
+		schema:  schema,
+		openSeg: -1,
 		cache:   make(map[segKey]*cacheEnt),
 		budget:  DefaultSegmentCacheBytes,
 		byName:  make(map[string]int, len(m.cols)),
 	}
+	st.numRows.Store(int64(m.numRows))
 	if len(m.cols) != len(schema.Columns) {
 		return nil, fmt.Errorf("persist: %s: manifest has %d columns, schema %d", schema.Name, len(m.cols), len(schema.Columns))
 	}
@@ -821,15 +851,25 @@ func OpenStore(dir string, schema *relation.Schema) (*Store, error) {
 	return st, nil
 }
 
-// Close releases the column file handles.
+// Close flushes any unflushed appended tail and releases the column
+// file handles.
 func (st *Store) Close() error {
 	var first error
+	if st.dirty {
+		first = st.Flush()
+	}
 	for _, c := range st.cols {
 		if c.f != nil {
 			if err := c.f.Close(); err != nil && first == nil {
 				first = err
 			}
 			c.f = nil
+		}
+		if c.wf != nil {
+			if err := c.wf.Close(); err != nil && first == nil {
+				first = err
+			}
+			c.wf = nil
 		}
 	}
 	return first
@@ -867,8 +907,9 @@ func (st *Store) Stats() SegStats {
 	}
 }
 
-// NumRows implements relation.ColumnBacking.
-func (st *Store) NumRows() int { return st.numRows }
+// NumRows implements relation.ColumnBacking. The count is published
+// atomically after its rows' data and skip evidence.
+func (st *Store) NumRows() int { return int(st.numRows.Load()) }
 
 // SegmentSize implements relation.ColumnBacking.
 func (st *Store) SegmentSize() int { return st.segSize }
@@ -902,7 +943,12 @@ func (st *Store) DictReader(col string) relation.DictReader {
 // SegmentMayContain implements relation.ColumnBacking: Bloom evidence.
 func (st *Store) SegmentMayContain(col string, si int, v relation.Value) (maybe, hasBloom bool) {
 	ci := st.colIndex(col)
-	if ci < 0 || st.cols[ci].blooms == nil || si >= len(st.cols[ci].blooms) {
+	if ci < 0 {
+		return true, false
+	}
+	st.metaMu.RLock()
+	defer st.metaMu.RUnlock()
+	if st.cols[ci].blooms == nil || si >= len(st.cols[ci].blooms) {
 		return true, false
 	}
 	return st.cols[ci].blooms[si].mayContain(hashValue(v)), true
@@ -911,7 +957,12 @@ func (st *Store) SegmentMayContain(col string, si int, v relation.Value) (maybe,
 // SegmentZoneOverlaps implements relation.ColumnBacking: zone evidence.
 func (st *Store) SegmentZoneOverlaps(col string, si int, lo, hi float64) (overlaps, hasZone bool) {
 	ci := st.colIndex(col)
-	if ci < 0 || st.cols[ci].zones == nil || si >= len(st.cols[ci].zones) {
+	if ci < 0 {
+		return true, false
+	}
+	st.metaMu.RLock()
+	defer st.metaMu.RUnlock()
+	if st.cols[ci].zones == nil || si >= len(st.cols[ci].zones) {
 		return true, false
 	}
 	z := st.cols[ci].zones[si]
@@ -935,7 +986,12 @@ func (st *Store) NoteSkips(bloom, zone int) {
 // (empty zones have min > max), or nil when the column carries none.
 func (st *Store) SegmentZones(col string) (mins, maxs []float64) {
 	ci := st.colIndex(col)
-	if ci < 0 || st.cols[ci].zones == nil {
+	if ci < 0 {
+		return nil, nil
+	}
+	st.metaMu.RLock()
+	defer st.metaMu.RUnlock()
+	if st.cols[ci].zones == nil {
 		return nil, nil
 	}
 	z := st.cols[ci].zones
@@ -957,26 +1013,47 @@ func (st *Store) ValueSegments(col string, v relation.Value) ([]int32, bool) {
 		return nil, false
 	}
 	c := st.cols[ci]
+	st.metaMu.RLock()
 	if c.termSeg == nil {
+		st.metaMu.RUnlock()
 		return nil, false
 	}
-	c.codeOnce.Do(func() {
-		c.codeOf = make(map[relation.Value]int32, len(c.dict))
-		for code, dv := range c.dict {
-			c.codeOf[dv] = int32(code)
+	if len(c.codeOf) >= len(c.dict) {
+		code, ok := c.codeOf[v]
+		segs := []int32(nil)
+		if ok {
+			segs = c.termSeg[code]
 		}
-	})
+		st.metaMu.RUnlock()
+		return segs, true // a value outside the dictionary is definitively nowhere
+	}
+	st.metaMu.RUnlock()
+
+	st.metaMu.Lock()
+	defer st.metaMu.Unlock()
+	st.extendCodeOfLocked(c)
 	code, ok := c.codeOf[v]
 	if !ok {
-		return nil, true // definitively nowhere
+		return nil, true
 	}
 	return c.termSeg[code], true
+}
+
+// extendCodeOfLocked brings a column's value→code map up to its
+// dictionary. Caller holds metaMu.
+func (st *Store) extendCodeOfLocked(c *storeCol) {
+	if c.codeOf == nil {
+		c.codeOf = make(map[relation.Value]int32, len(c.dict))
+	}
+	for code := len(c.codeOf); code < len(c.dict); code++ {
+		c.codeOf[c.dict[code]] = int32(code)
+	}
 }
 
 // rowsInSeg returns the row count of segment si.
 func (st *Store) rowsInSeg(si int) int {
 	lo := si * st.segSize
-	return min(st.segSize, st.numRows-lo)
+	return min(st.segSize, st.NumRows()-lo)
 }
 
 // ---------------------------------------------------------------------
@@ -1027,18 +1104,27 @@ func (st *Store) evictLocked(keep *cacheEnt) {
 	}
 }
 
-// loadSegment returns the cached or freshly paged segment (ci, si).
+// loadSegment returns the cached or freshly paged segment (ci, si),
+// covering at least the store's current row count. A cached entry paged
+// in before appends grew the segment is shorter than the segment is
+// now; such entries are discarded and reloaded rather than served.
 func (st *Store) loadSegment(ci, si int) *cacheEnt {
 	key := segKey{ci, si}
+	want := st.rowsInSeg(si)
 	st.mu.Lock()
 	if e, ok := st.cache[key]; ok {
-		if st.head != e {
-			st.lruUnlink(e)
-			st.lruPushFront(e)
+		if len(e.f64)+len(e.i32) >= want {
+			if st.head != e {
+				st.lruUnlink(e)
+				st.lruPushFront(e)
+			}
+			st.mu.Unlock()
+			st.resident.Add(1)
+			return e
 		}
-		st.mu.Unlock()
-		st.resident.Add(1)
-		return e
+		st.lruUnlink(e)
+		delete(st.cache, key)
+		st.usage -= e.size
 	}
 	st.mu.Unlock()
 
@@ -1047,7 +1133,7 @@ func (st *Store) loadSegment(ci, si int) *cacheEnt {
 	c := st.cols[ci]
 	n := st.rowsInSeg(si)
 	if n < 0 {
-		panic(fmt.Sprintf("persist: segment %d out of range for %d rows", si, st.numRows))
+		panic(fmt.Sprintf("persist: segment %d out of range for %d rows", si, st.NumRows()))
 	}
 	e := &cacheEnt{key: key}
 	if c.numeric {
@@ -1074,13 +1160,19 @@ func (st *Store) loadSegment(ci, si int) *cacheEnt {
 	st.pagedIn.Add(1)
 
 	st.mu.Lock()
-	if prior, ok := st.cache[key]; ok {
+	if prior, ok := st.cache[key]; ok && len(prior.f64)+len(prior.i32) >= n {
 		e = prior // lost the page-in race; keep the published segment
 		if st.head != e {
 			st.lruUnlink(e)
 			st.lruPushFront(e)
 		}
 	} else {
+		if ok {
+			prior := st.cache[key]
+			st.lruUnlink(prior)
+			delete(st.cache, key)
+			st.usage -= prior.size
+		}
 		st.cache[key] = e
 		st.lruPushFront(e)
 		st.usage += e.size
@@ -1096,9 +1188,12 @@ type storeFloatReader struct {
 	ci int
 }
 
-func (r storeFloatReader) Len() int         { return r.st.numRows }
+func (r storeFloatReader) Len() int         { return r.st.NumRows() }
 func (r storeFloatReader) SegmentSize() int { return r.st.segSize }
 func (r storeFloatReader) FloatSegment(si int) []float64 {
+	if vals, ok := r.st.tailFloatSegment(r.ci, si); ok {
+		return vals
+	}
 	return r.st.loadSegment(r.ci, si).f64
 }
 
@@ -1108,11 +1203,398 @@ type storeDictReader struct {
 	ci int
 }
 
-func (r storeDictReader) Len() int              { return r.st.numRows }
-func (r storeDictReader) SegmentSize() int      { return r.st.segSize }
-func (r storeDictReader) Dict() []relation.Value { return r.st.cols[r.ci].dict }
+func (r storeDictReader) Len() int         { return r.st.NumRows() }
+func (r storeDictReader) SegmentSize() int { return r.st.segSize }
+func (r storeDictReader) Dict() []relation.Value {
+	r.st.metaMu.RLock()
+	d := r.st.cols[r.ci].dict
+	r.st.metaMu.RUnlock()
+	return d
+}
 func (r storeDictReader) CodeSegment(si int) []int32 {
+	if codes, ok := r.st.tailCodeSegment(r.ci, si); ok {
+		return codes
+	}
 	return r.st.loadSegment(r.ci, si).i32
+}
+
+// tailFloatSegment serves the open segment's values from the tail
+// buffer. ok is false when si is a sealed (file-resident) segment.
+func (st *Store) tailFloatSegment(ci, si int) ([]float64, bool) {
+	st.metaMu.RLock()
+	defer st.metaMu.RUnlock()
+	if si != st.openSeg {
+		return nil, false
+	}
+	// Copy: the writer keeps appending to the buffer in place.
+	return append([]float64(nil), st.cols[ci].tailF...), true
+}
+
+// tailCodeSegment is tailFloatSegment for dictionary columns.
+func (st *Store) tailCodeSegment(ci, si int) ([]int32, bool) {
+	st.metaMu.RLock()
+	defer st.metaMu.RUnlock()
+	if si != st.openSeg {
+		return nil, false
+	}
+	return append([]int32(nil), st.cols[ci].tailC...), true
+}
+
+// ---------------------------------------------------------------------
+// Appendable tail: streaming ingest into an open store.
+//
+// Appended rows accumulate in per-column tail buffers that stand in for
+// the open (last, partial) segment; readers resolve that segment from
+// the buffers instead of the file. When the open segment fills it is
+// sealed — written to the column files at its final offset, its zone
+// map, Bloom filter, and term segment entries frozen — and a new open
+// segment starts. The bytes a sealed segment carries are identical to
+// what a SegmentWriter streaming the same rows would have produced, so
+// appending and rewriting from scratch converge on the same store.
+// Flush persists the partial tail and rewrites the manifest, making the
+// directory reopenable mid-segment.
+
+// ensureAppendableLocked lifts the open partial segment (if any) from
+// the files into the tail buffers and opens write handles. Caller holds
+// amu.
+func (st *Store) ensureAppendableLocked() error {
+	if st.appendable {
+		return nil
+	}
+	n := st.NumRows()
+	openLen := n % st.segSize
+	openSi := -1
+	if openLen > 0 {
+		openSi = n / st.segSize
+	}
+	empty := n == 0
+	for ci, c := range st.cols {
+		wf, err := os.OpenFile(filepath.Join(st.dir, fmt.Sprintf(colFilePat, ci)), os.O_WRONLY, 0)
+		if err != nil {
+			return err
+		}
+		c.wf = wf
+	}
+	st.metaMu.Lock()
+	defer st.metaMu.Unlock()
+	for _, c := range st.cols {
+		// An empty store carries no evidence yet; enable the same
+		// families NewSegmentWriter would: zones on numeric columns,
+		// Blooms on foreign keys and full-text columns, term segment
+		// lists on full-text dictionary columns.
+		if empty {
+			if c.numeric && c.zones == nil {
+				c.zones = []zoneEntry{}
+			}
+			if c.blooms == nil && st.defaultBloomCol(c.col) {
+				c.blooms = []bloomFilter{}
+			}
+		}
+		// Term segment lists are created lazily at the first non-NULL
+		// value, so a FullText column whose dictionary is still empty may
+		// legitimately carry none yet.
+		if !c.numeric && c.col.FullText && c.termSeg == nil && len(c.dict) == 0 {
+			c.termSeg = [][]int32{}
+		}
+		c.zoneAcc = emptyZoneEntry()
+		if c.blooms != nil {
+			c.openHash = make(map[uint64]struct{})
+		}
+		if !c.numeric {
+			st.extendCodeOfLocked(c)
+		}
+		if openLen == 0 {
+			continue
+		}
+		// Lift the partial segment into the tail buffers and rebuild its
+		// accumulators from its values.
+		off := int64(openSi) * int64(st.segSize)
+		if c.numeric {
+			buf := make([]byte, openLen*floatRowBytes)
+			if _, err := c.f.ReadAt(buf, off*floatRowBytes); err != nil {
+				return err
+			}
+			c.tailF = make([]float64, openLen)
+			for i := range c.tailF {
+				f := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+				c.tailF[i] = f
+				if !math.IsNaN(f) {
+					if f < c.zoneAcc.Min {
+						c.zoneAcc.Min = f
+					}
+					if f > c.zoneAcc.Max {
+						c.zoneAcc.Max = f
+					}
+					if c.openHash != nil {
+						c.openHash[hashValue(numericValue(c.col.Kind, f))] = struct{}{}
+					}
+				}
+			}
+		} else {
+			buf := make([]byte, openLen*codeRowBytes)
+			if _, err := c.f.ReadAt(buf, off*codeRowBytes); err != nil {
+				return err
+			}
+			c.tailC = make([]int32, openLen)
+			for i := range c.tailC {
+				code := int32(binary.LittleEndian.Uint32(buf[i*4:]))
+				c.tailC[i] = code
+				if code >= 0 && c.openHash != nil {
+					c.openHash[hashValue(c.dict[code])] = struct{}{}
+				}
+			}
+		}
+	}
+	// Drop any cached pages of the now tail-served open segment.
+	if openSi >= 0 {
+		st.mu.Lock()
+		for ci := range st.cols {
+			if e, ok := st.cache[segKey{ci, openSi}]; ok {
+				st.lruUnlink(e)
+				delete(st.cache, e.key)
+				st.usage -= e.size
+			}
+		}
+		st.mu.Unlock()
+	}
+	st.openSeg = openSi
+	st.appendable = true
+	return nil
+}
+
+// defaultBloomCol reports NewSegmentWriter's default Bloom policy for a
+// column: foreign keys and full-text columns carry filters.
+func (st *Store) defaultBloomCol(c relation.Column) bool {
+	if c.FullText {
+		return true
+	}
+	for _, fk := range st.schema.ForeignKeys {
+		if fk.Column == c.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// numericValue reconstructs the stored Value of a numeric cell, matching
+// the kind-exact encoding hashValue expects.
+func numericValue(kind relation.Kind, f float64) relation.Value {
+	if kind == relation.KindInt {
+		return relation.Int(int64(f))
+	}
+	return relation.Float(f)
+}
+
+// AppendRows implements relation.AppendableBacking: validates, widens,
+// and appends the rows at the tail of every column, maintaining zone
+// maps, Bloom filters, dictionaries, and term segment lists
+// incrementally. Safe to call concurrently with readers; appenders are
+// serialized.
+func (st *Store) AppendRows(rows [][]relation.Value) error {
+	st.amu.Lock()
+	defer st.amu.Unlock()
+	if err := st.ensureAppendableLocked(); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(st.cols) {
+			return fmt.Errorf("persist: row arity %d, want %d", len(row), len(st.cols))
+		}
+	}
+	for i := 0; i < len(rows); {
+		st.metaMu.Lock()
+		n := st.NumRows()
+		openLen := n % st.segSize
+		if st.openSeg < 0 {
+			// Start a fresh open segment: give every evidence family its
+			// (to be overwritten below) open entry.
+			st.openSeg = n / st.segSize
+			for _, c := range st.cols {
+				if c.zones != nil {
+					c.zones = append(c.zones, emptyZoneEntry())
+				}
+				if c.blooms != nil {
+					c.blooms = append(c.blooms, bloomFilter{})
+				}
+				c.zoneAcc = emptyZoneEntry()
+				if c.openHash != nil {
+					clear(c.openHash)
+				}
+			}
+		}
+		take := min(st.segSize-openLen, len(rows)-i)
+		for _, row := range rows[i : i+take] {
+			for ci, c := range st.cols {
+				v := row[ci]
+				stored := v
+				switch {
+				case v.IsNull():
+				case v.Kind() == c.col.Kind:
+				case c.col.Kind == relation.KindFloat && v.Kind() == relation.KindInt:
+					stored = relation.Float(float64(v.IntVal()))
+				default:
+					st.metaMu.Unlock()
+					return fmt.Errorf("persist: %s: cannot store %s value %#v in %s column",
+						c.col.Name, v.Kind(), v, c.col.Kind)
+				}
+				if c.numeric {
+					f := stored.FloatOrNaN()
+					c.tailF = append(c.tailF, f)
+					if !math.IsNaN(f) {
+						if f < c.zoneAcc.Min {
+							c.zoneAcc.Min = f
+						}
+						if f > c.zoneAcc.Max {
+							c.zoneAcc.Max = f
+						}
+					}
+				} else {
+					code := int32(-1)
+					if !stored.IsNull() {
+						var ok bool
+						code, ok = c.codeOf[stored]
+						if !ok {
+							code = int32(len(c.dict))
+							c.codeOf[stored] = code
+							c.dict = append(c.dict, stored)
+							if c.termSeg != nil {
+								c.termSeg = append(c.termSeg, nil)
+							}
+						}
+						if c.termSeg != nil {
+							segs := c.termSeg[code]
+							if len(segs) == 0 || segs[len(segs)-1] != int32(st.openSeg) {
+								c.termSeg[code] = append(segs, int32(st.openSeg))
+							}
+						}
+					}
+					c.tailC = append(c.tailC, code)
+				}
+				if c.openHash != nil && !stored.IsNull() {
+					c.openHash[hashValue(stored)] = struct{}{}
+				}
+			}
+		}
+		// Publish the open segment's refreshed evidence, then the rows.
+		openSi := st.openSeg
+		for _, c := range st.cols {
+			if c.zones != nil {
+				c.zones[openSi] = c.zoneAcc
+			}
+			if c.blooms != nil {
+				hashes := make([]uint64, 0, len(c.openHash))
+				for h := range c.openHash {
+					hashes = append(hashes, h)
+				}
+				c.blooms[openSi] = newBloom(hashes)
+			}
+		}
+		sealed := openLen+take == st.segSize
+		st.metaMu.Unlock()
+		st.numRows.Store(int64(n + take))
+		st.dirty = true
+		i += take
+		if sealed {
+			if err := st.sealOpenLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sealOpenLocked writes the full open segment to the column files and
+// retires the tail buffers. Caller holds amu; the file writes happen
+// outside metaMu so readers keep resolving the segment from the tail
+// until the sealed bytes are in place.
+func (st *Store) sealOpenLocked() error {
+	if err := st.writeTailsLocked(); err != nil {
+		return err
+	}
+	st.metaMu.Lock()
+	for _, c := range st.cols {
+		c.tailF = c.tailF[:0]
+		c.tailC = c.tailC[:0]
+		c.zoneAcc = emptyZoneEntry()
+		if c.openHash != nil {
+			clear(c.openHash)
+		}
+	}
+	st.openSeg = -1
+	st.metaMu.Unlock()
+	return nil
+}
+
+// writeTailsLocked writes every column's tail buffer to its file at the
+// open segment's offset. Caller holds amu.
+func (st *Store) writeTailsLocked() error {
+	if st.openSeg < 0 {
+		return nil
+	}
+	off := int64(st.openSeg) * int64(st.segSize)
+	for _, c := range st.cols {
+		if c.numeric {
+			buf := make([]byte, len(c.tailF)*floatRowBytes)
+			for i, f := range c.tailF {
+				binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(f))
+			}
+			if _, err := c.wf.WriteAt(buf, off*floatRowBytes); err != nil {
+				return err
+			}
+		} else {
+			buf := make([]byte, len(c.tailC)*codeRowBytes)
+			for i, code := range c.tailC {
+				binary.LittleEndian.PutUint32(buf[i*4:], uint32(code))
+			}
+			if _, err := c.wf.WriteAt(buf, off*codeRowBytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush persists the partial open segment and rewrites the manifest so
+// the directory can be reopened with every appended row intact. The
+// store remains appendable afterwards.
+func (st *Store) Flush() error {
+	st.amu.Lock()
+	defer st.amu.Unlock()
+	if !st.dirty {
+		return nil
+	}
+	if err := st.writeTailsLocked(); err != nil {
+		return err
+	}
+	st.metaMu.RLock()
+	m := &manifest{segSize: st.segSize, numRows: st.NumRows()}
+	for _, c := range st.cols {
+		mc := manifestCol{name: c.col.Name, kind: c.col.Kind, isDict: !c.numeric}
+		if !c.numeric {
+			mc.dict = append([]relation.Value(nil), c.dict...)
+			// len 0 encodes as absent, matching SegmentWriter's lazy
+			// creation — a value-less column carries no lists yet.
+			if len(c.termSeg) > 0 {
+				mc.termSegs = make([][]int32, len(c.termSeg))
+				for i, segs := range c.termSeg {
+					mc.termSegs[i] = append([]int32(nil), segs...)
+				}
+			}
+		}
+		if c.zones != nil {
+			mc.zones = append([]zoneEntry(nil), c.zones...)
+		}
+		if c.blooms != nil {
+			mc.blooms = append([]bloomFilter(nil), c.blooms...)
+		}
+		m.cols = append(m.cols, mc)
+	}
+	st.metaMu.RUnlock()
+	if err := os.WriteFile(filepath.Join(st.dir, manifestName), encodeManifest(m), 0o644); err != nil {
+		return err
+	}
+	st.dirty = false
+	return nil
 }
 
 // OpenBackedTable opens dir as the storage of a backed relation.Table.

@@ -89,6 +89,18 @@ type ColumnBacking interface {
 	NoteSkips(bloom, zone int)
 }
 
+// AppendableBacking is the optional mutation extension of a
+// ColumnBacking: a backing that can accept new rows at the tail while
+// concurrent readers keep scanning. Rows arrive already validated and
+// widened against the table schema. Implementations must keep every
+// published segment, zone map, Bloom filter, and term segment list
+// consistent with the row count they report — a reader that observed
+// NumRows() == n must be able to read all n rows' evidence.
+type AppendableBacking interface {
+	// AppendRows appends the rows at the tail of every column.
+	AppendRows(rows [][]Value) error
+}
+
 // TermSegmenter is the optional skip-list extension of a ColumnBacking:
 // for full-text columns the disk format records, per distinct value,
 // the ascending list of segments containing it. ok is false when the

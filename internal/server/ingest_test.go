@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"kdap/internal/dataset"
+)
+
+// ebizFactRow builds one valid TRANSITEM row (the EBiz fact schema:
+// ItemKey, TransKey, ProductKey, Quantity, UnitPrice) keyed past the
+// seeded range.
+func ebizFactRow(itemKey int) []any {
+	return []any{itemKey, 1, 1, 2, 19.99}
+}
+
+func TestIngestAppendsRows(t *testing.T) {
+	ts := newTestServer(t)
+
+	rows := make([][]any, 3)
+	for i := range rows {
+		rows[i] = ebizFactRow(dataset.EBizFactCount + i + 1)
+	}
+	var resp IngestResponse
+	r := post(t, ts, "/api/ingest", map[string]any{"db": "ebiz", "rows": rows}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", r.StatusCode)
+	}
+	if resp.Start != dataset.EBizFactCount || resp.Rows != 3 {
+		t.Fatalf("append landed at [%d,+%d), want [%d,+3)", resp.Start, resp.Rows, dataset.EBizFactCount)
+	}
+	if resp.FactRows != dataset.EBizFactCount+3 {
+		t.Fatalf("factRows = %d, want %d", resp.FactRows, dataset.EBizFactCount+3)
+	}
+	if resp.IngestSeq != 1 {
+		t.Fatalf("ingestSeq = %d, want 1", resp.IngestSeq)
+	}
+	if resp.NewTerms != 0 {
+		t.Fatalf("newTerms = %d on a fact with no full-text columns", resp.NewTerms)
+	}
+
+	// The health probe and the fact-rows gauge read the live count.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Warehouses["ebiz"] != dataset.EBizFactCount+3 {
+		t.Fatalf("healthz rows = %d, want %d", h.Warehouses["ebiz"], dataset.EBizFactCount+3)
+	}
+	m, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Body.Close()
+	raw, _ := io.ReadAll(m.Body)
+	for _, want := range []string{
+		`kdap_ingest_batches_total{db="ebiz"} 1`,
+		`kdap_ingest_rows_total{db="ebiz"} 3`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestIngestRejectsBadBatches: every rejection leaves the warehouse
+// untouched — batches are atomic.
+func TestIngestRejectsBadBatches(t *testing.T) {
+	ts := newTestServer(t)
+	for _, tc := range []struct {
+		name   string
+		body   map[string]any
+		status int
+	}{
+		{"unknown db", map[string]any{"db": "nope", "rows": [][]any{ebizFactRow(1)}}, http.StatusNotFound},
+		{"empty rows", map[string]any{"db": "ebiz", "rows": [][]any{}}, http.StatusBadRequest},
+		{"arity", map[string]any{"db": "ebiz", "rows": [][]any{{1, 2, 3}}}, http.StatusBadRequest},
+		{"kind", map[string]any{"db": "ebiz", "rows": [][]any{{1, 1, 1, "two", 19.99}}}, http.StatusBadRequest},
+		{"fractional int", map[string]any{"db": "ebiz", "rows": [][]any{{1, 1, 1, 2.5, 19.99}}}, http.StatusBadRequest},
+		{"atomic batch", map[string]any{"db": "ebiz", "rows": [][]any{
+			ebizFactRow(dataset.EBizFactCount + 1), {1, 1, 1, "two", 19.99},
+		}}, http.StatusBadRequest},
+	} {
+		var e map[string]string
+		r := post(t, ts, "/api/ingest", tc.body, &e)
+		if r.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, r.StatusCode, tc.status)
+		}
+		if e["error"] == "" {
+			t.Errorf("%s: no error message", tc.name)
+		}
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Warehouses["ebiz"] != dataset.EBizFactCount {
+		t.Fatalf("rejected batches changed the row count: %d", h.Warehouses["ebiz"])
+	}
+}
+
+// TestIngestRetiresETags: a conditional tag minted before an append must
+// not revalidate afterwards (client-side invalidation is conservative),
+// while the server-side differentiate cache — untouched by a plain
+// measure append — still serves the repeat as a hit.
+func TestIngestRetiresETags(t *testing.T) {
+	ts := newTestServer(t)
+	body := map[string]any{"db": "ebiz", "q": "Columbus LCD"}
+
+	_, r1 := postRaw(t, ts, "/api/query", body, nil)
+	etag := r1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on query response")
+	}
+	if _, r := postRaw(t, ts, "/api/query", body, http.Header{"If-None-Match": {etag}}); r.StatusCode != http.StatusNotModified {
+		t.Fatalf("pre-append revalidation: %d, want 304", r.StatusCode)
+	}
+
+	var ing IngestResponse
+	if r := post(t, ts, "/api/ingest", map[string]any{
+		"db": "ebiz", "rows": [][]any{ebizFactRow(dataset.EBizFactCount + 1)},
+	}, &ing); r.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", r.StatusCode)
+	}
+
+	_, r2 := postRaw(t, ts, "/api/query", body, http.Header{"If-None-Match": {etag}})
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("post-append conditional status = %d, want 200", r2.StatusCode)
+	}
+	if got := r2.Header.Get("ETag"); got == etag || got == "" {
+		t.Fatalf("post-append ETag = %q, want a fresh tag (old %q)", got, etag)
+	}
+	// No new full-text terms landed, so the differentiate answer itself
+	// survived the append and the 200 was served from cache.
+	if got := r2.Header.Get("X-KDAP-Cache"); got != "hit" {
+		t.Fatalf("post-append X-KDAP-Cache = %q, want hit", got)
+	}
+}
+
+// TestIngestDeltaScopedEviction: the append's eviction pass accounts for
+// every cached explore answer — evicted + kept adds up — and an explore
+// after the append still answers correctly.
+func TestIngestDeltaScopedEviction(t *testing.T) {
+	ts := newTestServer(t)
+	var q QueryResponse
+	post(t, ts, "/api/query", map[string]any{"db": "ebiz", "q": "Columbus LCD"}, &q)
+	if q.Session == "" {
+		t.Fatal("no session")
+	}
+	exploreBody := map[string]any{"session": q.Session, "pick": 1}
+	var f1 FacetsDTO
+	if r := post(t, ts, "/api/explore", exploreBody, &f1); r.StatusCode != http.StatusOK {
+		t.Fatalf("explore status %d", r.StatusCode)
+	}
+
+	var ing IngestResponse
+	if r := post(t, ts, "/api/ingest", map[string]any{
+		"db": "ebiz", "rows": [][]any{ebizFactRow(dataset.EBizFactCount + 1)},
+	}, &ing); r.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", r.StatusCode)
+	}
+	if ing.EvictedAnswers+ing.KeptAnswers != 1 {
+		t.Fatalf("evicted %d + kept %d, want the 1 cached explore accounted for",
+			ing.EvictedAnswers, ing.KeptAnswers)
+	}
+
+	var f2 FacetsDTO
+	if r := post(t, ts, "/api/explore", exploreBody, &f2); r.StatusCode != http.StatusOK {
+		t.Fatalf("post-append explore status %d", r.StatusCode)
+	}
+	if f2.SubspaceSize < f1.SubspaceSize {
+		t.Fatalf("subspace shrank across an append: %d -> %d", f1.SubspaceSize, f2.SubspaceSize)
+	}
+}

@@ -223,6 +223,7 @@ func NewWithOptions(warehouses map[string]*dataset.Warehouse, opts Options) *Ser
 	s.handle("POST /api/suggest", "/api/suggest", s.api("/api/suggest", s.handleSuggest))
 	s.handle("POST /api/explore", "/api/explore", s.api("/api/explore", s.handleExplore))
 	s.handle("POST /api/drill", "/api/drill", s.api("/api/drill", s.handleDrill))
+	s.handle("POST /api/ingest", "/api/ingest", s.api("/api/ingest", s.handleIngest))
 	s.registerDebugEndpoints()
 	s.wireAdmissionMetrics()
 	s.wireSLOMetrics()
@@ -439,15 +440,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 || limit > maxQueryLimit {
 		limit = 20
 	}
-	// The engine is deterministic, so (warehouse, data version, limit,
-	// canonical query) fully identify the interpretation list — enough
-	// for a weak ETag checked before the pipeline runs. Traced and
+	// The engine is deterministic, so (warehouse, data version, ingest
+	// sequence, limit, canonical query) fully identify the
+	// interpretation list — enough for a weak ETag checked before the
+	// pipeline runs. The ingest sequence makes client-side revalidation
+	// conservative: any streamed append retires every conditional tag,
+	// while the server-side answer cache stays delta-scoped. Traced and
 	// profiled requests carry per-request payloads and are never
 	// revalidated.
 	var etag string
 	if e.AnswerCacheEnabled() && !wantTrace(r) && !wantProfile(r) {
 		etag = answerETag("query", req.DB,
 			strconv.FormatUint(e.DataVersion(), 10),
+			strconv.FormatUint(e.IngestSeq(), 10),
 			strconv.Itoa(limit), kdapcore.CanonicalQuery(req.Q))
 		if notModified(r, etag) {
 			p.SetCacheOutcome("revalidated")
@@ -610,13 +615,17 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	opts.PartialOnDeadline = req.Partial
 	// Same revalidation contract as /api/query: the explore cache key +
-	// data version determine the facets, so an unchanged answer is a 304
-	// without running the pipeline.
+	// data version + ingest sequence determine the facets, so an
+	// unchanged answer is a 304 without running the pipeline (and any
+	// append conservatively retires the tag, even for subspaces the
+	// appended rows never touched — the server-side cache still answers
+	// those with X-KDAP-Cache: hit).
 	var etag string
 	if e.AnswerCacheEnabled() && !wantTrace(r) && !wantProfile(r) {
 		if key, cacheable := kdapcore.ExploreCacheKey(sn, opts); cacheable {
 			etag = answerETag("explore", db,
-				strconv.FormatUint(e.DataVersion(), 10), key)
+				strconv.FormatUint(e.DataVersion(), 10),
+				strconv.FormatUint(e.IngestSeq(), 10), key)
 			if notModified(r, etag) {
 				p.SetCacheOutcome("revalidated")
 				writeNotModified(w, etag)

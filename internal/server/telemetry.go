@@ -204,8 +204,25 @@ func (s *Server) wireEngineMetrics(db string, e *kdapcore.Engine) {
 	}
 
 	s.reg.GaugeFunc("kdap_warehouse_fact_rows",
-		"Fact table row count per warehouse.",
-		func() float64 { return float64(s.factRows[db]) }, "db", db)
+		"Fact table row count per warehouse (live — it grows under streaming ingest).",
+		func() float64 { return float64(e.Executor().FactLen()) }, "db", db)
+
+	ist := e.IngestStats
+	s.reg.CounterFunc("kdap_ingest_batches_total",
+		"Ingest batches accepted by the engine's append path, by warehouse.",
+		func() float64 { return float64(ist().Batches) }, "db", db)
+	s.reg.CounterFunc("kdap_ingest_rows_total",
+		"Fact rows appended by streaming ingest, by warehouse.",
+		func() float64 { return float64(ist().Rows) }, "db", db)
+	s.reg.CounterFunc("kdap_ingest_new_terms_total",
+		"Full-text terms first seen in an ingest batch, by warehouse.",
+		func() float64 { return float64(ist().NewTerms) }, "db", db)
+	s.reg.CounterFunc("kdap_ingest_answers_evicted_total",
+		"Cached answers retired because an ingest batch's rows intersect their dependency scope, by warehouse.",
+		func() float64 { return float64(ist().EvictedAnswers) }, "db", db)
+	s.reg.CounterFunc("kdap_ingest_answers_kept_total",
+		"Cached explore answers that survived an ingest batch under delta-scoped invalidation, by warehouse.",
+		func() float64 { return float64(ist().KeptAnswers) }, "db", db)
 
 	if e.AnswerCacheEnabled() {
 		for _, p := range []struct {
@@ -344,11 +361,17 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Row counts are read live from each engine — streaming ingest grows
+	// them past the startup snapshot in s.factRows.
+	rows := make(map[string]int, len(s.engines))
+	for name, e := range s.engines {
+		rows[name] = e.Executor().FactLen()
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:     "ok",
 		Version:    buildVersion(),
 		GoVersion:  runtime.Version(),
 		UptimeSecs: time.Since(s.start).Seconds(),
-		Warehouses: s.factRows,
+		Warehouses: rows,
 	})
 }

@@ -46,6 +46,11 @@ func (z ZoneMap) Overlaps(lo, hi float64) bool {
 	return z.Min <= hi && z.Max >= lo
 }
 
+// Observe folds one value into the zone (NaN is ignored). Exported for
+// callers maintaining their own zone maps incrementally — the executor
+// widens its lazy per-shard attribute zones over appended rows with it.
+func (z *ZoneMap) Observe(v float64) { z.observe(v) }
+
 // observe folds one value into the zone.
 func (z *ZoneMap) observe(v float64) {
 	if math.IsNaN(v) {
@@ -224,6 +229,31 @@ func ZonesOver(vals []float64, p *Partition) []ZoneMap {
 		out[i] = z
 	}
 	return out
+}
+
+// Extend returns a partition covering t's current row count: a copy of
+// p whose last shard absorbs the appended rows [p.NumRows(), newN),
+// with their values folded into that shard's zone maps. The receiver is
+// never mutated — callers publish the extended partition atomically, so
+// readers holding the old one keep a consistent (shorter) view. Zone
+// maps only widen, so plans stay conservative for both.
+func (p *Partition) Extend(t *relation.Table, newN int) *Partition {
+	oldN := p.n
+	if newN <= oldN || len(p.shards) == 0 {
+		return p
+	}
+	shards := append([]Shard(nil), p.shards...)
+	last := &shards[len(shards)-1]
+	zones := make(map[string]ZoneMap, len(last.zones))
+	for name, z := range last.zones {
+		cur := relation.NewFloatCursor(t.FloatReader(name))
+		for r := oldN; r < newN; r++ {
+			z.observe(cur.At(r))
+		}
+		zones[name] = z
+	}
+	last.Hi, last.zones = newN, zones
+	return &Partition{n: newN, shards: shards}
 }
 
 // Count returns the number of shards.

@@ -54,6 +54,18 @@ SESSION="$(curl -sf "http://$ADDR/api/query" -d '{"db":"ebiz","q":"Columbus LCD"
 [ -n "$SESSION" ]
 curl -sf "http://$ADDR/api/explore" -d "{\"session\":\"$SESSION\",\"pick\":1}" >/dev/null
 curl -sf "http://$ADDR/api/suggest" -d '{"db":"ebiz","prefix":"col"}' >/dev/null || true
+# One accepted ingest batch (a TRANSITEM row in fact-schema order) and
+# one rejected batch: the kdap_ingest_* acceptance counters register at
+# wiring time, but kdap_ingest_rejected_total only materializes on the
+# first rejection, so both directions of that family need traffic too.
+curl -sf "http://$ADDR/api/ingest" \
+  -d '{"db":"ebiz","rows":[[4001, 1, 1, 1, 9.99]]}' >/dev/null
+REJECT_STATUS="$(curl -s -o /dev/null -w '%{http_code}' \
+  "http://$ADDR/api/ingest" -d '{"db":"ebiz","rows":[]}')"
+[ "$REJECT_STATUS" = 400 ] || {
+  echo "empty ingest batch returned $REJECT_STATUS, want 400" >&2
+  exit 1
+}
 
 # Exposed families: metric names at line start, histogram series
 # collapsed onto their family name.
