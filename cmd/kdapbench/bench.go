@@ -85,6 +85,12 @@ type benchFile struct {
 	// Written by `-exp ingest`; the nightly gate re-runs the whole
 	// measurement.
 	Ingest *ingestBench `json:"ingest,omitempty"`
+	// Cluster pins the distributed rung (see cluster.go): fingerprint
+	// parity of a 2-worker scatter-gather topology against a monolithic
+	// engine over the full workload, plus the cold-explore latency
+	// ladder at 1/2/4 loopback workers. Written by `-exp cluster`; the
+	// nightly gate re-runs parity and holds the 2-worker ratio.
+	Cluster *clusterBench `json:"cluster,omitempty"`
 }
 
 // kernelSweepEntry is one GOMAXPROCS point of the kernel sweep.
@@ -473,6 +479,7 @@ func benchJSON() error {
 		if json.Unmarshal(prev, &old) == nil {
 			out.Segments = old.Segments
 			out.Ingest = old.Ingest
+			out.Cluster = old.Cluster
 		}
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
@@ -650,6 +657,14 @@ func nightly() error {
 	// own verdicts — append throughput, the idle-vs-ingesting p50 ratio,
 	// fingerprint parity — are measured back-to-back inside its own run
 	// and tolerate ambient heap pressure.
+	// The cluster rung spins its own engines and loopback sockets; like
+	// ingest it is self-contained (parity and the 2-worker ratio are
+	// measured within one run), so it also goes after the absolute gates.
+	cluFailures, err := nightlyCluster(base.Cluster)
+	if err != nil {
+		return err
+	}
+	failures = append(failures, cluFailures...)
 	ingFailures, err := nightlyIngest(base.Ingest)
 	if err != nil {
 		return err

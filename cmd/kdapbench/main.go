@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kdapbench [-exp all|table1|table2|table3|fig4|fig4r|fig4sim|fig5|fig6|fig7|merge|latency|discover|calibrate|qps|bench|segments|ingest|nightly]
+//	kdapbench [-exp all|table1|table2|table3|fig4|fig4r|fig4sim|fig5|fig6|fig7|merge|latency|discover|calibrate|qps|bench|segments|ingest|cluster|nightly]
 //
 // The output is what EXPERIMENTS.md records as "measured".
 package main
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, calibrate, qps, bench, segments, ingest, nightly")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig4, fig4r, fig4sim, fig5, fig6, fig7, merge, latency, discover, calibrate, qps, bench, segments, ingest, cluster, nightly")
 	flag.Parse()
 
 	// nightly is a gate, not an experiment: it never runs under "all"
@@ -83,6 +83,12 @@ func main() {
 	// asked by name; it rewrites only BENCH.json's "ingest" section.
 	if *exp == "ingest" {
 		run("ingest", ingestJSON)
+	}
+	// cluster boots loopback worker topologies and runs the full 50-query
+	// parity sweep through real sockets, so it also only runs when asked
+	// by name; it rewrites only BENCH.json's "cluster" section.
+	if *exp == "cluster" {
+		run("cluster", clusterJSON)
 	}
 	run("bench", benchJSON)
 }

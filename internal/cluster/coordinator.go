@@ -1,0 +1,444 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kdap/internal/kdapcore"
+	"kdap/internal/olap"
+	"kdap/internal/telemetry"
+	"kdap/internal/telemetry/profile"
+)
+
+// Options tunes the coordinator's dispatch behavior.
+type Options struct {
+	// NodeTimeout is the hard per-node deadline for one scatter leg;
+	// <= 0 means 2s.
+	NodeTimeout time.Duration
+	// HedgeAfter is the soft deadline after which the coordinator
+	// launches a concurrent local re-scan of the slow node's range and
+	// takes whichever finishes first; <= 0 disables hedging.
+	HedgeAfter time.Duration
+	// HealthEvery is the background health-poll period; <= 0 means 2s.
+	HealthEvery time.Duration
+	// Fallback re-scans a failed node's range on the coordinator so the
+	// answer stays complete; when false a lost node degrades the answer
+	// instead (DegradedError → Facets.Partial for opted-in explores).
+	Fallback bool
+}
+
+// DefaultOptions is the production posture: 2s hard deadline, 500ms
+// hedge, local fallback on.
+func DefaultOptions() Options {
+	return Options{
+		NodeTimeout: 2 * time.Second,
+		HedgeAfter:  500 * time.Millisecond,
+		HealthEvery: 2 * time.Second,
+		Fallback:    true,
+	}
+}
+
+// Cluster is the coordinator half of scatter-gather: it owns the worker
+// address list (list order is shard order — workers[i] owns range i of
+// len(workers)), the local engines used for fallback and hedged
+// re-scans, and the per-node health view maintained by a background
+// poller.
+//
+// The shard map is fixed at construction from the coordinator's own
+// fact-table sizes: the distributed prefix is [0, base) split by the
+// floor partition, and rows ingested after startup — the tail
+// [base, FactLen) — are always scanned coordinator-locally, so
+// streaming ingest needs no cluster-wide coordination.
+type Cluster struct {
+	workers []string
+	local   map[string]*kdapcore.Engine
+	opts    Options
+	base    map[string]int // fact rows at construction, per db
+
+	healthy []atomic.Bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	mFanout  *telemetry.Counter
+	mHedged  *telemetry.Counter
+	mPartial *telemetry.Counter
+	mNodeErr []*telemetry.Counter
+	mNodeSec []*telemetry.Histogram
+}
+
+// New builds a coordinator over workers (shard order = slice order) and
+// the local engines (which double as the fallback scan path). The
+// background health poller starts immediately; nodes begin optimistic
+// (healthy) so a cold start does not shed to fallback before the first
+// poll.
+func New(workers []string, local map[string]*kdapcore.Engine, opts Options) *Cluster {
+	if opts.NodeTimeout <= 0 {
+		opts.NodeTimeout = 2 * time.Second
+	}
+	if opts.HealthEvery <= 0 {
+		opts.HealthEvery = 2 * time.Second
+	}
+	c := &Cluster{
+		workers: workers,
+		local:   local,
+		opts:    opts,
+		base:    make(map[string]int, len(local)),
+		healthy: make([]atomic.Bool, len(workers)),
+		stop:    make(chan struct{}),
+	}
+	for db, e := range local {
+		c.base[db] = e.Executor().FactLen()
+	}
+	for i := range c.healthy {
+		c.healthy[i].Store(true)
+	}
+	c.wg.Add(1)
+	go c.healthLoop()
+	return c
+}
+
+// Close stops the health poller.
+func (c *Cluster) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	c.wg.Wait()
+}
+
+// Workers returns the worker address list in shard order.
+func (c *Cluster) Workers() []string { return append([]string(nil), c.workers...) }
+
+// WireMetrics registers every kdap_cluster_* family eagerly — including
+// the per-node error counters and latency histograms for each
+// configured worker — so the full surface is visible on /metrics from
+// the first scrape, not only after the first fault.
+func (c *Cluster) WireMetrics(reg *telemetry.Registry) {
+	c.mFanout = reg.Counter("kdap_cluster_fanout_total",
+		"Scatter-gather fan-outs dispatched to cluster workers.")
+	c.mHedged = reg.Counter("kdap_cluster_hedged_total",
+		"Hedged local re-scans launched after a worker exceeded the soft deadline.")
+	c.mPartial = reg.Counter("kdap_cluster_partial_answers_total",
+		"Explore answers served partial with degraded-node attribution.")
+	c.mNodeErr = make([]*telemetry.Counter, len(c.workers))
+	c.mNodeSec = make([]*telemetry.Histogram, len(c.workers))
+	for i, addr := range c.workers {
+		c.mNodeErr[i] = reg.Counter("kdap_cluster_node_errors_total",
+			"Failed worker dispatches (deadline, refusal, connection loss) by node.",
+			"node", addr)
+		c.mNodeSec[i] = reg.Histogram("kdap_cluster_node_seconds",
+			"Per-node scatter leg latency.", nil,
+			"node", addr)
+	}
+}
+
+// PartialAnswer records one partial answer served to a client; the
+// server calls it when an explore response carries degraded nodes.
+func (c *Cluster) PartialAnswer() {
+	if c.mPartial != nil {
+		c.mPartial.Inc()
+	}
+}
+
+// Scatterer returns db's kdapcore.RowScatterer, or nil when db is not
+// served locally (no fallback path would exist).
+func (c *Cluster) Scatterer(db string) kdapcore.RowScatterer {
+	if c.local[db] == nil {
+		return nil
+	}
+	return &scatterer{c: c, db: db}
+}
+
+// scatterer binds the cluster to one warehouse.
+type scatterer struct {
+	c  *Cluster
+	db string
+}
+
+func (s *scatterer) ScatterRows(ctx context.Context, cs []olap.Constraint, filters []kdapcore.NumericFilter) ([]int, error) {
+	return s.c.scatterRows(ctx, s.db, cs, filters)
+}
+
+// nodeResult is one gathered scatter leg.
+type nodeResult struct {
+	rows   []int
+	failed bool  // node lost with no fallback: degrade
+	err    error // hard error: abort the whole scatter
+}
+
+// scatterRows fans the materialization out to every node owning a
+// non-empty range, gathers in shard order, and appends the
+// coordinator-local ingest tail. Rows lost to a failed node (fallback
+// off) surface as a DegradedError carrying the surviving rows.
+func (c *Cluster) scatterRows(ctx context.Context, db string, cs []olap.Constraint, filters []kdapcore.NumericFilter) ([]int, error) {
+	e := c.local[db]
+	base := c.base[db]
+	if c.mFanout != nil {
+		c.mFanout.Inc()
+	}
+	profile.FromContext(ctx).AddClusterScatter(len(c.workers))
+
+	results := make([]nodeResult, len(c.workers))
+	var wg sync.WaitGroup
+	for i := range c.workers {
+		lo, hi := shardRange(base, i, len(c.workers))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			results[i] = c.nodeRows(ctx, db, i, lo, hi, cs, filters)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+
+	var gathered []int
+	var failed []string
+	for i, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.failed {
+			failed = append(failed, c.workers[i])
+			continue
+		}
+		gathered = append(gathered, r.rows...)
+	}
+
+	// Ingest tail: rows appended after the shard map was fixed are
+	// outside every node's range and always scanned locally.
+	if cur := e.Executor().FactLen(); cur > base {
+		tail, err := e.FactRowsRange(ctx, cs, filters, base, cur)
+		if err != nil {
+			return nil, err
+		}
+		gathered = append(gathered, tail...)
+	}
+
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		return nil, &kdapcore.DegradedError{Nodes: failed, Rows: gathered}
+	}
+	return gathered, nil
+}
+
+// nodeRows produces one node's leg: remote scan with a hard per-node
+// deadline, an optional hedged local re-scan after the soft deadline,
+// and a local fallback re-scan when the node fails outright. Exactly
+// one of rows/failed/err is meaningful in the result.
+func (c *Cluster) nodeRows(ctx context.Context, db string, idx, lo, hi int, cs []olap.Constraint, filters []kdapcore.NumericFilter) nodeResult {
+	type attempt struct {
+		rows []int
+		err  error
+	}
+
+	if c.healthy[idx].Load() {
+		nctx, cancel := context.WithTimeout(ctx, c.opts.NodeTimeout)
+		ch := make(chan attempt, 2)
+		pending := 1
+		go func() {
+			start := time.Now()
+			rows, err := c.fetchRows(nctx, idx, db, lo, hi, cs, filters)
+			if c.mNodeSec != nil {
+				c.mNodeSec[idx].Observe(time.Since(start).Seconds())
+			}
+			ch <- attempt{rows, err}
+		}()
+		var hedge <-chan time.Time
+		if c.opts.HedgeAfter > 0 {
+			hedge = time.After(c.opts.HedgeAfter)
+		}
+		var lastErr error
+		for pending > 0 {
+			select {
+			case a := <-ch:
+				pending--
+				if a.err == nil {
+					cancel()
+					return nodeResult{rows: a.rows}
+				}
+				lastErr = a.err
+			case <-hedge:
+				hedge = nil
+				pending++
+				if c.mHedged != nil {
+					c.mHedged.Inc()
+				}
+				profile.FromContext(ctx).AddClusterHedged()
+				go func() {
+					rows, err := c.local[db].FactRowsRange(nctx, cs, filters, lo, hi)
+					ch <- attempt{rows, err}
+				}()
+			}
+		}
+		cancel()
+		c.nodeError(ctx, idx)
+		// The node (and any hedge) failed inside the node deadline; if
+		// the request itself is dead, abort rather than re-scan.
+		if ctx.Err() != nil {
+			return nodeResult{err: ctx.Err()}
+		}
+		_ = lastErr
+	} else {
+		c.nodeError(ctx, idx)
+	}
+
+	if !c.opts.Fallback {
+		return nodeResult{failed: true}
+	}
+	rows, err := c.local[db].FactRowsRange(ctx, cs, filters, lo, hi)
+	if err != nil {
+		return nodeResult{err: err}
+	}
+	return nodeResult{rows: rows}
+}
+
+// nodeError records one failed dispatch against node idx.
+func (c *Cluster) nodeError(ctx context.Context, idx int) {
+	if c.mNodeErr != nil {
+		c.mNodeErr[idx].Inc()
+	}
+	profile.FromContext(ctx).AddClusterNodeError(c.workers[idx])
+}
+
+// fetchRows performs one remote opRows round trip and validates the
+// response: echoed range, count integrity, and strictly ascending rows
+// inside the range — a corrupt or misconfigured worker surfaces as a
+// node error, never as silently wrong rows.
+func (c *Cluster) fetchRows(ctx context.Context, idx int, db string, lo, hi int, cs []olap.Constraint, filters []kdapcore.NumericFilter) ([]int, error) {
+	payload, err := c.roundTrip(ctx, c.workers[idx],
+		encodeRowsRequest(&rowsRequest{DB: db, Lo: lo, Hi: hi, Cs: cs, Filters: filters}), opRows)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeRowsResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Lo != lo || resp.Hi != hi {
+		return nil, fmt.Errorf("cluster: node %s answered range [%d,%d), want [%d,%d)",
+			c.workers[idx], resp.Lo, resp.Hi, lo, hi)
+	}
+	if int(resp.Count) != len(resp.Rows) {
+		return nil, fmt.Errorf("cluster: node %s count %d != %d rows",
+			c.workers[idx], resp.Count, len(resp.Rows))
+	}
+	prev := lo - 1
+	for _, r := range resp.Rows {
+		if r <= prev || r >= hi {
+			return nil, fmt.Errorf("cluster: node %s returned row %d outside ascending [%d,%d)",
+				c.workers[idx], r, lo, hi)
+		}
+		prev = r
+	}
+	return resp.Rows, nil
+}
+
+// roundTrip dials addr, sends one request frame, and returns the
+// decoded success body. The connection honors both the context deadline
+// and early cancellation.
+func (c *Cluster) roundTrip(ctx context.Context, addr string, req []byte, op byte) (*wireDecoder, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if err := writeFrame(conn, req); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResponse(payload, op)
+}
+
+// fetchHealth performs one opHealth round trip.
+func (c *Cluster) fetchHealth(ctx context.Context, addr string) (*healthResponse, error) {
+	payload, err := c.roundTrip(ctx, addr, encodeHealthRequest(), opHealth)
+	if err != nil {
+		return nil, err
+	}
+	return decodeHealthResponse(payload)
+}
+
+// healthLoop polls every worker on a timer and flips the per-node
+// health bits that gate dispatch: an unhealthy node is skipped (and
+// falls back or degrades) without paying the hard deadline first.
+func (c *Cluster) healthLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for i, addr := range c.workers {
+			ctx, cancel := context.WithTimeout(context.Background(), c.opts.NodeTimeout)
+			_, err := c.fetchHealth(ctx, addr)
+			cancel()
+			c.healthy[i].Store(err == nil)
+		}
+	}
+}
+
+// Verify health-checks every worker and cross-checks its reported
+// topology — index, total, and each warehouse's fact-row count and
+// shard range — against the coordinator's own expectation. Run at
+// startup before serving traffic; a stale worker (different dataset, or
+// a different floor partition) is a consistency bug, not a runtime
+// degradation, and must refuse to form a cluster.
+func (c *Cluster) Verify(ctx context.Context) error {
+	var problems []string
+	for i, addr := range c.workers {
+		h, err := c.fetchHealth(ctx, addr)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("node %s: %v", addr, err))
+			continue
+		}
+		if h.Index != i || h.Total != len(c.workers) {
+			problems = append(problems,
+				fmt.Sprintf("node %s: reports shard %d/%d, want %d/%d",
+					addr, h.Index, h.Total, i, len(c.workers)))
+			continue
+		}
+		reported := make(map[string]healthDB, len(h.DBs))
+		for _, db := range h.DBs {
+			reported[db.Name] = db
+		}
+		for db, rows := range c.base {
+			r, ok := reported[db]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("node %s: missing db %q", addr, db))
+				continue
+			}
+			wantLo, wantHi := shardRange(rows, i, len(c.workers))
+			if r.FactRows != rows || r.Lo != wantLo || r.Hi != wantHi {
+				problems = append(problems,
+					fmt.Sprintf("node %s db %q: reports %d rows [%d,%d), want %d rows [%d,%d)",
+						addr, db, r.FactRows, r.Lo, r.Hi, rows, wantLo, wantHi))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("cluster: topology verification failed:\n  %s",
+			strings.Join(problems, "\n  "))
+	}
+	return nil
+}

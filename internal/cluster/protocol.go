@@ -1,0 +1,525 @@
+// Package cluster lifts KDAP's in-process shard boundary across the
+// network: a coordinator fans fact-row materialization out to worker
+// kdapd nodes that each own a contiguous fact-row range (dimension
+// tables are replicated, so the star-net semijoin never leaves a node),
+// gathers the partial row sets in shard order, and hands the
+// concatenation back to kdapcore — where every float kernel still runs,
+// so distributed answers are byte-identical to monolithic ones. The
+// Facets.Fingerprint oracle holds that contract in CI.
+//
+// This file is the wire protocol. Frames are u32 little-endian
+// length-prefixed; every request payload opens with the version magic
+// and an op byte, and the canonical scalar encodings (u32-length
+// strings, kind-tagged relation values, little-endian fixed ints)
+// mirror the persist segment manifest so the two on-the-wire formats in
+// the repo read the same way.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"kdap/internal/kdapcore"
+	"kdap/internal/olap"
+	"kdap/internal/relation"
+	"kdap/internal/schemagraph"
+)
+
+// netMagic versions the protocol; a coordinator and worker disagreeing
+// on encoding fail loudly at the first frame instead of mis-decoding.
+const netMagic = "KDAPNET1"
+
+// Ops. A response frame echoes the op it answers.
+const (
+	opHealth byte = 1 // node health + per-db shard-range report
+	opRows   byte = 2 // scatter: materialize the node's fact-row range
+)
+
+// Response status bytes.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// maxFrame bounds a frame payload so a corrupt or hostile length prefix
+// cannot balloon an allocation. 64 MiB comfortably fits the largest
+// row-set response (delta-uvarint IDs for millions of rows).
+const maxFrame = 64 << 20
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("cluster: frame %d bytes exceeds %d", len(payload), maxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("cluster: frame length %d exceeds %d", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// wireEncoder builds a frame payload. Append-only, mirroring the
+// persist manifestEncoder.
+type wireEncoder struct{ buf []byte }
+
+func (e *wireEncoder) u8(v byte)     { e.buf = append(e.buf, v) }
+func (e *wireEncoder) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *wireEncoder) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *wireEncoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *wireEncoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+func (e *wireEncoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// value encodes a relation.Value as kind byte + payload, the same shape
+// the segment manifest uses.
+func (e *wireEncoder) value(v relation.Value) {
+	e.u8(byte(v.Kind()))
+	switch v.Kind() {
+	case relation.KindNull:
+	case relation.KindString:
+		e.str(v.Str())
+	case relation.KindInt:
+		e.u64(uint64(v.IntVal()))
+	case relation.KindFloat:
+		e.f64(v.FloatVal())
+	case relation.KindBool:
+		if v.BoolVal() {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	}
+}
+
+func (e *wireEncoder) joinPath(p schemagraph.JoinPath) {
+	e.str(p.Source)
+	e.str(p.Dim)
+	e.str(p.Role)
+	e.u32(uint32(len(p.Hops)))
+	for _, h := range p.Hops {
+		e.str(h.FromTable)
+		e.str(h.FromCol)
+		e.str(h.ToTable)
+		e.str(h.ToCol)
+	}
+}
+
+func (e *wireEncoder) constraint(c olap.Constraint) {
+	e.str(c.Table)
+	e.str(c.Attr)
+	e.u32(uint32(len(c.Values)))
+	for _, v := range c.Values {
+		e.value(v)
+	}
+	e.joinPath(c.Path)
+}
+
+func (e *wireEncoder) filter(f kdapcore.NumericFilter) {
+	e.str(f.Raw)
+	e.str(f.Attr.Table)
+	e.str(f.Attr.Attr)
+	e.str(f.Role)
+	e.joinPath(f.Path)
+	if f.OnFact {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u8(byte(f.Op))
+	e.f64(f.Value)
+}
+
+// rows encodes an ascending row-ID set as count + delta uvarints.
+func (e *wireEncoder) rows(rows []int) {
+	e.u32(uint32(len(rows)))
+	prev := 0
+	for _, r := range rows {
+		e.uvarint(uint64(r - prev))
+		prev = r
+	}
+}
+
+// wireDecoder consumes a frame payload with bounds checking; the first
+// failure sticks and every later read returns the zero value.
+type wireDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+var errTruncated = errors.New("cluster: truncated frame")
+
+func (d *wireDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = errTruncated
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *wireDecoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *wireDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *wireDecoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *wireDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *wireDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = errTruncated
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *wireDecoder) str() string {
+	n := d.u32()
+	b := d.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *wireDecoder) value() relation.Value {
+	switch relation.Kind(d.u8()) {
+	case relation.KindNull:
+		return relation.Null()
+	case relation.KindString:
+		return relation.String(d.str())
+	case relation.KindInt:
+		return relation.Int(int64(d.u64()))
+	case relation.KindFloat:
+		return relation.Float(d.f64())
+	case relation.KindBool:
+		return relation.Bool(d.u8() != 0)
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("cluster: unknown value kind")
+		}
+		return relation.Null()
+	}
+}
+
+func (d *wireDecoder) joinPath() schemagraph.JoinPath {
+	var p schemagraph.JoinPath
+	p.Source = d.str()
+	p.Dim = d.str()
+	p.Role = d.str()
+	n := int(d.u32())
+	if d.err != nil || n > maxFrame/16 {
+		if d.err == nil {
+			d.err = errTruncated
+		}
+		return p
+	}
+	for i := 0; i < n; i++ {
+		p.Hops = append(p.Hops, schemagraph.Hop{
+			FromTable: d.str(), FromCol: d.str(),
+			ToTable: d.str(), ToCol: d.str(),
+		})
+	}
+	return p
+}
+
+func (d *wireDecoder) constraint() olap.Constraint {
+	var c olap.Constraint
+	c.Table = d.str()
+	c.Attr = d.str()
+	n := int(d.u32())
+	if d.err != nil || n > maxFrame/2 {
+		if d.err == nil {
+			d.err = errTruncated
+		}
+		return c
+	}
+	for i := 0; i < n; i++ {
+		c.Values = append(c.Values, d.value())
+	}
+	c.Path = d.joinPath()
+	return c
+}
+
+func (d *wireDecoder) filter() kdapcore.NumericFilter {
+	var f kdapcore.NumericFilter
+	f.Raw = d.str()
+	f.Attr.Table = d.str()
+	f.Attr.Attr = d.str()
+	f.Role = d.str()
+	f.Path = d.joinPath()
+	f.OnFact = d.u8() != 0
+	f.Op = kdapcore.FilterOp(d.u8())
+	f.Value = d.f64()
+	return f
+}
+
+func (d *wireDecoder) rows() []int {
+	n := int(d.u32())
+	if d.err != nil || n > maxFrame {
+		if d.err == nil {
+			d.err = errTruncated
+		}
+		return nil
+	}
+	out := make([]int, 0, n)
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		prev += d.uvarint()
+		out = append(out, int(prev))
+	}
+	return out
+}
+
+// rowsRequest is the opRows payload: materialize db's fact rows in
+// [Lo, Hi) under the constraint set and numeric filters.
+type rowsRequest struct {
+	DB      string
+	Lo, Hi  int
+	Cs      []olap.Constraint
+	Filters []kdapcore.NumericFilter
+}
+
+func encodeRowsRequest(req *rowsRequest) []byte {
+	var e wireEncoder
+	e.buf = append(e.buf, netMagic...)
+	e.u8(opRows)
+	e.str(req.DB)
+	e.u64(uint64(req.Lo))
+	e.u64(uint64(req.Hi))
+	e.u32(uint32(len(req.Cs)))
+	for _, c := range req.Cs {
+		e.constraint(c)
+	}
+	e.u32(uint32(len(req.Filters)))
+	for _, f := range req.Filters {
+		e.filter(f)
+	}
+	return e.buf
+}
+
+// decodeRequest validates the magic and returns the op plus a decoder
+// positioned at the op-specific body.
+func decodeRequest(payload []byte) (byte, *wireDecoder, error) {
+	d := &wireDecoder{buf: payload}
+	magic := d.take(len(netMagic))
+	if d.err != nil || string(magic) != netMagic {
+		return 0, nil, fmt.Errorf("cluster: bad protocol magic")
+	}
+	op := d.u8()
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	return op, d, nil
+}
+
+func decodeRowsRequest(d *wireDecoder) (*rowsRequest, error) {
+	var req rowsRequest
+	req.DB = d.str()
+	req.Lo = int(d.u64())
+	req.Hi = int(d.u64())
+	nc := int(d.u32())
+	if d.err != nil || nc > maxFrame/8 {
+		return nil, errTruncated
+	}
+	for i := 0; i < nc; i++ {
+		req.Cs = append(req.Cs, d.constraint())
+	}
+	nf := int(d.u32())
+	if d.err != nil || nf > maxFrame/8 {
+		return nil, errTruncated
+	}
+	for i := 0; i < nf; i++ {
+		req.Filters = append(req.Filters, d.filter())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &req, nil
+}
+
+// rowsResponse is the opRows success body: the node's range, the
+// qualifying row IDs, and a partial aggregate (count + measure sum)
+// over them. The partial aggregate is observability and integrity
+// payload only — facet math runs on the coordinator over the gathered
+// rows, never over these partials — so Count doubles as an integrity
+// check (it must equal len(Rows)).
+type rowsResponse struct {
+	Lo, Hi int
+	Rows   []int
+	Count  uint64
+	Sum    float64
+}
+
+func encodeRowsResponse(resp *rowsResponse) []byte {
+	var e wireEncoder
+	e.u8(opRows)
+	e.u8(statusOK)
+	e.u64(uint64(resp.Lo))
+	e.u64(uint64(resp.Hi))
+	e.rows(resp.Rows)
+	e.u64(resp.Count)
+	e.f64(resp.Sum)
+	return e.buf
+}
+
+func decodeRowsResponse(d *wireDecoder) (*rowsResponse, error) {
+	var resp rowsResponse
+	resp.Lo = int(d.u64())
+	resp.Hi = int(d.u64())
+	resp.Rows = d.rows()
+	resp.Count = d.u64()
+	resp.Sum = d.f64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &resp, nil
+}
+
+// encodeError builds an error response for op.
+func encodeError(op byte, msg string) []byte {
+	var e wireEncoder
+	e.u8(op)
+	e.u8(statusErr)
+	e.str(msg)
+	return e.buf
+}
+
+// decodeResponse validates a response frame against the op it answers
+// and returns a decoder positioned at the success body.
+func decodeResponse(payload []byte, op byte) (*wireDecoder, error) {
+	d := &wireDecoder{buf: payload}
+	if got := d.u8(); d.err == nil && got != op {
+		return nil, fmt.Errorf("cluster: response op %d, want %d", got, op)
+	}
+	status := d.u8()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if status != statusOK {
+		msg := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("cluster: worker error: %s", msg)
+	}
+	return d, nil
+}
+
+// healthDB is one warehouse's shard assignment as a worker reports it.
+type healthDB struct {
+	Name     string
+	FactRows int
+	Lo, Hi   int
+}
+
+// healthResponse is the opHealth success body: admission state plus the
+// per-db ranges the worker owns, which the coordinator cross-checks
+// against its own expectation in Verify.
+type healthResponse struct {
+	Index    int
+	Total    int
+	Inflight int
+	DBs      []healthDB
+}
+
+func encodeHealthRequest() []byte {
+	var e wireEncoder
+	e.buf = append(e.buf, netMagic...)
+	e.u8(opHealth)
+	return e.buf
+}
+
+func encodeHealthResponse(h *healthResponse) []byte {
+	var e wireEncoder
+	e.u8(opHealth)
+	e.u8(statusOK)
+	e.u32(uint32(h.Index))
+	e.u32(uint32(h.Total))
+	e.u32(uint32(h.Inflight))
+	e.u32(uint32(len(h.DBs)))
+	for _, db := range h.DBs {
+		e.str(db.Name)
+		e.u64(uint64(db.FactRows))
+		e.u64(uint64(db.Lo))
+		e.u64(uint64(db.Hi))
+	}
+	return e.buf
+}
+
+func decodeHealthResponse(d *wireDecoder) (*healthResponse, error) {
+	var h healthResponse
+	h.Index = int(d.u32())
+	h.Total = int(d.u32())
+	h.Inflight = int(d.u32())
+	n := int(d.u32())
+	if d.err != nil || n > maxFrame/16 {
+		return nil, errTruncated
+	}
+	for i := 0; i < n; i++ {
+		h.DBs = append(h.DBs, healthDB{
+			Name:     d.str(),
+			FactRows: int(d.u64()),
+			Lo:       int(d.u64()),
+			Hi:       int(d.u64()),
+		})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &h, nil
+}

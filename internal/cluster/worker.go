@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"kdap/internal/kdapcore"
+	"kdap/internal/olap"
+)
+
+// shardRange computes worker index's contiguous slice of an n-row fact
+// table under the total-node floor partition: [floor(n·i/t), floor(n·(i+1)/t)).
+// Coordinator and worker both derive ranges from this one formula, so a
+// node that never answers still has a well-defined range for fallback.
+func shardRange(rows, index, total int) (lo, hi int) {
+	if total <= 0 {
+		return 0, rows
+	}
+	return rows * index / total, rows * (index + 1) / total
+}
+
+// Worker serves the node side of the scatter protocol: it owns shard
+// range index/total of every warehouse it loaded (dimension tables are
+// fully replicated by loading the whole warehouse, so the semijoin in
+// FactRowsRange never leaves the node) and answers opRows by scanning
+// only its range.
+type Worker struct {
+	engines  map[string]*kdapcore.Engine
+	index    int
+	total    int
+	inflight atomic.Int64
+	maxInfl  int64
+
+	// faultHook, when set, runs before each op is served; a non-nil
+	// error makes the worker drop the connection without responding —
+	// the deterministic stand-in for a node dying mid-request that the
+	// degradation tests inject.
+	faultHook atomic.Pointer[func(op byte) error]
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewWorker builds a worker owning shard range index of total for each
+// engine. maxInflight bounds concurrently served requests (0 means a
+// small default); excess requests get a busy error so the coordinator's
+// admission-aware dispatch can fall back instead of queueing blind.
+func NewWorker(engines map[string]*kdapcore.Engine, index, total, maxInflight int) *Worker {
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	return &Worker{
+		engines: engines,
+		index:   index,
+		total:   total,
+		maxInfl: int64(maxInflight),
+		conns:   make(map[net.Conn]bool),
+	}
+}
+
+// SetFaultHook installs (or clears, with nil) the test fault injector.
+func (w *Worker) SetFaultHook(hook func(op byte) error) {
+	if hook == nil {
+		w.faultHook.Store(nil)
+		return
+	}
+	w.faultHook.Store(&hook)
+}
+
+// Range returns the worker's shard range for db (0,0 when the db is
+// unknown).
+func (w *Worker) Range(db string) (lo, hi int) {
+	e := w.engines[db]
+	if e == nil {
+		return 0, 0
+	}
+	return shardRange(e.Executor().FactLen(), w.index, w.total)
+}
+
+// Serve accepts and serves connections on ln until Close. It always
+// returns a non-nil error (net.ErrClosed after a clean Close).
+func (w *Worker) Serve(ln net.Listener) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	w.ln = ln
+	w.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		w.conns[conn] = true
+		w.wg.Add(1)
+		w.mu.Unlock()
+		go w.serveConn(conn)
+	}
+}
+
+// Close stops the listener, closes live connections, and waits for
+// in-flight handlers to drain.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	ln := w.ln
+	for c := range w.conns {
+		c.Close()
+	}
+	w.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	w.wg.Wait()
+	return nil
+}
+
+func (w *Worker) dropConn(conn net.Conn) {
+	conn.Close()
+	w.mu.Lock()
+	delete(w.conns, conn)
+	w.mu.Unlock()
+	w.wg.Done()
+}
+
+// serveConn runs the per-connection frame loop: one request frame in,
+// one response frame out, until the peer hangs up.
+func (w *Worker) serveConn(conn net.Conn) {
+	defer w.dropConn(conn)
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		op, d, err := decodeRequest(payload)
+		if err != nil {
+			// Version or framing mismatch: nothing sane to echo back.
+			return
+		}
+		if hook := w.faultHook.Load(); hook != nil {
+			if herr := (*hook)(op); herr != nil {
+				return // simulate the node dying: vanish without a response
+			}
+		}
+		resp := w.dispatch(op, d)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch serves one decoded request and returns the response payload.
+func (w *Worker) dispatch(op byte, d *wireDecoder) []byte {
+	switch op {
+	case opHealth:
+		return encodeHealthResponse(w.health())
+	case opRows:
+		if n := w.inflight.Add(1); n > w.maxInfl {
+			w.inflight.Add(-1)
+			return encodeError(op, "worker busy")
+		}
+		defer w.inflight.Add(-1)
+		req, err := decodeRowsRequest(d)
+		if err != nil {
+			return encodeError(op, err.Error())
+		}
+		resp, err := w.scanRows(req)
+		if err != nil {
+			return encodeError(op, err.Error())
+		}
+		return encodeRowsResponse(resp)
+	default:
+		return encodeError(op, fmt.Sprintf("unknown op %d", op))
+	}
+}
+
+func (w *Worker) health() *healthResponse {
+	h := &healthResponse{
+		Index:    w.index,
+		Total:    w.total,
+		Inflight: int(w.inflight.Load()),
+	}
+	for name, e := range w.engines {
+		rows := e.Executor().FactLen()
+		lo, hi := shardRange(rows, w.index, w.total)
+		h.DBs = append(h.DBs, healthDB{Name: name, FactRows: rows, Lo: lo, Hi: hi})
+	}
+	return h
+}
+
+// scanRows materializes the requested range node-locally. The request
+// carries the coordinator's [lo, hi) rather than trusting the worker's
+// own range arithmetic, so a topology mismatch surfaces as a range
+// mismatch in the response instead of silently wrong rows.
+func (w *Worker) scanRows(req *rowsRequest) (*rowsResponse, error) {
+	e := w.engines[req.DB]
+	if e == nil {
+		return nil, fmt.Errorf("unknown db %q", req.DB)
+	}
+	wantLo, wantHi := shardRange(e.Executor().FactLen(), w.index, w.total)
+	if req.Lo < wantLo || req.Hi > wantHi {
+		return nil, fmt.Errorf("range [%d,%d) outside owned [%d,%d)",
+			req.Lo, req.Hi, wantLo, wantHi)
+	}
+	rows, err := e.FactRowsRange(context.Background(), req.Cs, req.Filters, req.Lo, req.Hi)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := e.Executor().AggregateCtx(context.Background(), rows, e.Measure(), olap.Sum)
+	if err != nil {
+		return nil, err
+	}
+	return &rowsResponse{
+		Lo:    req.Lo,
+		Hi:    req.Hi,
+		Rows:  rows,
+		Count: uint64(len(rows)),
+		Sum:   sum,
+	}, nil
+}

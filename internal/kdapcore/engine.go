@@ -50,6 +50,11 @@ type Engine struct {
 	// set (subspace semijoins and roll-up spaces alike) into one scan.
 	rowsFlight cache.Group[string, []int]
 
+	// scatter, when set (SetScatter), routes fact-row materializations
+	// through a cluster scatter-gatherer instead of local scans. See
+	// scatter.go for the exactness and degradation contract.
+	scatter RowScatterer
+
 	// Answer caches: finished Differentiate and Explore results, enabled
 	// by SetAnswerCache (nil = disabled). See answers.go.
 	diffAnswers *cache.Answers[[]*StarNet]
@@ -310,32 +315,52 @@ func (e *Engine) subspaceRowsCtx(ctx context.Context, sn *StarNet) ([]int, error
 	// Concurrent identical semijoins collapse into one scan; a cancelled
 	// leader's partial result is never shared (cache.Group's contract).
 	rows, _, err := e.rowsFlight.Do(ctx, sig, func(ctx context.Context) ([]int, error) {
-		// Numeric drills on fact (measure) columns become declarative bounds
-		// for the semijoin's shard planner: a shard whose zone map misses the
-		// bound interval is skipped before any bitset is intersected. The
-		// filters still run below, so the row set is exactly the unbounded
-		// semijoin's after filtering.
-		var bounds []shard.Bound
-		for _, nf := range sn.Filters {
-			if nf.OnFact {
-				lo, hi := nf.bounds()
-				bounds = append(bounds, shard.Bound{Col: nf.Attr.Attr, Lo: lo, Hi: hi})
-			}
-		}
-		rows, err := e.exec.FactRowsBoundedCtx(ctx, sn.Constraints(), bounds)
+		rows, err := e.materializeRows(ctx, sn.Constraints(), sn.Filters)
 		if err != nil {
 			return nil, err
-		}
-		if len(sn.Filters) > 0 {
-			rows, err = e.applyFiltersCtx(ctx, rows, sn.Filters)
-			if err != nil {
-				return nil, err
-			}
 		}
 		e.rowsCache.Put(sig, rowsEntry{rows: rows, upTo: n})
 		return rows, nil
 	})
 	return rows, err
+}
+
+// materializeRows produces a constrained-and-filtered fact-row set —
+// through the cluster scatter-gatherer when one is configured, by local
+// scan otherwise. Both paths return byte-identical rows; a scatter that
+// lost nodes returns its partial rows inside a *DegradedError, which
+// the caller's early return keeps out of the rows cache.
+func (e *Engine) materializeRows(ctx context.Context, cs []olap.Constraint, filters []NumericFilter) ([]int, error) {
+	if e.scatter != nil {
+		_, sp := telemetry.StartSpan(ctx, "cluster_scatter")
+		defer sp.End()
+		// Workers apply the numeric filters per-row inside their range,
+		// so the gathered set is already the filtered materialization.
+		return e.scatter.ScatterRows(ctx, cs, filters)
+	}
+	// Numeric drills on fact (measure) columns become declarative bounds
+	// for the semijoin's shard planner: a shard whose zone map misses the
+	// bound interval is skipped before any bitset is intersected. The
+	// filters still run below, so the row set is exactly the unbounded
+	// semijoin's after filtering.
+	var bounds []shard.Bound
+	for _, nf := range filters {
+		if nf.OnFact {
+			lo, hi := nf.bounds()
+			bounds = append(bounds, shard.Bound{Col: nf.Attr.Attr, Lo: lo, Hi: hi})
+		}
+	}
+	rows, err := e.exec.FactRowsBoundedCtx(ctx, cs, bounds)
+	if err != nil {
+		return nil, err
+	}
+	if len(filters) > 0 {
+		rows, err = e.applyFiltersCtx(ctx, rows, filters)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }
 
 // extendRowsEntry grows a cached fact-row set to the current fact
@@ -405,15 +430,9 @@ func (e *Engine) factRowsKeyed(ctx context.Context, key string, cs []olap.Constr
 		return e.extendRowsEntry(ctx, key, ent, n, cs, filters)
 	}
 	rows, _, err := e.rowsFlight.Do(ctx, key, func(ctx context.Context) ([]int, error) {
-		rows, err := e.exec.FactRowsCtx(ctx, cs)
+		rows, err := e.materializeRows(ctx, cs, filters)
 		if err != nil {
 			return nil, err
-		}
-		if len(filters) > 0 {
-			rows, err = e.applyFiltersCtx(ctx, rows, filters)
-			if err != nil {
-				return nil, err
-			}
 		}
 		e.rowsCache.Put(key, rowsEntry{rows: rows, upTo: n})
 		return rows, nil

@@ -165,9 +165,15 @@ type Facets struct {
 	// Dimensions appear in static (alphabetical) order, per §5.1.
 	Dimensions []*DimensionFacets
 	// Partial marks a result degraded by ExploreOptions.PartialOnDeadline:
-	// the deadline fired during attribute scoring and only the attributes
-	// scored so far are included.
+	// either the deadline fired during attribute scoring and only the
+	// attributes scored so far are included, or (under cluster execution)
+	// one or more worker nodes were lost and the facets cover only the
+	// surviving shard ranges.
 	Partial bool
+	// DegradedNodes attributes a cluster-degraded partial answer: the
+	// worker addresses whose shard ranges are missing from this result.
+	// Empty for complete answers and for deadline-only degradation.
+	DegradedNodes []string
 }
 
 // rollup is one background space RUP(DS'): the sub-dataspace generalized
@@ -209,9 +215,24 @@ func (e *Engine) exploreUncached(ctx context.Context, sn *StarNet, opts ExploreO
 		return nil, fmt.Errorf("kdap: non-positive explore options")
 	}
 	e.applySegmentBudget(opts)
+	// Under cluster execution, PartialOnDeadline also covers node loss:
+	// arming the context with a collector lets every row materialization
+	// below (the base semijoin and each roll-up space) accept a degraded
+	// scatter's surviving rows instead of failing, recording the lost
+	// nodes for attribution. Without the opt-in, node loss stays an
+	// error.
+	var dc *degradeCollector
+	if opts.PartialOnDeadline && e.scatter != nil {
+		dc = &degradeCollector{}
+		ctx = withDegradeCollector(ctx, dc)
+	}
 	rows, err := e.subspaceRowsCtx(ctx, sn)
 	if err != nil {
-		return nil, err
+		if dr, ok := degradedRows(ctx, err); ok {
+			rows = dr
+		} else {
+			return nil, err
+		}
 	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("kdap: empty sub-dataspace for %q", sn.Query)
@@ -364,6 +385,16 @@ func (e *Engine) exploreUncached(ctx context.Context, sn *StarNet, opts ExploreO
 			f.Dimensions = append(f.Dimensions, dfs[di])
 		}
 	}
+	// Node-loss degradation: any scatter that lost a node downgraded the
+	// whole answer to the surviving shard ranges. Mark it partial — the
+	// answer cache refuses partials, so a recovered cluster serves the
+	// complete answer again — and attribute the dead nodes.
+	if dc != nil {
+		if failed := dc.failed(); len(failed) > 0 {
+			f.Partial = true
+			f.DegradedNodes = failed
+		}
+	}
 	return f, nil
 }
 
@@ -413,7 +444,11 @@ func (e *Engine) buildRollupsCtx(ctx context.Context, sn *StarNet) ([]rollup, er
 	base := sn.Constraints() // merged: one constraint per attribute domain
 	baseRows, err := e.subspaceRowsCtx(ctx, sn)
 	if err != nil {
-		return nil, err
+		if dr, ok := degradedRows(ctx, err); ok {
+			baseRows = dr
+		} else {
+			return nil, err
+		}
 	}
 	var out []rollup
 	for i := range base {
@@ -436,7 +471,11 @@ func (e *Engine) buildRollupsCtx(ctx context.Context, sn *StarNet) ([]rollup, er
 			key = constraintsKey(cs, sn.Filters)
 			rows, err = e.factRowsKeyed(ctx, key, cs, sn.Filters)
 			if err != nil {
-				return nil, err
+				if dr, ok := degradedRows(ctx, err); ok {
+					rows = dr
+				} else {
+					return nil, err
+				}
 			}
 			if !ok || len(rows) > len(baseRows) {
 				break

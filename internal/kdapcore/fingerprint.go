@@ -15,8 +15,12 @@ import (
 // monolithic scan.
 func (f *Facets) Fingerprint() []byte {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "rows=%d agg=%s partial=%v\n",
+	fmt.Fprintf(&b, "rows=%d agg=%s partial=%v",
 		f.SubspaceSize, hexFloat(f.TotalAggregate), f.Partial)
+	if len(f.DegradedNodes) > 0 {
+		fmt.Fprintf(&b, " degraded=%v", f.DegradedNodes)
+	}
+	b.WriteByte('\n')
 	for _, d := range f.Dimensions {
 		fmt.Fprintf(&b, "dim %s hitted=%v\n", d.Dimension, d.Hitted)
 		for _, a := range d.Attributes {

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"kdap/internal/cache"
+	"kdap/internal/cluster"
 	"kdap/internal/dataset"
 	"kdap/internal/kdapcore"
 	"kdap/internal/olap"
@@ -101,6 +102,17 @@ type Options struct {
 	// queries /debug/queries calls "slow" are exactly the ones burning
 	// the error budget.
 	SLOTarget time.Duration
+	// ClusterWorkers, when non-empty, runs this server as a
+	// scatter-gather coordinator: fact-row materialization fans out to
+	// the listed worker nodes (slice order is shard order — workers[i]
+	// owns range i of len(workers)), while every float kernel still runs
+	// here, keeping answers byte-identical to a monolithic server. See
+	// docs/CLUSTER.md.
+	ClusterWorkers []string
+	// Cluster tunes coordinator dispatch (deadlines, hedging, fallback).
+	// Start from cluster.DefaultOptions(); ignored without
+	// ClusterWorkers.
+	Cluster cluster.Options
 }
 
 // DefaultOptions returns the defaults New uses: no deadline, no
@@ -127,6 +139,7 @@ type Server struct {
 	logger   *slog.Logger
 	start    time.Time
 	factRows map[string]int
+	cluster  *cluster.Cluster
 
 	// sessions is the CLOCK-evicted session store: under the cap, hot
 	// sessions (anything resolved or created within one sweep of the
@@ -213,6 +226,16 @@ func NewWithOptions(warehouses map[string]*dataset.Warehouse, opts Options) *Ser
 		if big != nil {
 			olap.ApplyTuning(olap.CalibrateThreshold(big.Executor(), big.Measure()))
 		}
+	}
+	if len(opts.ClusterWorkers) > 0 {
+		// The coordinator is built over the same engines that serve
+		// requests, so its fallback and hedged re-scans share every cache
+		// and shard structure with the local path.
+		s.cluster = cluster.New(opts.ClusterWorkers, s.engines, opts.Cluster)
+		for name, e := range s.engines {
+			e.SetScatter(s.cluster.Scatterer(name))
+		}
+		s.cluster.WireMetrics(s.reg)
 	}
 	s.handle("GET /{$}", "/", s.handleUI)
 	s.handle("GET /healthz", "/healthz", s.handleHealth)
@@ -329,6 +352,11 @@ func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
 // want to register process-level series alongside the engine metrics.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
+// Cluster returns the scatter-gather coordinator, or nil when the
+// server runs monolithic. kdapd uses it to Verify the topology before
+// serving and to Close the health poller on shutdown.
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -371,10 +399,14 @@ type FacetsDTO struct {
 	SubspaceSize   int                  `json:"subspaceSize"`
 	TotalAggregate float64              `json:"totalAggregate"`
 	Dimensions     []DimensionFacetsDTO `json:"dimensions"`
-	// Partial marks a deadline-degraded response (see exploreRequest.Partial).
-	Partial bool                `json:"partial,omitempty"`
-	Trace   *telemetry.SpanJSON `json:"trace,omitempty"`
-	Profile *profile.Event      `json:"profile,omitempty"`
+	// Partial marks a deadline- or node-loss-degraded response (see
+	// exploreRequest.Partial).
+	Partial bool `json:"partial,omitempty"`
+	// DegradedNodes attributes a partial answer to the cluster workers
+	// that failed to contribute their shard ranges.
+	DegradedNodes []string            `json:"degradedNodes,omitempty"`
+	Trace         *telemetry.SpanJSON `json:"trace,omitempty"`
+	Profile       *profile.Event      `json:"profile,omitempty"`
 }
 
 // DimensionFacetsDTO is one dimension's facets.
@@ -643,6 +675,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.SetCacheOutcome(outcome.String())
+	if s.cluster != nil && f.Partial && len(f.DegradedNodes) > 0 {
+		s.cluster.PartialAnswer()
+	}
 	// A deadline-degraded body must never be revalidated into
 	// permanence: no ETag on partial responses.
 	if etag != "" && !f.Partial {
@@ -757,7 +792,10 @@ func (s *Server) putSession(sess *session) string {
 }
 
 func facetsDTO(f *kdapcore.Facets) FacetsDTO {
-	out := FacetsDTO{SubspaceSize: f.SubspaceSize, TotalAggregate: f.TotalAggregate, Partial: f.Partial}
+	out := FacetsDTO{
+		SubspaceSize: f.SubspaceSize, TotalAggregate: f.TotalAggregate,
+		Partial: f.Partial, DegradedNodes: f.DegradedNodes,
+	}
 	for _, d := range f.Dimensions {
 		dd := DimensionFacetsDTO{Dimension: d.Dimension, Hitted: d.Hitted}
 		for _, a := range d.Attributes {

@@ -74,6 +74,14 @@ type P struct {
 	annealRuns       atomic.Int64
 	annealIters      atomic.Int64
 	candidates       atomic.Int64
+
+	clusterScatters   atomic.Int64
+	clusterNodes      atomic.Int64
+	clusterNodeErrors atomic.Int64
+	clusterHedged     atomic.Int64
+	// clusterFailed is under mu (written on the request goroutine's
+	// error path, read by the in-flight snapshotter).
+	clusterFailed []string
 }
 
 // Stage is one flattened pipeline stage with its summed duration.
@@ -236,6 +244,37 @@ func (p *P) AddAnneal(iters int) {
 	p.annealIters.Add(int64(iters))
 }
 
+// AddClusterScatter records one scatter-gather fan-out and the worker
+// nodes it dispatched to.
+func (p *P) AddClusterScatter(nodes int) {
+	if p == nil {
+		return
+	}
+	p.clusterScatters.Add(1)
+	p.clusterNodes.Add(int64(nodes))
+}
+
+// AddClusterNodeError records one failed worker dispatch (deadline,
+// refusal, connection loss) and attributes the node.
+func (p *P) AddClusterNodeError(node string) {
+	if p == nil {
+		return
+	}
+	p.clusterNodeErrors.Add(1)
+	p.mu.Lock()
+	p.clusterFailed = append(p.clusterFailed, node)
+	p.mu.Unlock()
+}
+
+// AddClusterHedged counts one hedged local re-scan launched because a
+// worker exceeded the soft deadline.
+func (p *P) AddClusterHedged() {
+	if p == nil {
+		return
+	}
+	p.clusterHedged.Add(1)
+}
+
 // AddCandidates counts star-net candidates considered by ranking.
 func (p *P) AddCandidates(n int) {
 	if p == nil {
@@ -324,6 +363,12 @@ type Event struct {
 	AnnealIters int64 `json:"annealIters,omitempty"`
 	Candidates  int64 `json:"candidates,omitempty"`
 
+	ClusterScatters    int64    `json:"clusterScatters,omitempty"`
+	ClusterNodes       int64    `json:"clusterNodes,omitempty"`
+	ClusterNodeErrors  int64    `json:"clusterNodeErrors,omitempty"`
+	ClusterHedged      int64    `json:"clusterHedged,omitempty"`
+	ClusterFailedNodes []string `json:"clusterFailedNodes,omitempty"`
+
 	Stages []Stage `json:"stages,omitempty"`
 }
 
@@ -348,6 +393,9 @@ func (p *P) Snapshot() *Event {
 		BatchID:     p.batchID,
 		BatchSize:   p.batchSize,
 		Stages:      p.stages,
+	}
+	if len(p.clusterFailed) > 0 {
+		ev.ClusterFailedNodes = append([]string(nil), p.clusterFailed...)
 	}
 	if p.done {
 		ev.DurationUS = p.duration.Microseconds()
@@ -377,6 +425,10 @@ func (p *P) Snapshot() *Event {
 	ev.AnnealRuns = p.annealRuns.Load()
 	ev.AnnealIters = p.annealIters.Load()
 	ev.Candidates = p.candidates.Load()
+	ev.ClusterScatters = p.clusterScatters.Load()
+	ev.ClusterNodes = p.clusterNodes.Load()
+	ev.ClusterNodeErrors = p.clusterNodeErrors.Load()
+	ev.ClusterHedged = p.clusterHedged.Load()
 	return ev
 }
 
@@ -442,6 +494,14 @@ func (ev *Event) Render() string {
 	}
 	if ev.Candidates > 0 {
 		fmt.Fprintf(&b, "  candidates: %d\n", ev.Candidates)
+	}
+	if ev.ClusterScatters > 0 {
+		fmt.Fprintf(&b, "  cluster: scatters=%d nodes=%d errors=%d hedged=%d",
+			ev.ClusterScatters, ev.ClusterNodes, ev.ClusterNodeErrors, ev.ClusterHedged)
+		if len(ev.ClusterFailedNodes) > 0 {
+			fmt.Fprintf(&b, " failed=%s", strings.Join(ev.ClusterFailedNodes, ","))
+		}
+		b.WriteByte('\n')
 	}
 	if len(ev.Stages) > 0 {
 		b.WriteString("  stages:\n")

@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Cluster smoke test: a 2-worker scatter-gather topology must answer
+# byte-for-byte identically to a monolithic kdapd, and killing a worker
+# mid-session must degrade to an attributed partial answer — never a
+# hang, never a silently-wrong merge. Fallback and hedging are disabled
+# so every row set really crosses the wire (parity can't be faked by a
+# coordinator-local re-scan) and node loss really surfaces. Caches are
+# off so every explore re-materializes through the scatter path.
+# Run from the repository root. See docs/CLUSTER.md.
+set -euo pipefail
+
+MONO_ADDR="${MONO_ADDR:-127.0.0.1:18090}"
+W1_ADDR="${W1_ADDR:-127.0.0.1:18091}"
+W2_ADDR="${W2_ADDR:-127.0.0.1:18092}"
+COORD_ADDR="${COORD_ADDR:-127.0.0.1:18093}"
+TMP="$(mktemp -d)"
+
+# Ten workload queries for the parity sweep (internal/workload IDs);
+# "Bolts" is deliberately NOT here — the node-loss probe below needs a
+# subspace the coordinator hasn't materialized and cached yet.
+QUERIES=("Overstock" "Tire" "Sport-100" "October" "Europe"
+  "Australia" "Bachelors" "Mountain Tire" "California US" "Road Bikes")
+
+go build -o "$TMP/kdapd" ./cmd/kdapd
+
+"$TMP/kdapd" -addr "$MONO_ADDR" -db online -log json -answer-cache-size 0 \
+  2>"$TMP/mono.log" &
+MONO_PID=$!
+"$TMP/kdapd" -addr "$W1_ADDR" -db online -worker -shard-range 0/2 \
+  2>"$TMP/w1.log" &
+W1_PID=$!
+"$TMP/kdapd" -addr "$W2_ADDR" -db online -worker -shard-range 1/2 \
+  2>"$TMP/w2.log" &
+W2_PID=$!
+"$TMP/kdapd" -addr "$COORD_ADDR" -db online -log json -answer-cache-size 0 \
+  -coordinator -workers "$W1_ADDR,$W2_ADDR" \
+  -cluster-fallback=false -hedge-after 0 -node-timeout 2s \
+  2>"$TMP/coord.log" &
+COORD_PID=$!
+
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    for role in mono w1 w2 coord; do
+      if [ -s "$TMP/$role.log" ]; then
+        echo "== $role log (cluster smoke failed with status $status)" >&2
+        cat "$TMP/$role.log" >&2
+      fi
+    done
+  fi
+  kill "$MONO_PID" "$W1_PID" "$W2_PID" "$COORD_PID" 2>/dev/null || true
+  wait "$MONO_PID" "$W1_PID" "$W2_PID" "$COORD_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+  exit "$status"
+}
+trap cleanup EXIT
+
+# The coordinator verifies worker topology before serving, so its
+# /healthz going green means the whole cluster is up.
+for pid_addr in "$MONO_PID $MONO_ADDR" "$COORD_PID $COORD_ADDR"; do
+  set -- $pid_addr
+  PID=$1 ADDR=$2
+  for _ in $(seq 1 75); do
+    if ! kill -0 "$PID" 2>/dev/null; then
+      echo "kdapd on $ADDR exited during startup" >&2
+      exit 1
+    fi
+    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -sf "http://$ADDR/healthz" >/dev/null || {
+    echo "kdapd never became healthy on $ADDR" >&2
+    exit 1
+  }
+done
+
+echo "== ${#QUERIES[@]} workload queries answer byte-for-byte like the monolith"
+for Q in "${QUERIES[@]}"; do
+  BODY="{\"db\":\"online\",\"q\":\"$Q\"}"
+  # Query responses embed a per-daemon session ID; strip it, everything
+  # else (interpretations, scores, signatures) must match exactly.
+  curl -sf --max-time 15 "http://$MONO_ADDR/api/query" -d "$BODY" |
+    sed 's/"session":"[^"]*"//' >"$TMP/q_mono.json"
+  curl -sf --max-time 15 "http://$COORD_ADDR/api/query" -d "$BODY" |
+    sed 's/"session":"[^"]*"//' >"$TMP/q_coord.json"
+  cmp "$TMP/q_mono.json" "$TMP/q_coord.json" || {
+    echo "query $Q: differentiate diverged" >&2
+    exit 1
+  }
+
+  MSESSION="$(curl -sf --max-time 15 "http://$MONO_ADDR/api/query" -d "$BODY" |
+    grep -o '"session":"[^"]*"' | head -1 | cut -d'"' -f4)"
+  CSESSION="$(curl -sf --max-time 15 "http://$COORD_ADDR/api/query" -d "$BODY" |
+    grep -o '"session":"[^"]*"' | head -1 | cut -d'"' -f4)"
+  [ -n "$MSESSION" ] && [ -n "$CSESSION" ]
+  # Explore responses carry no session; the whole body must be
+  # byte-identical — this is the distributed-correctness contract.
+  curl -sf --max-time 15 "http://$MONO_ADDR/api/explore" \
+    -d "{\"session\":\"$MSESSION\",\"pick\":1}" >"$TMP/e_mono.json"
+  curl -sf --max-time 15 "http://$COORD_ADDR/api/explore" \
+    -d "{\"session\":\"$CSESSION\",\"pick\":1}" >"$TMP/e_coord.json"
+  cmp "$TMP/e_mono.json" "$TMP/e_coord.json" || {
+    echo "query $Q: explore body diverged" >&2
+    diff <(head -c 400 "$TMP/e_mono.json") <(head -c 400 "$TMP/e_coord.json") >&2 || true
+    exit 1
+  }
+  echo "   ok: $Q"
+done
+
+echo "== the explores actually scattered (kdap_cluster_fanout_total > 0)"
+FANOUT="$(curl -sf "http://$COORD_ADDR/metrics" |
+  grep '^kdap_cluster_fanout_total' | grep -o '[0-9]*$')"
+[ -n "$FANOUT" ] && [ "$FANOUT" -gt 0 ] || {
+  echo "coordinator never fanned out (kdap_cluster_fanout_total=$FANOUT)" >&2
+  exit 1
+}
+
+echo "== killing worker 2 degrades to an attributed partial answer"
+kill -9 "$W2_PID"
+wait "$W2_PID" 2>/dev/null || true
+SESSION="$(curl -sf --max-time 15 "http://$COORD_ADDR/api/query" \
+  -d '{"db":"online","q":"Bolts"}' |
+  grep -o '"session":"[^"]*"' | head -1 | cut -d'"' -f4)"
+[ -n "$SESSION" ]
+# --max-time is the no-hang assertion: the degraded answer must land
+# within the per-node deadline budget, not block on the dead socket.
+curl -sf --max-time 15 "http://$COORD_ADDR/api/explore" \
+  -d "{\"session\":\"$SESSION\",\"pick\":1,\"partial\":true}" >"$TMP/degraded.json"
+grep -q '"partial":true' "$TMP/degraded.json" || {
+  echo "node loss did not mark the answer partial" >&2
+  head -c 400 "$TMP/degraded.json" >&2
+  exit 1
+}
+grep -q "\"degradedNodes\":\[\"$W2_ADDR\"\]" "$TMP/degraded.json" || {
+  echo "partial answer did not attribute the dead worker $W2_ADDR" >&2
+  head -c 400 "$TMP/degraded.json" >&2
+  exit 1
+}
+
+echo "cluster smoke OK (${#QUERIES[@]} queries byte-identical, node loss attributed)"
